@@ -1,0 +1,86 @@
+"""Global clock net over a power grid: the paper's Section-6 experiment.
+
+Run:  python examples/clock_net_analysis.py
+
+Builds the synthetic clock-over-grid topology and simulates the same
+clock edge through four model flavors:
+
+* PEEC (RC)       -- detailed model without inductance,
+* PEEC (RLC)      -- detailed model with the full dense partial-L matrix,
+* PEEC (RLC)+ROM  -- block-diagonal sparsification + PRIMA macromodel,
+* LOOP (RLC)      -- Section-5 loop-inductance netlist,
+
+then prints the Table-1 columns and the per-sink Figure-4 delays.
+"""
+
+from repro import build_clock_testcase, run_loop_flow, run_peec_flow
+from repro.analysis.report import format_table
+from repro.constants import to_ps
+
+
+def main() -> None:
+    case = build_clock_testcase(
+        die=600e-6,
+        stripe_pitch=80e-6,
+        num_branches=4,
+        branch_length=160e-6,
+        t_stop=1.0e-9,
+        dt=2e-12,
+    )
+    print(f"topology: {case.layout}")
+    print(f"clock sinks: {len(case.ports.sinks)}\n")
+
+    flows = {
+        "PEEC (RC)": run_peec_flow(case, include_inductance=False),
+        "PEEC (RLC)": run_peec_flow(case),
+        "PEEC (RLC)+ROM": run_peec_flow(case, use_reduction=True,
+                                        reduction_order=48),
+        "LOOP (RLC)": run_loop_flow(case),
+    }
+
+    rows = []
+    for name, res in flows.items():
+        rows.append([
+            name,
+            res.stats["resistors"],
+            res.stats["capacitors"],
+            res.stats["inductors"],
+            res.stats["mutuals"],
+            f"{to_ps(res.worst_delay):.1f}",
+            f"{to_ps(res.worst_skew):.2f}",
+            f"{res.total_seconds:.2f}",
+        ])
+    print(format_table(
+        ["model", "R", "C", "L", "mutuals", "worst delay [ps]",
+         "worst skew [ps]", "run-time [s]"],
+        rows,
+        title="Table 1 (synthetic scale)",
+    ))
+
+    print()
+    sink_names = sorted(flows["PEEC (RLC)"].delays)
+    rows = [
+        [name] + [f"{to_ps(flows[m].delays[name]):.2f}" for m in flows]
+        for name in sink_names
+    ]
+    print(format_table(
+        ["sink"] + list(flows),
+        rows,
+        title="Figure 4 -- per-sink 50% delays [ps]",
+    ))
+
+    rc = flows["PEEC (RC)"]
+    rlc = flows["PEEC (RLC)"]
+    loop = flows["LOOP (RLC)"]
+    print(
+        f"\ninductance adds {to_ps(rlc.worst_delay - rc.worst_delay):.1f} ps "
+        f"to the worst delay (paper: +30 ps on 86 ps);\n"
+        f"the loop model predicts "
+        f"{to_ps(loop.worst_delay - rc.worst_delay):.1f} ps extra "
+        f"with {rlc.stats['resistors'] // max(loop.stats['resistors'], 1)}x "
+        f"fewer resistors and no mutual terms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Design techniques for minimizing inductive effects (paper Section 7).
+
+Run:  python examples/design_techniques.py
+
+Exercises the Figure 5-9 studies: shielding, dedicated ground planes,
+inter-digitated wires, staggered inverters, twisted bundles, and the SINO
+shield-insertion/net-ordering optimizer.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.design import (
+    anneal_sino,
+    greedy_sino,
+    ground_plane_study,
+    interdigitation_study,
+    random_problem,
+    shielding_study,
+    staggered_study,
+    twisted_bundle_study,
+)
+
+
+def main() -> None:
+    # -- Figure 5: shielding -----------------------------------------------
+    results = shielding_study(shield_spacings=(1e-6, 2e-6, 4e-6),
+                              length=600e-6)
+    rows = [
+        ["baseline" if r.shield_spacing is None
+         else f"shields @ {r.shield_spacing * 1e6:.0f} um",
+         f"{r.loop_inductance * 1e12:.1f}", f"{r.loop_resistance:.2f}"]
+        for r in results
+    ]
+    print(format_table(["configuration", "loop L [pH]", "loop R [ohm]"],
+                       rows, title="Figure 5 -- shielding"))
+    print()
+
+    # -- Figure 6: ground planes ---------------------------------------------
+    freqs = np.logspace(8, 10.5, 5)
+    plane_results = ground_plane_study(frequencies=freqs, length=600e-6)
+    rows = [
+        [f"{f:.1e}"] + [f"{r.inductance[i] * 1e12:.1f}"
+                        for r in plane_results]
+        for i, f in enumerate(freqs)
+    ]
+    print(format_table(
+        ["freq [Hz]"] + [r.label for r in plane_results],
+        rows, title="Figure 6 -- L(f) [pH]: planes win at high frequency",
+    ))
+    print()
+
+    # -- Figure 7: inter-digitated wires -------------------------------------
+    finger_results = interdigitation_study(finger_counts=(1, 2, 4),
+                                           length=600e-6)
+    rows = [
+        [r.num_fingers, f"{r.loop_inductance * 1e12:.1f}",
+         f"{r.signal_resistance:.3f}", f"{r.total_capacitance * 1e15:.1f}"]
+        for r in finger_results
+    ]
+    print(format_table(
+        ["fingers", "loop L [pH]", "signal R [ohm]", "signal C [fF]"],
+        rows, title="Figure 7 -- inter-digitation: L down, R and C up",
+    ))
+    print()
+
+    # -- Figure 8: staggered inverters ---------------------------------------
+    stag = staggered_study(length=600e-6, t_stop=0.6e-9)
+    rows = [[r.pattern, f"{r.victim_peak_noise * 1e3:.3f}"] for r in stag]
+    print(format_table(["pattern", "victim noise [mV]"], rows,
+                       title="Figure 8 -- staggered inverters"))
+    print()
+
+    # -- Figure 9: twisted bundles -----------------------------------------------
+    twist = twisted_bundle_study(num_regions=6, length=600e-6,
+                                 t_stop=0.5e-9)
+    rows = [[r.style, f"{r.victim_peak_noise * 1e3:.3f}", r.num_segments]
+            for r in twist]
+    print(format_table(["bundle", "victim noise [mV]", "segments"], rows,
+                       title="Figure 9 -- twisted bundle"))
+    print()
+
+    # -- SINO ------------------------------------------------------------------------
+    problem = random_problem(num_nets=10, seed=11)
+    greedy = greedy_sino(problem)
+    annealed = anneal_sino(problem, iterations=4000, seed=11)
+    print("SINO (shield insertion + net ordering, ref [21]):")
+    print(f"  greedy : area {greedy.area} tracks, "
+          f"{len(greedy.shields_after)} shields, order {greedy.order}")
+    print(f"  anneal : area {annealed.area} tracks, "
+          f"{len(annealed.shields_after)} shields, order {annealed.order}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Power-grid noise: IR drop, L*di/dt, and the effect of decap.
+
+Run:  python examples/power_grid_noise.py
+
+Builds a stitched two-layer power grid with package parasitics and
+background switching activity (the paper's Section-3 model ingredients),
+then measures supply noise at the grid's worst node with and without
+device decoupling capacitance -- reproducing the mechanism the paper
+describes: "the parasitic device capacitance of these non-switching gates
+... reduces IR-drop and changes current distribution by allowing current
+to jump from one grid to the other."
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.circuit import transient_analysis
+from repro.geometry import PowerGridSpec, build_power_grid, default_layer_stack
+from repro.peec import (
+    PEECOptions,
+    attach_decaps,
+    attach_package,
+    attach_switching_activity,
+    build_peec_model,
+    estimate_decoupling_capacitance,
+)
+
+
+def run_case(with_decap: bool) -> dict:
+    layers = default_layer_stack(6)
+    spec = PowerGridSpec(
+        die_width=300e-6,
+        die_height=300e-6,
+        layer_names=("M5", "M6"),
+        stripe_pitch=60e-6,
+        stripe_width=2e-6,
+        pads_per_net=2,
+    )
+    layout = build_power_grid(spec, layers)
+    model = build_peec_model(layout, PEECOptions(max_segment_length=80e-6))
+    attach_package(model)
+    if with_decap:
+        # ~2 mm of non-switching transistor width in this region.
+        decap = estimate_decoupling_capacitance(2e-3, switching_fraction=0.15)
+        attach_decaps(model, decap, count=8)
+    attach_switching_activity(
+        model, num_sources=8, peak_current=1.5e-3,
+        window=(0.05e-9, 0.4e-9), rng=np.random.default_rng(42),
+    )
+
+    vdd_nodes = model.nodes_of_net("VDD", "M5")
+    gnd_nodes = model.nodes_of_net("GND", "M5")
+    record = vdd_nodes + gnd_nodes
+    result = transient_analysis(model.circuit, 0.8e-9, 2e-12, record=record)
+
+    worst_droop = max(
+        float(np.max(1.2 - result.voltage(node))) for node in vdd_nodes
+    )
+    worst_bounce = max(
+        float(np.max(np.abs(result.voltage(node)))) for node in gnd_nodes
+    )
+    return {
+        "decap": "yes" if with_decap else "no",
+        "worst VDD droop [mV]": f"{worst_droop * 1e3:.1f}",
+        "worst GND bounce [mV]": f"{worst_bounce * 1e3:.1f}",
+    }
+
+
+def main() -> None:
+    rows = [list(run_case(False).values()), list(run_case(True).values())]
+    print(format_table(
+        ["decap", "worst VDD droop [mV]", "worst GND bounce [mV]"],
+        rows,
+        title="Supply noise with background switching activity "
+              "(8 gates, 1.5 mA peaks, package RL)",
+    ))
+    print("\nDecoupling capacitance absorbs the charge packets locally, "
+          "cutting both the IR drop and the package L*di/dt noise.")
+
+
+if __name__ == "__main__":
+    main()

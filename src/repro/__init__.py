@@ -1,0 +1,46 @@
+"""repro: on-chip inductance analysis and design.
+
+A production-quality reproduction of Gala, Blaauw, Wang, Zolotov, Zhao,
+*"Inductance 101: Analysis and Design Issues"* (DAC 2001): PEEC-based
+detailed interconnect modeling, partial-inductance extraction, Section-4
+sparsification and model-order-reduction acceleration, Section-5
+loop-inductance extraction, and the Section-7 design-technique studies --
+all on top of an in-package MNA circuit simulator and synthetic layout
+generators.
+
+Quick start::
+
+    from repro import build_clock_testcase, run_peec_flow, run_loop_flow
+
+    case = build_clock_testcase()
+    rlc = run_peec_flow(case)                       # detailed PEEC (RLC)
+    rc = run_peec_flow(case, include_inductance=False)
+    loop = run_loop_flow(case)
+    print(rlc.worst_delay, rc.worst_delay, loop.worst_delay)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.flows import (
+    ClockNetTestCase,
+    CurrentDecomposition,
+    FlowResult,
+    build_clock_testcase,
+    run_current_decomposition,
+    run_loop_flow,
+    run_peec_flow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockNetTestCase",
+    "FlowResult",
+    "CurrentDecomposition",
+    "build_clock_testcase",
+    "run_peec_flow",
+    "run_loop_flow",
+    "run_current_decomposition",
+    "__version__",
+]

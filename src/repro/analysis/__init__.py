@@ -1,0 +1,54 @@
+"""Waveform analysis, model comparison, and report formatting."""
+
+from repro.analysis.metrics import (
+    delay_50,
+    overshoot,
+    peak_noise,
+    rise_time,
+    settling_time,
+    skew,
+    threshold_crossing,
+    undershoot,
+)
+from repro.analysis.compare import WaveformComparison, compare_waveforms
+from repro.analysis.report import format_table
+from repro.analysis.spectrum import (
+    edge_spectrum,
+    significant_frequency,
+    spectral_knee,
+)
+from repro.analysis.crosstalk import (
+    AlignmentResult,
+    simulate_aggressor_responses,
+    worst_case_alignment,
+)
+from repro.analysis.tline import (
+    TransmissionLineAssessment,
+    WireRegime,
+    assess_from_extraction,
+    assess_line,
+)
+
+__all__ = [
+    "threshold_crossing",
+    "delay_50",
+    "rise_time",
+    "overshoot",
+    "undershoot",
+    "peak_noise",
+    "settling_time",
+    "skew",
+    "WaveformComparison",
+    "compare_waveforms",
+    "format_table",
+    "significant_frequency",
+    "edge_spectrum",
+    "spectral_knee",
+    "AlignmentResult",
+    "worst_case_alignment",
+    "simulate_aggressor_responses",
+    "WireRegime",
+    "TransmissionLineAssessment",
+    "assess_line",
+    "assess_from_extraction",
+]

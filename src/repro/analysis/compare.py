@@ -1,0 +1,52 @@
+"""Model-vs-model waveform comparison (loop vs PEEC, sparsified vs dense)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WaveformComparison:
+    """Pointwise comparison of two waveforms on a common time base.
+
+    Attributes:
+        max_error: Maximum absolute difference.
+        rms_error: Root-mean-square difference.
+        max_error_time: Time of the maximum difference [s].
+    """
+
+    max_error: float
+    rms_error: float
+    max_error_time: float
+
+
+def compare_waveforms(
+    times_a: np.ndarray,
+    values_a: np.ndarray,
+    times_b: np.ndarray,
+    values_b: np.ndarray,
+) -> WaveformComparison:
+    """Compare two waveforms, interpolating B onto A's time base.
+
+    The overlap interval of the two time bases is used; comparing
+    non-overlapping waveforms raises.
+    """
+    ta = np.asarray(times_a, dtype=float)
+    va = np.asarray(values_a, dtype=float)
+    tb = np.asarray(times_b, dtype=float)
+    vb = np.asarray(values_b, dtype=float)
+    lo = max(ta[0], tb[0])
+    hi = min(ta[-1], tb[-1])
+    if hi <= lo:
+        raise ValueError("waveform time bases do not overlap")
+    mask = (ta >= lo) & (ta <= hi)
+    t = ta[mask]
+    diff = va[mask] - np.interp(t, tb, vb)
+    k = int(np.argmax(np.abs(diff)))
+    return WaveformComparison(
+        max_error=float(np.abs(diff[k])),
+        rms_error=float(np.sqrt(np.mean(diff**2))),
+        max_error_time=float(t[k]),
+    )

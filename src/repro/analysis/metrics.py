@@ -1,0 +1,131 @@
+"""Timing and signal-integrity metrics over transient waveforms.
+
+These are the quantities the paper's evaluation reports: delay and skew
+(Table 1), and the inductance symptoms of Section 1 -- "delay variations,
+degradation of signal integrity due to overshoots, undershoots and
+oscillations".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def threshold_crossing(
+    times: np.ndarray,
+    values: np.ndarray,
+    level: float,
+    rising: bool | None = None,
+    start: float = 0.0,
+) -> float:
+    """First time ``values`` crosses ``level`` (linear interpolation).
+
+    Args:
+        times: Monotone time points [s].
+        values: Waveform samples.
+        level: Threshold.
+        rising: Restrict to rising (True) / falling (False) crossings;
+            ``None`` accepts either.
+        start: Ignore crossings before this time.
+
+    Returns:
+        Crossing time [s].
+
+    Raises:
+        ValueError: No such crossing exists.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have equal shapes")
+    above = v >= level
+    flips = np.nonzero(np.diff(above.astype(int)) != 0)[0]
+    for k in flips:
+        if t[k + 1] < start:
+            continue
+        is_rising = v[k + 1] > v[k]
+        if rising is not None and is_rising != rising:
+            continue
+        frac = (level - v[k]) / (v[k + 1] - v[k])
+        crossing = t[k] + frac * (t[k + 1] - t[k])
+        if crossing >= start:
+            return float(crossing)
+    direction = {None: "any", True: "rising", False: "falling"}[rising]
+    raise ValueError(
+        f"no {direction} crossing of {level} after t={start:.3e} "
+        f"(waveform range [{v.min():.3g}, {v.max():.3g}])"
+    )
+
+
+def delay_50(
+    times: np.ndarray,
+    v_in: np.ndarray,
+    v_out: np.ndarray,
+    swing: float,
+    rising_in: bool | None = None,
+) -> float:
+    """50%-to-50% propagation delay from ``v_in`` to ``v_out`` [s].
+
+    The output crossing is searched *after* the input crossing, in either
+    direction (an inverting driver flips polarity).
+    """
+    level = swing / 2.0
+    t_in = threshold_crossing(times, v_in, level, rising=rising_in)
+    t_out = threshold_crossing(times, v_out, level, start=t_in)
+    return t_out - t_in
+
+
+def rise_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    swing: float,
+    lo: float = 0.1,
+    hi: float = 0.9,
+) -> float:
+    """lo-to-hi fractional-swing transition time [s] (rising edges)."""
+    t_lo = threshold_crossing(times, values, lo * swing, rising=True)
+    t_hi = threshold_crossing(times, values, hi * swing, rising=True, start=t_lo)
+    return t_hi - t_lo
+
+
+def overshoot(values: np.ndarray, final_value: float) -> float:
+    """Peak excursion above the settling value (>= 0)."""
+    return float(max(np.max(np.asarray(values)) - final_value, 0.0))
+
+
+def undershoot(values: np.ndarray, base_value: float) -> float:
+    """Peak excursion below the base value (>= 0)."""
+    return float(max(base_value - np.min(np.asarray(values)), 0.0))
+
+
+def peak_noise(values: np.ndarray, reference: float) -> float:
+    """Largest absolute deviation from a quiet reference level."""
+    return float(np.max(np.abs(np.asarray(values) - reference)))
+
+
+def settling_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    final_value: float,
+    band: float,
+) -> float:
+    """Time after which the waveform stays within ``+-band`` of final [s]."""
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    outside = np.abs(v - final_value) > band
+    if not np.any(outside):
+        return float(t[0])
+    last = int(np.nonzero(outside)[0][-1])
+    if last + 1 >= len(t):
+        raise ValueError(
+            f"waveform never settles within +-{band:.3g} of {final_value:.3g}"
+        )
+    return float(t[last + 1])
+
+
+def skew(delays) -> float:
+    """Worst skew: max minus min of a collection of delays [s]."""
+    d = np.asarray(list(delays), dtype=float)
+    if d.size == 0:
+        raise ValueError("skew needs at least one delay")
+    return float(d.max() - d.min())

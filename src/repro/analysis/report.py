@@ -1,0 +1,46 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints paper-style tables (Table 1 and the figure
+series) to stdout; this keeps them aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column headers.
+        rows: Row value sequences; values are str()-ed.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The formatted table as one string.
+    """
+    str_rows = [[str(v) for v in row] for row in rows]
+    for r, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {r} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in str_rows)) if str_rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Frequency-content heuristics for picking extraction frequencies.
+
+The loop model is extracted "at one frequency" (paper Figure 3c); picking
+it well matters.  The standard signal-integrity rule of thumb ties a
+digital edge's significant spectral content to its rise time:
+
+    f_knee ~ 0.34 / t_rise   (10-90% rise time)
+
+Below the knee the edge's energy lives; extracting loop R/L there makes
+the lumped model see the impedance the actual transition sees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def significant_frequency(rise_time: float) -> float:
+    """Knee frequency of a digital edge [Hz]: 0.34 / t_rise."""
+    if rise_time <= 0:
+        raise ValueError("rise_time must be positive")
+    return 0.34 / rise_time
+
+
+def edge_spectrum(
+    times: np.ndarray,
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-sided amplitude spectrum of a sampled waveform.
+
+    Args:
+        times: Uniformly spaced time points [s].
+        values: Waveform samples.
+
+    Returns:
+        (frequencies, amplitudes): positive-frequency axis and normalized
+        FFT magnitudes.
+
+    Raises:
+        ValueError: Non-uniform time base.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape or t.size < 4:
+        raise ValueError("need matching arrays with at least 4 samples")
+    dt = np.diff(t)
+    if not np.allclose(dt, dt[0], rtol=1e-6):
+        raise ValueError("edge_spectrum requires a uniform time base")
+    spectrum = np.fft.rfft(v - v.mean())
+    freqs = np.fft.rfftfreq(t.size, d=float(dt[0]))
+    return freqs, np.abs(spectrum) / t.size
+
+
+def spectral_knee(times: np.ndarray, values: np.ndarray,
+                  energy_fraction: float = 0.9) -> float:
+    """Frequency below which ``energy_fraction`` of the AC energy lies [Hz]."""
+    if not 0.0 < energy_fraction < 1.0:
+        raise ValueError("energy_fraction must be in (0, 1)")
+    freqs, amps = edge_spectrum(times, values)
+    energy = np.cumsum(amps**2)
+    if energy[-1] <= 0:
+        raise ValueError("waveform has no AC content")
+    idx = int(np.searchsorted(energy, energy_fraction * energy[-1]))
+    return float(freqs[min(idx, len(freqs) - 1)])

@@ -1,0 +1,149 @@
+"""When does inductance matter?  Transmission-line regime classification.
+
+The paper's opening citation is Deutsch et al., *"When are
+Transmission-Line Effects Important for On-Chip Interconnections?"*
+(ref [1]), and its Section 7 observation is the practical summary:
+"short/medium length wires show resistive behavior, while long and wide
+wires exhibit inductive behavior."
+
+This module packages the standard criteria into an API.  For a line of
+length ``l`` with per-unit-length r, l, c driven by an edge of rise time
+``t_r``:
+
+* **lower bound** -- inductance is invisible while the line is shorter
+  than a fraction of the edge's spatial extent::
+
+      len > t_r / (2 * sqrt(l c))          (time of flight criterion)
+
+* **upper bound** -- resistance damps the line into RC behavior beyond::
+
+      len < 2 / r * sqrt(l / c)            (attenuation criterion)
+
+Lines inside the window ring and need RLC/transmission-line treatment;
+outside it, RC models suffice.  These are the same criteria that decide
+whether the paper's detailed PEEC machinery is worth running on a net.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class WireRegime(Enum):
+    """Electrical behavior class of a driven wire."""
+
+    LUMPED = "lumped"            # too short for any wave behavior
+    RC = "rc"                    # resistance dominates; diffusive
+    RLC = "rlc"                  # inductance shapes the edge: analyze it!
+
+
+@dataclass(frozen=True)
+class TransmissionLineAssessment:
+    """Outcome of the regime classification.
+
+    Attributes:
+        regime: The classification.
+        length: Assessed line length [m].
+        lower_bound: Minimum length for inductive significance [m].
+        upper_bound: Maximum length before resistance damps the line [m].
+        characteristic_impedance: Lossless Z0 = sqrt(l/c) [ohm].
+        time_of_flight: Propagation delay l * sqrt(lc) [s].
+        damping_factor: zeta = (r*len/2) * sqrt(c_total/l_total); < 1
+            means under-damped (ringing).
+    """
+
+    regime: WireRegime
+    length: float
+    lower_bound: float
+    upper_bound: float
+    characteristic_impedance: float
+    time_of_flight: float
+    damping_factor: float
+
+    @property
+    def inductance_matters(self) -> bool:
+        """True when an RC model would mispredict this wire."""
+        return self.regime == WireRegime.RLC
+
+
+def assess_line(
+    length: float,
+    r_per_len: float,
+    l_per_len: float,
+    c_per_len: float,
+    rise_time: float,
+) -> TransmissionLineAssessment:
+    """Classify a wire per the Deutsch (ref [1]) criteria.
+
+    Args:
+        length: Line length [m].
+        r_per_len: Resistance per unit length [ohm/m].
+        l_per_len: Loop inductance per unit length [H/m].
+        c_per_len: Capacitance per unit length [F/m].
+        rise_time: Driving edge rise time [s].
+
+    Returns:
+        The assessment, including both critical lengths.
+    """
+    if min(length, r_per_len, l_per_len, c_per_len, rise_time) <= 0:
+        raise ValueError("all arguments must be positive")
+    velocity = 1.0 / math.sqrt(l_per_len * c_per_len)
+    lower = rise_time * velocity / 2.0
+    upper = (2.0 / r_per_len) * math.sqrt(l_per_len / c_per_len)
+    z0 = math.sqrt(l_per_len / c_per_len)
+    tof = length / velocity
+    zeta = r_per_len * length / (2.0 * z0)
+
+    if length < lower:
+        regime = WireRegime.LUMPED if tof < rise_time / 10 else WireRegime.RC
+    elif length > upper:
+        regime = WireRegime.RC
+    else:
+        regime = WireRegime.RLC
+    return TransmissionLineAssessment(
+        regime=regime,
+        length=length,
+        lower_bound=lower,
+        upper_bound=upper,
+        characteristic_impedance=z0,
+        time_of_flight=tof,
+        damping_factor=zeta,
+    )
+
+
+def assess_from_extraction(
+    extraction,
+    length: float,
+    c_total: float,
+    rise_time: float,
+    frequency: float | None = None,
+) -> TransmissionLineAssessment:
+    """Classify using a loop-extraction result instead of raw per-unit data.
+
+    Args:
+        extraction: A :class:`~repro.loop.extractor.LoopExtractionResult`.
+        length: Physical line length [m].
+        c_total: Total line + load capacitance [F].
+        rise_time: Driving edge rise time [s].
+        frequency: Sample frequency for R/L; defaults to the edge's knee
+            (0.34 / rise_time) clamped into the swept range.
+    """
+    from repro.analysis.spectrum import significant_frequency
+
+    if frequency is None:
+        frequency = significant_frequency(rise_time)
+        frequency = float(
+            min(max(frequency, extraction.frequencies[0]),
+                extraction.frequencies[-1])
+        )
+    z = extraction.at(frequency)
+    omega = 2.0 * math.pi * frequency
+    return assess_line(
+        length=length,
+        r_per_len=z.real / length,
+        l_per_len=(z.imag / omega) / length,
+        c_per_len=c_total / length,
+        rise_time=rise_time,
+    )

@@ -1,0 +1,117 @@
+"""DC operating-point analysis.
+
+Solves ``G x + f(x) = b(t)`` with inductors as shorts and capacitors open.
+Nonlinear circuits use damped Newton iteration with a gmin-stepping
+fallback (progressively removing an artificial leak conductance), the
+standard SPICE convergence aid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.linalg import Factorization, SingularCircuitError, add_gmin
+from repro.circuit.mna import MNASystem
+from repro.circuit.netlist import Circuit
+
+
+class ConvergenceError(RuntimeError):
+    """Newton iteration failed to converge."""
+
+
+def _as_system(circuit_or_system) -> MNASystem:
+    if isinstance(circuit_or_system, MNASystem):
+        return circuit_or_system
+    if isinstance(circuit_or_system, Circuit):
+        return MNASystem(circuit_or_system)
+    raise TypeError(f"expected Circuit or MNASystem, got {type(circuit_or_system)}")
+
+
+def _newton(
+    system: MNASystem,
+    g_matrix,
+    b: np.ndarray,
+    x0: np.ndarray,
+    tol: float,
+    max_iter: int,
+    damping_limit: float,
+) -> np.ndarray:
+    x = x0.copy()
+    dense = not hasattr(g_matrix, "tocsc")
+    for _ in range(max_iter):
+        f, jac_dev = system.eval_devices(x)
+        residual = g_matrix @ x + f - b
+        norm = float(np.max(np.abs(residual)))
+        if norm < tol:
+            return x
+        if dense:
+            jacobian = g_matrix + jac_dev
+        else:
+            jacobian = (g_matrix + jac_dev) if jac_dev is not None else g_matrix
+            jacobian = np.asarray(jacobian)
+        delta = Factorization(jacobian).solve(-residual)
+        step = float(np.max(np.abs(delta)))
+        if step > damping_limit:
+            delta = delta * (damping_limit / step)
+        x = x + delta
+    f, _ = system.eval_devices(x)
+    residual = g_matrix @ x + f - b
+    if float(np.max(np.abs(residual))) < tol * 100:
+        return x  # close enough; final refinement left to the caller
+    raise ConvergenceError(
+        f"DC Newton did not converge in {max_iter} iterations "
+        f"(residual {float(np.max(np.abs(residual))):.3e})"
+    )
+
+
+def dc_operating_point(
+    circuit_or_system,
+    t: float = 0.0,
+    gmin: float = 1e-12,
+    tol: float = 1e-9,
+    max_iter: int = 100,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute the DC operating point at source time ``t``.
+
+    Args:
+        circuit_or_system: A :class:`Circuit` or prebuilt :class:`MNASystem`.
+        t: Time at which source waveforms are evaluated (sources are assumed
+            static around this instant).
+        gmin: Leak conductance added on node diagonals.
+        tol: Newton residual tolerance (max-norm, amps).
+        max_iter: Newton iteration cap per gmin stage.
+        x0: Optional initial guess.
+
+    Returns:
+        The full MNA unknown vector x (node voltages then branch currents).
+
+    Raises:
+        ConvergenceError: Newton failed even with gmin stepping.
+        SingularCircuitError: The topology itself is singular.
+    """
+    system = _as_system(circuit_or_system)
+    g_matrix, _ = system.build_matrices()
+    b = system.rhs(t)
+    guess = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float)
+
+    if not system.has_devices:
+        g_dc = add_gmin(g_matrix, system.n, gmin)
+        return Factorization(g_dc).solve(b)
+
+    # Gmin stepping: converge with a strong leak first, then tighten.
+    stages = [1e-3, 1e-6, gmin] if gmin < 1e-6 else [1e-3, gmin]
+    x = guess
+    last_error: Exception | None = None
+    for stage_gmin in stages:
+        g_dc = add_gmin(g_matrix, system.n, stage_gmin)
+        try:
+            x = _newton(system, g_dc, b, x, tol, max_iter, damping_limit=1.0)
+            last_error = None
+        except (ConvergenceError, SingularCircuitError) as exc:
+            last_error = exc
+    if last_error is not None:
+        raise ConvergenceError(
+            f"DC operating point failed after gmin stepping: {last_error}"
+        )
+    return x

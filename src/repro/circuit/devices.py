@@ -1,0 +1,157 @@
+"""Nonlinear devices: square-law CMOS inverter driver.
+
+The paper's Figure-1 current decomposition (short-circuit current I1,
+charging current I2, discharging current I3) requires an actual switching
+gate between the supply rails, not a Thevenin equivalent.  A square-law
+(level-1) MOSFET pair captures exactly that physics: a crowbar path while
+both devices conduct mid-transition, plus charge/discharge paths to the
+two rails.
+
+Devices are *memoryless* nonlinear current elements; their parasitic
+capacitances are added as ordinary linear capacitors by the circuit
+builders.  The Newton support lives in :mod:`repro.circuit.transient` and
+:mod:`repro.circuit.dc`; devices only implement :meth:`evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MOSParameters:
+    """Square-law MOSFET parameters (symmetric n/p unless overridden).
+
+    Attributes:
+        vt: Threshold voltage magnitude [V].
+        beta: Transconductance K' * W / L [A/V^2].
+        lam: Channel-length modulation [1/V].
+        gmin: Minimum drain-source conductance [S], keeps Newton matrices
+            nonsingular when the device is off.
+    """
+
+    vt: float = 0.45
+    beta: float = 4.0e-3
+    lam: float = 0.05
+    gmin: float = 1e-9
+
+
+def _nmos_ids(vgs: float, vds: float, p: MOSParameters) -> tuple[float, float, float]:
+    """NMOS drain current and partials (Ids, dIds/dVgs, dIds/dVds).
+
+    Square law with channel-length modulation; vds >= 0 is assumed (the
+    caller swaps terminals for reverse bias).  C1-continuous across the
+    cutoff and saturation boundaries.
+    """
+    vov = vgs - p.vt
+    if vov <= 0.0:
+        return (p.gmin * vds, 0.0, p.gmin)
+    clm = 1.0 + p.lam * vds
+    if vds < vov:  # triode
+        ids = p.beta * (vov * vds - 0.5 * vds * vds) * clm
+        dvgs = p.beta * vds * clm
+        dvds = p.beta * (vov - vds) * clm + p.beta * (vov * vds - 0.5 * vds * vds) * p.lam
+    else:  # saturation
+        ids = 0.5 * p.beta * vov * vov * clm
+        dvgs = p.beta * vov * clm
+        dvds = 0.5 * p.beta * vov * vov * p.lam
+    return (ids + p.gmin * vds, dvgs, dvds + p.gmin)
+
+
+class CMOSInverter:
+    """Square-law CMOS inverter between explicit supply nodes.
+
+    Nodes (in order): ``(gate, out, vdd, vss)``.  The input is the gate
+    voltage of both devices; the driver's supply current is drawn from the
+    local ``vdd`` / ``vss`` nodes of the power grid, which is how gate
+    switching couples into the grid in the PEEC model.
+
+    Attributes:
+        name: Instance name.
+        nodes: Node names, ``(gate, out, vdd, vss)``.
+        nmos: NMOS parameters.
+        pmos: PMOS parameters (``vt``/``beta`` magnitudes).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gate: str,
+        out: str,
+        vdd: str,
+        vss: str,
+        nmos: MOSParameters | None = None,
+        pmos: MOSParameters | None = None,
+        strength: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.nodes: tuple[str, ...] = (gate, out, vdd, vss)
+        base_n = nmos or MOSParameters()
+        base_p = pmos or MOSParameters(beta=2.0e-3)
+        if strength != 1.0:
+            base_n = MOSParameters(base_n.vt, base_n.beta * strength, base_n.lam, base_n.gmin)
+            base_p = MOSParameters(base_p.vt, base_p.beta * strength, base_p.lam, base_p.gmin)
+        self.nmos = base_n
+        self.pmos = base_p
+
+    def evaluate(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Device currents and Jacobian at local node voltages ``v``.
+
+        Args:
+            v: Voltages of ``(gate, out, vdd, vss)`` [V].
+
+        Returns:
+            (i, jac): ``i[k]`` is current flowing *out of* node k into the
+            device [A]; ``jac[k, l] = d i[k] / d v[l]`` [S].
+        """
+        v_g, v_o, v_dd, v_ss = (float(x) for x in v)
+        i = np.zeros(4)
+        jac = np.zeros((4, 4))
+
+        # NMOS: drain/source are out/vss, swapped under reverse bias.
+        if v_o >= v_ss:
+            ids, dgs, dds = _nmos_ids(v_g - v_ss, v_o - v_ss, self.nmos)
+            # ids flows out -> vss through the device.
+            i[1] += ids
+            i[3] -= ids
+            # d/d(vg, vo, vss)
+            for row, sign in ((1, 1.0), (3, -1.0)):
+                jac[row, 0] += sign * dgs
+                jac[row, 1] += sign * dds
+                jac[row, 3] += sign * (-dgs - dds)
+        else:
+            ids, dgs, dds = _nmos_ids(v_g - v_o, v_ss - v_o, self.nmos)
+            # Current flows vss -> out.
+            i[3] += ids
+            i[1] -= ids
+            for row, sign in ((3, 1.0), (1, -1.0)):
+                jac[row, 0] += sign * dgs
+                jac[row, 3] += sign * dds
+                jac[row, 1] += sign * (-dgs - dds)
+
+        # PMOS: source at vdd, drain at out; use symmetric square law in
+        # source-referenced magnitudes.
+        if v_dd >= v_o:
+            ids, dgs, dds = _nmos_ids(v_dd - v_g, v_dd - v_o, self.pmos)
+            # Current flows vdd -> out through the device.
+            i[2] += ids
+            i[1] -= ids
+            for row, sign in ((2, 1.0), (1, -1.0)):
+                jac[row, 0] += sign * (-dgs)
+                jac[row, 2] += sign * (dgs + dds)
+                jac[row, 1] += sign * (-dds)
+        else:
+            ids, dgs, dds = _nmos_ids(v_o - v_g, v_o - v_dd, self.pmos)
+            i[1] += ids
+            i[2] -= ids
+            for row, sign in ((1, 1.0), (2, -1.0)):
+                jac[row, 0] += sign * (-dgs)
+                jac[row, 1] += sign * (dgs + dds)
+                jac[row, 2] += sign * (-dds)
+
+        return i, jac
+
+    def __repr__(self) -> str:
+        return f"CMOSInverter({self.name!r}, nodes={self.nodes})"

@@ -1,0 +1,71 @@
+"""Shared linear-algebra helpers for the circuit analyses.
+
+Wraps dense LU (scipy.linalg) and sparse LU (SuperLU via scipy.sparse)
+behind one interface so the DC/AC/transient engines don't care which
+matrix format :meth:`MNASystem.build_matrices` chose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+class SingularCircuitError(RuntimeError):
+    """The MNA matrix is singular.
+
+    Typical causes: a node with no DC path to ground (add a gmin or a leak
+    resistor), ideal inductors in parallel with no series resistance, or a
+    loop of ideal voltage sources.
+    """
+
+
+class Factorization:
+    """LU factorization of a real or complex system matrix."""
+
+    def __init__(self, matrix) -> None:
+        self._sparse = sp.issparse(matrix)
+        try:
+            if self._sparse:
+                self._lu = spla.splu(matrix.tocsc())
+            else:
+                self._lu = sla.lu_factor(np.asarray(matrix))
+        except (RuntimeError, ValueError, np.linalg.LinAlgError) as exc:
+            raise SingularCircuitError(
+                f"MNA matrix factorization failed: {exc}"
+            ) from exc
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve A x = b."""
+        if self._sparse:
+            x = self._lu.solve(b)
+        else:
+            x = sla.lu_solve(self._lu, b)
+        if not np.all(np.isfinite(x)):
+            raise SingularCircuitError(
+                "MNA solve produced non-finite values; the circuit matrix is "
+                "singular or catastrophically ill-conditioned"
+            )
+        return x
+
+
+def add_gmin(g_matrix, num_nodes: int, gmin: float):
+    """Return G with ``gmin`` added on the node-voltage diagonal.
+
+    Keeps floating nodes (capacitor-only islands, off transistors) from
+    making the DC matrix singular -- the same trick every SPICE uses.
+    """
+    if gmin <= 0.0:
+        return g_matrix
+    if sp.issparse(g_matrix):
+        diag = sp.coo_matrix(
+            (np.full(num_nodes, gmin), (np.arange(num_nodes), np.arange(num_nodes))),
+            shape=g_matrix.shape,
+        )
+        return (g_matrix + diag).tocsr()
+    g = g_matrix.copy()
+    idx = np.arange(num_nodes)
+    g[idx, idx] += gmin
+    return g

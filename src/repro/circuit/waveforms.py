@@ -1,0 +1,143 @@
+"""Time-domain source waveforms.
+
+Every independent source carries a waveform object: a callable mapping time
+[s] to value (volts or amperes).  The shapes here cover everything the
+paper's experiments need -- DC rails, clock edges (:class:`Pulse`,
+:class:`Ramp`), piecewise-linear background-activity profiles (:class:`PWL`)
+and sinusoids for AC sanity checks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DC:
+    """Constant value."""
+
+    value: float
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Ramp:
+    """Single transition from ``v0`` to ``v1`` starting at ``delay``.
+
+    Linear over ``rise_time``; holds ``v1`` afterwards.  The canonical
+    clock-edge stimulus for delay measurements.
+    """
+
+    v0: float
+    v1: float
+    delay: float
+    rise_time: float
+
+    def __post_init__(self) -> None:
+        if self.rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.v0
+        if t >= self.delay + self.rise_time:
+            return self.v1
+        frac = (t - self.delay) / self.rise_time
+        return self.v0 + (self.v1 - self.v0) * frac
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE-style periodic pulse.
+
+    Args mirror SPICE's PULSE(): initial value, pulsed value, delay, rise
+    time, fall time, pulse width, period.  ``period = 0`` gives a single
+    pulse.
+    """
+
+    v0: float
+    v1: float
+    delay: float = 0.0
+    rise_time: float = 1e-12
+    fall_time: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rise_time <= 0 or self.fall_time <= 0:
+            raise ValueError("rise/fall times must be positive")
+        if self.width < 0:
+            raise ValueError("width must be non-negative")
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.v0
+        t_rel = t - self.delay
+        if self.period > 0:
+            t_rel = t_rel % self.period
+        if t_rel < self.rise_time:
+            return self.v0 + (self.v1 - self.v0) * t_rel / self.rise_time
+        t_rel -= self.rise_time
+        if t_rel < self.width:
+            return self.v1
+        t_rel -= self.width
+        if t_rel < self.fall_time:
+            return self.v1 + (self.v0 - self.v1) * t_rel / self.fall_time
+        return self.v0
+
+
+@dataclass(frozen=True)
+class PWL:
+    """Piecewise-linear waveform through (time, value) points.
+
+    Holds the first value before the first point and the last value after
+    the last point.  Used for the "time-varying current sources" that model
+    background switching activity ("the current value changes with time
+    during the simulation, to account for different parts of the chip
+    switching at different times").
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [p[0] for p in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+
+    def __call__(self, t: float) -> float:
+        times = [p[0] for p in self.points]
+        if t <= times[0]:
+            return self.points[0][1]
+        if t >= times[-1]:
+            return self.points[-1][1]
+        i = bisect.bisect_right(times, t)
+        t0, v0 = self.points[i - 1]
+        t1, v1 = self.points[i]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class SineWave:
+    """Offset sinusoid: ``offset + amplitude * sin(2 pi f (t - delay))``."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency * (t - self.delay)
+        )

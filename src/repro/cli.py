@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli table1 [--die 600] [--branches 4]
+    python -m repro.cli loop [--length 1000]
+    python -m repro.cli design
+    python -m repro.cli export --out clocknet.sp
+
+``table1`` runs the Section-6 model comparison, ``loop`` the Figure-3
+extraction sweep, ``design`` the Figure 5-9 studies, and ``export``
+writes the detailed PEEC model of the clock topology as a SPICE deck.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro import build_clock_testcase, run_loop_flow, run_peec_flow
+    from repro.analysis.report import format_table
+    from repro.constants import to_ps
+
+    case = build_clock_testcase(
+        die=args.die * 1e-6,
+        num_branches=args.branches,
+        branch_length=args.die * 1e-6 / 4,
+        stripe_pitch=args.die * 1e-6 / 6,
+    )
+    flows = {
+        "PEEC (RC)": run_peec_flow(case, include_inductance=False),
+        "PEEC (RLC)": run_peec_flow(case),
+        "LOOP (RLC)": run_loop_flow(case),
+    }
+    rows = [
+        [name, res.stats["resistors"], res.stats["capacitors"],
+         res.stats["inductors"], res.stats["mutuals"],
+         f"{to_ps(res.worst_delay):.1f}", f"{to_ps(res.worst_skew):.2f}",
+         f"{res.total_seconds:.2f}"]
+        for name, res in flows.items()
+    ]
+    print(format_table(
+        ["model", "R", "C", "L", "mutuals", "delay [ps]", "skew [ps]",
+         "time [s]"],
+        rows, title="Table 1 (synthetic scale)",
+    ))
+    return 0
+
+
+def _cmd_loop(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.geometry import build_signal_over_grid
+    from repro.loop import LoopPort, extract_loop_impedance, fit_ladder
+
+    layout, ports = build_signal_over_grid(length=args.length * 1e-6)
+    port = LoopPort(
+        signal=ports["driver"], reference=ports["gnd_driver"],
+        short_signal=ports["receiver"],
+        short_reference=ports["gnd_receiver"],
+    )
+    freqs = np.logspace(7, 11, 9)
+    res = extract_loop_impedance(layout, port, freqs,
+                                 max_segment_length=250e-6)
+    rows = [
+        [f"{f:.2e}", f"{r:.4f}", f"{l * 1e9:.4f}"]
+        for f, r, l in zip(freqs, res.resistance, res.inductance)
+    ]
+    print(format_table(["frequency [Hz]", "R [ohm]", "L [nH]"], rows,
+                       title="Figure 3(b) -- loop R & L vs frequency"))
+    ladder = fit_ladder(float(freqs[0]), complex(res.impedance[0]),
+                        float(freqs[-1]), complex(res.impedance[-1]))
+    print(f"\nladder: R0={ladder.r0:.4f} L0={ladder.l0 * 1e9:.4f}nH "
+          f"R1={ladder.r1:.4f} L1={ladder.l1 * 1e9:.4f}nH")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    import runpy
+
+    # Reuse the worked example (it prints all the study tables).
+    from pathlib import Path
+
+    example = Path(__file__).resolve().parents[2] / "examples" / \
+        "design_techniques.py"
+    if example.exists():
+        runpy.run_path(str(example), run_name="__main__")
+        return 0
+    from examples import design_techniques  # type: ignore[import-not-found]
+
+    design_techniques.main()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro import build_clock_testcase
+    from repro.io.spice import write_spice
+    from repro.peec import PEECOptions, attach_package, build_peec_model
+
+    case = build_clock_testcase()
+    model = build_peec_model(
+        case.layout, PEECOptions(max_segment_length=80e-6)
+    )
+    attach_package(model)
+    with open(args.out, "w", encoding="ascii") as f:
+        write_spice(model.circuit, f, t_stop=case.t_stop,
+                    analysis=f".tran {case.dt} {case.t_stop}")
+    stats = model.stats()
+    print(f"wrote {args.out}: {stats['resistors']} R, "
+          f"{stats['capacitors']} C, {stats['inductors']} L, "
+          f"{stats['mutuals']} mutual couplings")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-chip inductance analysis (Inductance 101, DAC 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="Section-6 model comparison")
+    p_table1.add_argument("--die", type=float, default=600.0,
+                          help="die size [um]")
+    p_table1.add_argument("--branches", type=int, default=4)
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_loop = sub.add_parser("loop", help="Figure-3 loop extraction sweep")
+    p_loop.add_argument("--length", type=float, default=1000.0,
+                        help="signal length [um]")
+    p_loop.set_defaults(func=_cmd_loop)
+
+    p_design = sub.add_parser("design", help="Figure 5-9 design studies")
+    p_design.set_defaults(func=_cmd_design)
+
+    p_export = sub.add_parser("export", help="export PEEC model as SPICE")
+    p_export.add_argument("--out", default="clocknet.sp")
+    p_export.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Physical constants and unit helpers used across the library.
+
+All internal quantities are SI: meters, ohms, henries, farads, seconds,
+volts, amperes.  Layout dimensions in the paper's domain are naturally
+expressed in micrometers and parasitics in nH/fF/ps, so thin conversion
+helpers are provided for readability at API boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Permeability of free space [H/m].
+MU0 = 4.0e-7 * math.pi
+
+#: Permittivity of free space [F/m].
+EPS0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2 inter-layer dielectric (typical CMOS).
+EPS_R_SIO2 = 3.9
+
+#: Speed of light in vacuum [m/s].
+C0 = 299_792_458.0
+
+#: Copper resistivity at room temperature [ohm*m].
+RHO_COPPER = 1.72e-8
+
+#: Aluminum resistivity at room temperature [ohm*m].
+RHO_ALUMINUM = 2.82e-8
+
+# -- unit multipliers ---------------------------------------------------------
+
+UM = 1e-6  #: micrometer in meters
+NM = 1e-9  #: nanometer in meters
+MM = 1e-3  #: millimeter in meters
+
+PS = 1e-12  #: picosecond in seconds
+NS = 1e-9  #: nanosecond in seconds
+
+FF = 1e-15  #: femtofarad in farads
+PF = 1e-12  #: picofarad in farads
+
+PH = 1e-12  #: picohenry in henries
+NH = 1e-9  #: nanohenry in henries
+
+GHZ = 1e9  #: gigahertz in hertz
+MHZ = 1e6  #: megahertz in hertz
+
+
+def um(value: float) -> float:
+    """Convert micrometers to meters."""
+    return value * UM
+
+
+def to_um(value: float) -> float:
+    """Convert meters to micrometers."""
+    return value / UM
+
+
+def nh(value: float) -> float:
+    """Convert nanohenries to henries."""
+    return value * NH
+
+
+def to_nh(value: float) -> float:
+    """Convert henries to nanohenries."""
+    return value / NH
+
+
+def ff(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * FF
+
+
+def to_ff(value: float) -> float:
+    """Convert farads to femtofarads."""
+    return value / FF
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * PS
+
+
+def to_ps(value: float) -> float:
+    """Convert seconds to picoseconds."""
+    return value / PS
+
+
+def skin_depth(frequency: float, resistivity: float = RHO_COPPER,
+               mu_r: float = 1.0) -> float:
+    """Skin depth [m] of a conductor at ``frequency`` [Hz].
+
+    delta = sqrt(rho / (pi * f * mu0 * mu_r)).  Used to decide how finely a
+    conductor cross-section must be subdivided into filaments before the
+    partial-inductance formulas (which assume uniform current density) are
+    valid -- see Section 3 of the paper ("very wide conductors must be split
+    into narrower lines before computing inductance").
+    """
+    if frequency <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    return math.sqrt(resistivity / (math.pi * frequency * MU0 * mu_r))

@@ -1,0 +1,57 @@
+"""Design techniques for minimizing inductive effects (paper Section 7).
+
+One module per technique the paper catalogs:
+
+* :mod:`~repro.design.shielding` -- ground shields beside a victim
+  (Figure 5).
+* :mod:`~repro.design.ground_plane` -- dedicated planes above/below
+  (Figure 6), including the frequency crossover the paper sketches.
+* :mod:`~repro.design.interdigitate` -- splitting wide wires into fingers
+  with interleaved shields (Figure 7).
+* :mod:`~repro.design.staggered` -- staggered inverter patterns
+  (Figure 8).
+* :mod:`~repro.design.twisted_bundle` -- twisted-bundle routing
+  (Figure 9).
+* :mod:`~repro.design.sino` -- simultaneous shield insertion and net
+  ordering (ref [21]), greedy and simulated-annealing solvers for the
+  NP-hard formulation.
+"""
+
+from repro.design.shielding import ShieldingResult, shielding_study
+from repro.design.ground_plane import GroundPlaneResult, ground_plane_study
+from repro.design.interdigitate import InterdigitationResult, interdigitation_study
+from repro.design.staggered import StaggeredResult, staggered_study
+from repro.design.twisted_bundle import BundleResult, twisted_bundle_study
+from repro.design.sino import (
+    SINOProblem,
+    SINOSolution,
+    anneal_sino,
+    greedy_sino,
+    random_problem,
+)
+from repro.design.sino_layout import (
+    ChannelNoiseResult,
+    measure_channel_noise,
+    solution_to_layout,
+)
+
+__all__ = [
+    "ShieldingResult",
+    "shielding_study",
+    "GroundPlaneResult",
+    "ground_plane_study",
+    "InterdigitationResult",
+    "interdigitation_study",
+    "StaggeredResult",
+    "staggered_study",
+    "BundleResult",
+    "twisted_bundle_study",
+    "SINOProblem",
+    "SINOSolution",
+    "greedy_sino",
+    "anneal_sino",
+    "random_problem",
+    "ChannelNoiseResult",
+    "measure_channel_noise",
+    "solution_to_layout",
+]

@@ -1,0 +1,40 @@
+"""Parasitic extraction: partial inductance, resistance, and capacitance.
+
+Implements the element-value computations the paper's PEEC model relies on
+(Section 3): frequency-independent resistance from geometry and sheet
+resistance, partial self and mutual inductances from analytical formulas
+(Grover / Ruehli / exact filament integrals), and Chern-style empirical
+ground and coupling capacitance models.
+"""
+
+from repro.extraction.inductance import (
+    mutual_inductance_bars,
+    mutual_inductance_filaments,
+    self_inductance_bar,
+)
+from repro.extraction.filaments import FilamentGrid, filaments_for_skin_depth
+from repro.extraction.resistance import segment_resistance, via_resistance
+from repro.extraction.capacitance import (
+    CapacitanceModel,
+    coupling_capacitance_per_length,
+    ground_capacitance_per_length,
+)
+from repro.extraction.partial_matrix import (
+    PartialInductanceResult,
+    extract_partial_inductance,
+)
+
+__all__ = [
+    "self_inductance_bar",
+    "mutual_inductance_filaments",
+    "mutual_inductance_bars",
+    "FilamentGrid",
+    "filaments_for_skin_depth",
+    "segment_resistance",
+    "via_resistance",
+    "CapacitanceModel",
+    "ground_capacitance_per_length",
+    "coupling_capacitance_per_length",
+    "PartialInductanceResult",
+    "extract_partial_inductance",
+]

@@ -1,0 +1,138 @@
+"""Cross-section filament subdivision for skin and proximity effects.
+
+The partial-inductance formulas assume uniform current density over a
+segment's cross section.  At high frequency, current crowds toward the
+surface (skin effect) and toward nearby return conductors (proximity
+effect).  FastHenry-style extraction captures both by splitting each
+conductor into parallel *filaments* -- each a thin bar with its own
+resistance and partial inductance, all tied together at the segment ends --
+and letting the frequency-domain circuit solution redistribute current
+among them.
+
+This module produces those subdivisions.  The paper's note that "very wide
+conductors must be split into narrower lines before computing inductance"
+is :func:`filaments_for_skin_depth` with the width axis only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import MU0, skin_depth
+from repro.geometry.segment import Direction, Segment
+
+
+@dataclass(frozen=True)
+class FilamentGrid:
+    """A rectangular subdivision of a conductor cross section.
+
+    Attributes:
+        num_width: Number of slices across the width.
+        num_thickness: Number of slices across the thickness.
+    """
+
+    num_width: int
+    num_thickness: int
+
+    def __post_init__(self) -> None:
+        if self.num_width < 1 or self.num_thickness < 1:
+            raise ValueError("filament counts must be >= 1")
+
+    @property
+    def count(self) -> int:
+        """Total number of filaments."""
+        return self.num_width * self.num_thickness
+
+    def offsets(self, width: float, thickness: float) -> list[tuple[float, float]]:
+        """(width-offset, thickness-offset) of each filament centroid [m]."""
+        def centers(n: int, extent: float) -> np.ndarray:
+            edges = np.linspace(-extent / 2.0, extent / 2.0, n + 1)
+            return (edges[:-1] + edges[1:]) / 2.0
+
+        return [
+            (float(dw), float(dt))
+            for dw in centers(self.num_width, width)
+            for dt in centers(self.num_thickness, thickness)
+        ]
+
+    def split_segment(self, segment: Segment) -> list[Segment]:
+        """Split a segment into its filament sub-segments.
+
+        Each filament keeps the parent's net, layer, span, and name (with a
+        ``.fK`` suffix) and shares the parent's end nodes electrically --
+        the caller (loop extractor / PEEC builder) ties filament ends
+        together.
+        """
+        if self.count == 1:
+            return [segment]
+        axis = segment.direction.axis
+        width_axis = 1 if axis == 0 else 0
+        fil_w = segment.width / self.num_width
+        fil_t = segment.thickness / self.num_thickness
+        out = []
+        for k, (dw, dt) in enumerate(self.offsets(segment.width, segment.thickness)):
+            origin = list(segment.origin)
+            # Offsets are relative to the cross-section center; convert to
+            # origin-corner coordinates of the filament.
+            origin[width_axis] += (dw + segment.width / 2.0) - fil_w / 2.0
+            origin[2] += (dt + segment.thickness / 2.0) - fil_t / 2.0
+            out.append(
+                replace(
+                    segment,
+                    origin=tuple(origin),
+                    width=fil_w,
+                    thickness=fil_t,
+                    name=f"{segment.name}.f{k}",
+                )
+            )
+        return out
+
+
+def filaments_for_skin_depth(
+    width: float,
+    thickness: float,
+    frequency: float,
+    resistivity: float,
+    slices_per_depth: float = 1.0,
+    max_per_axis: int = 9,
+) -> FilamentGrid:
+    """Choose a filament grid fine enough for ``frequency``.
+
+    Each filament should be no larger than ~2 skin depths across (so that a
+    uniform-current-density assumption holds within it); counts are capped
+    at ``max_per_axis`` per axis to bound cost.
+
+    Args:
+        width: Conductor width [m].
+        thickness: Conductor thickness [m].
+        frequency: Analysis frequency [Hz]; 0 or negative means DC (single
+            filament).
+        resistivity: Conductor resistivity [ohm*m].
+        slices_per_depth: Refinement knob; >1 subdivides more finely.
+        max_per_axis: Upper bound on slices per axis.
+    """
+    if frequency <= 0.0:
+        return FilamentGrid(1, 1)
+    delta = skin_depth(frequency, resistivity)
+    target = 2.0 * delta / slices_per_depth
+
+    def count(extent: float) -> int:
+        n = int(math.ceil(extent / target))
+        return max(1, min(n, max_per_axis))
+
+    return FilamentGrid(count(width), count(thickness))
+
+
+def max_useful_frequency(width: float, thickness: float,
+                         resistivity: float) -> float:
+    """Frequency below which a single filament is adequate [Hz].
+
+    The skin depth equals half the smaller cross-section dimension at this
+    frequency; below it, current distribution across the conductor is
+    nearly uniform and subdividing buys nothing.
+    """
+    d_min = min(width, thickness) / 2.0
+    return resistivity / (math.pi * MU0 * d_min * d_min)

@@ -1,0 +1,54 @@
+"""Resistance extraction for segments and vias.
+
+"The resistance is frequency independent and is computed as a function of
+geometry and sheet resistance" (paper, Section 3).  Frequency dependence of
+the *effective* loop resistance emerges from current redistribution among
+filaments in the loop extractor, not from these element values.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layout import Via
+from repro.geometry.segment import Direction, Layer, Segment
+
+#: Resistance of a single via cut [ohm]; typical for stacked copper vias.
+VIA_CUT_RESISTANCE = 2.0
+
+#: Nominal size of one via cut [m]; wide vias contain an array of cuts.
+VIA_CUT_SIZE = 0.5e-6
+
+#: Floor to keep via resistance finite and the MNA matrix well-conditioned.
+MIN_VIA_RESISTANCE = 0.05
+
+
+def segment_resistance(segment: Segment, layer: Layer) -> float:
+    """DC resistance of an in-plane segment [ohm].
+
+    R = R_sheet * length / width, with the segment's own thickness assumed
+    equal to the layer thickness (the generators guarantee this).  For a
+    filament sub-segment whose thickness differs from the layer's, the
+    sheet resistance is rescaled so that the parallel combination of a full
+    filament grid reproduces the parent resistance.
+    """
+    if segment.direction == Direction.Z:
+        raise ValueError("segment_resistance is for in-plane segments; vias "
+                         "use via_resistance")
+    sheet = layer.sheet_resistance
+    if abs(segment.thickness - layer.thickness) > 1e-15:
+        sheet = sheet * layer.thickness / segment.thickness
+    return sheet * segment.length / segment.width
+
+
+def resistivity_of(layer: Layer) -> float:
+    """Bulk resistivity implied by a layer's sheet resistance [ohm*m]."""
+    return layer.sheet_resistance * layer.thickness
+
+
+def via_resistance(via: Via) -> float:
+    """Resistance of a via [ohm].
+
+    A via of width w contains an n x n array of cuts with
+    n = max(1, floor(w / cut_size)); cuts conduct in parallel.
+    """
+    n = max(1, int(via.width / VIA_CUT_SIZE))
+    return max(VIA_CUT_RESISTANCE / (n * n), MIN_VIA_RESISTANCE)

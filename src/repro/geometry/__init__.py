@@ -1,0 +1,59 @@
+"""Layout substrate: conductor segments, layers, nets, and layout generators.
+
+This package provides the geometric model on which parasitic extraction
+(:mod:`repro.extraction`) and PEEC model construction (:mod:`repro.peec`)
+operate.  The model is deliberately simple -- axis-aligned rectangular
+conductor segments on a stack of routing layers, connected by vias -- which
+matches the abstraction used in the paper (Figure 2: "Resistance, partial
+self-inductance and grounded capacitance (RLC-pi) model for each metal
+segment").
+"""
+
+from repro.geometry.segment import (
+    Direction,
+    Layer,
+    Segment,
+    default_layer_stack,
+)
+from repro.geometry.layout import Layout, Net, NetKind, Pad, Via
+from repro.geometry.grid import PowerGridSpec, build_power_grid
+from repro.geometry.clocktree import (
+    ClockNetSpec,
+    HTreeSpec,
+    build_clock_net,
+    build_htree_clock,
+)
+from repro.geometry.structures import (
+    build_bus,
+    build_ground_plane,
+    build_interdigitated_wire,
+    build_shielded_line,
+    build_signal_over_grid,
+    build_twisted_bundle,
+    build_parallel_bundle,
+)
+
+__all__ = [
+    "Direction",
+    "Layer",
+    "Segment",
+    "default_layer_stack",
+    "Layout",
+    "Net",
+    "NetKind",
+    "Pad",
+    "Via",
+    "PowerGridSpec",
+    "build_power_grid",
+    "ClockNetSpec",
+    "build_clock_net",
+    "HTreeSpec",
+    "build_htree_clock",
+    "build_bus",
+    "build_ground_plane",
+    "build_interdigitated_wire",
+    "build_shielded_line",
+    "build_signal_over_grid",
+    "build_twisted_bundle",
+    "build_parallel_bundle",
+]

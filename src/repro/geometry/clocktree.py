@@ -1,0 +1,281 @@
+"""Global clock net generator (spine + branches, optional H-tree level).
+
+The paper's experiments target "a global clock net in the presence of a
+multi-layer power grid" -- long, wide upper-layer lines, the regime where
+inductive effects dominate.  This module synthesizes such a net: a wide
+trunk on an upper layer feeding orthogonal branches one layer below, with
+driver and sink tap points exposed for circuit construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.layout import Layout, NetKind
+from repro.geometry.segment import Direction
+
+
+@dataclass(frozen=True)
+class TapPoint:
+    """A point where a device (driver/receiver) attaches to a net."""
+
+    net: str
+    x: float
+    y: float
+    layer: str
+    name: str = ""
+
+
+@dataclass
+class ClockNetSpec:
+    """Parameters of a synthetic global clock net.
+
+    Attributes:
+        net_name: Clock net name.
+        trunk_layer: Layer of the wide spine (should prefer X routing).
+        branch_layer: Layer of the branches (should prefer Y routing and be
+            adjacent to ``trunk_layer``).
+        trunk_width: Spine width [m] -- wide, per the paper's "long and wide
+            signal lines".
+        branch_width: Branch width [m].
+        trunk_y: y coordinate of the spine centerline [m].
+        trunk_x_start: x coordinate where the spine (and its driver) begins.
+        trunk_length: Spine length [m].
+        num_branches: Number of branches tapped off the spine.
+        branch_length: Length of each branch [m]; branches extend both up
+            and down from the spine by half this length.
+        via_width: Width of trunk-to-branch vias [m].
+        sinks_per_branch: Receivers per branch (placed at branch ends; 1 or 2).
+    """
+
+    net_name: str = "clk"
+    trunk_layer: str = "M5"
+    branch_layer: str = "M6"
+    trunk_width: float = 4e-6
+    branch_width: float = 1.5e-6
+    trunk_y: float = 0.0
+    trunk_x_start: float = 0.0
+    trunk_length: float = 400e-6
+    num_branches: int = 4
+    branch_length: float = 100e-6
+    via_width: float = 1e-6
+    sinks_per_branch: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_branches < 1:
+            raise ValueError("num_branches must be >= 1")
+        if self.sinks_per_branch not in (1, 2):
+            raise ValueError("sinks_per_branch must be 1 or 2")
+        if self.trunk_length <= 0 or self.branch_length <= 0:
+            raise ValueError("trunk/branch lengths must be positive")
+
+
+@dataclass(frozen=True)
+class ClockNetPorts:
+    """Result of clock-net generation: where devices attach."""
+
+    driver: TapPoint
+    sinks: tuple[TapPoint, ...]
+
+
+def build_clock_net(spec: ClockNetSpec, layout: Layout) -> ClockNetPorts:
+    """Add a spine-and-branches clock net to ``layout``.
+
+    The trunk runs along X on ``spec.trunk_layer``; ``spec.num_branches``
+    equally spaced branches run along Y on ``spec.branch_layer``, stitched
+    to the trunk by vias.  The driver tap is at the trunk's start terminal;
+    sink taps are at branch end terminals.
+
+    Returns:
+        Driver and sink tap points.
+    """
+    trunk_layer = layout.layer(spec.trunk_layer)
+    branch_layer = layout.layer(spec.branch_layer)
+    if trunk_layer.pitch_direction != Direction.X:
+        raise ValueError(f"trunk layer {spec.trunk_layer} must prefer X routing")
+    if branch_layer.pitch_direction != Direction.Y:
+        raise ValueError(f"branch layer {spec.branch_layer} must prefer Y routing")
+    lower, upper = sorted((trunk_layer, branch_layer), key=lambda l: l.index)
+
+    layout.add_net(spec.net_name, NetKind.SIGNAL)
+
+    # Branch x positions, spread along the trunk; the last branch sits at the
+    # trunk end so no trunk metal is wasted beyond the final tap.
+    if spec.num_branches == 1:
+        branch_xs = [spec.trunk_x_start + spec.trunk_length]
+    else:
+        step = spec.trunk_length / spec.num_branches
+        branch_xs = [
+            spec.trunk_x_start + (i + 1) * step for i in range(spec.num_branches)
+        ]
+
+    layout.add_wire(
+        net=spec.net_name,
+        layer=spec.trunk_layer,
+        direction=Direction.X,
+        start=(spec.trunk_x_start, spec.trunk_y - spec.trunk_width / 2),
+        length=spec.trunk_length,
+        width=spec.trunk_width,
+        breakpoints=[x for x in branch_xs if x < spec.trunk_x_start + spec.trunk_length],
+        name=f"{spec.net_name}_trunk",
+    )
+
+    sinks: list[TapPoint] = []
+    for b, x in enumerate(branch_xs):
+        half = spec.branch_length / 2
+        if spec.sinks_per_branch == 2:
+            y_start = spec.trunk_y - half
+            length = spec.branch_length
+            breakpoints = [spec.trunk_y]
+            sink_ys = [y_start, y_start + length]
+        else:
+            y_start = spec.trunk_y
+            length = half
+            breakpoints = []
+            sink_ys = [y_start + length]
+        layout.add_wire(
+            net=spec.net_name,
+            layer=spec.branch_layer,
+            direction=Direction.Y,
+            start=(x - spec.branch_width / 2, y_start),
+            length=length,
+            width=spec.branch_width,
+            breakpoints=breakpoints,
+            name=f"{spec.net_name}_br{b}",
+        )
+        layout.add_via(
+            net=spec.net_name,
+            x=x,
+            y=spec.trunk_y,
+            layer_bottom=lower.name,
+            layer_top=upper.name,
+            width=spec.via_width,
+            name=f"{spec.net_name}_via{b}",
+        )
+        for s, y in enumerate(sink_ys):
+            sinks.append(
+                TapPoint(
+                    net=spec.net_name,
+                    x=x,
+                    y=y,
+                    layer=spec.branch_layer,
+                    name=f"sink_b{b}_{s}",
+                )
+            )
+
+    driver = TapPoint(
+        net=spec.net_name,
+        x=spec.trunk_x_start,
+        y=spec.trunk_y,
+        layer=spec.trunk_layer,
+        name="clk_driver",
+    )
+    return ClockNetPorts(driver=driver, sinks=tuple(sinks))
+
+
+@dataclass
+class HTreeSpec:
+    """Parameters of a recursive H-tree clock net.
+
+    Attributes:
+        net_name: Clock net name.
+        h_layer: Layer of the horizontal bars (must prefer X).
+        v_layer: Layer of the vertical bars (must prefer Y; adjacent).
+        center: (x, y) of the tree root [m].
+        span: Width of the root H [m]; halves at every level.
+        levels: Recursion depth (level 1 = a single H, 4 sinks).
+        root_width: Wire width of the root bars [m]; tapers by
+            ``taper`` per level.
+        taper: Width ratio between successive levels (<= 1).
+        via_width: Junction via width [m].
+    """
+
+    net_name: str = "clk"
+    h_layer: str = "M5"
+    v_layer: str = "M6"
+    center: tuple[float, float] = (200e-6, 200e-6)
+    span: float = 200e-6
+    levels: int = 2
+    root_width: float = 4e-6
+    taper: float = 0.7
+    via_width: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if not 0.0 < self.taper <= 1.0:
+            raise ValueError("taper must be in (0, 1]")
+        if self.span <= 0 or self.root_width <= 0:
+            raise ValueError("span and root_width must be positive")
+
+
+def build_htree_clock(spec: HTreeSpec, layout: Layout) -> ClockNetPorts:
+    """Add a recursive H-tree clock net to ``layout``.
+
+    Each level is one "H": a horizontal bar on ``h_layer`` whose ends via
+    up to vertical bars on ``v_layer``; recursion continues at the four
+    vertical-bar tips with half the span and a tapered width.  The driver
+    taps the root bar's center; sinks sit at the deepest tips.
+
+    Returns:
+        Driver and sink tap points (4^levels sinks).
+    """
+    h_layer = layout.layer(spec.h_layer)
+    v_layer = layout.layer(spec.v_layer)
+    if h_layer.pitch_direction != Direction.X:
+        raise ValueError(f"h_layer {spec.h_layer} must prefer X routing")
+    if v_layer.pitch_direction != Direction.Y:
+        raise ValueError(f"v_layer {spec.v_layer} must prefer Y routing")
+    lower, upper = sorted((h_layer, v_layer), key=lambda l: l.index)
+    layout.add_net(spec.net_name, NetKind.SIGNAL)
+
+    sinks: list[TapPoint] = []
+    counter = [0]
+
+    def level(cx: float, cy: float, span: float, width: float,
+              depth: int) -> None:
+        idx = counter[0]
+        counter[0] += 1
+        half = span / 2.0
+        # Split at the center: the root taps its driver there, child bars
+        # receive their feeding via there.
+        layout.add_wire(
+            spec.net_name, spec.h_layer, Direction.X,
+            (cx - half, cy - width / 2), span, width,
+            breakpoints=[cx], name=f"{spec.net_name}_h{idx}",
+        )
+        for side, x in enumerate((cx - half, cx + half)):
+            layout.add_wire(
+                spec.net_name, spec.v_layer, Direction.Y,
+                (x - width / 2, cy - half / 2), half, width,
+                breakpoints=[cy], name=f"{spec.net_name}_v{idx}_{side}",
+            )
+            layout.add_via(
+                spec.net_name, x, cy, lower.name, upper.name,
+                spec.via_width, name=f"{spec.net_name}_via{idx}_{side}",
+            )
+            for tip_y in (cy - half / 2, cy + half / 2):
+                if depth + 1 < spec.levels:
+                    # Recurse: the child H's bar must meet this tip.
+                    layout.add_via(
+                        spec.net_name, x, tip_y, lower.name, upper.name,
+                        spec.via_width,
+                        name=f"{spec.net_name}_viat{counter[0]}_{side}",
+                    )
+                    level(x, tip_y, half / 2, width * spec.taper, depth + 1)
+                else:
+                    sinks.append(
+                        TapPoint(spec.net_name, x, tip_y, spec.v_layer,
+                                 f"sink{len(sinks)}")
+                    )
+
+    level(spec.center[0], spec.center[1], spec.span, spec.root_width, 0)
+
+    driver = TapPoint(
+        net=spec.net_name,
+        x=spec.center[0],
+        y=spec.center[1],
+        layer=spec.h_layer,
+        name="clk_driver",
+    )
+    return ClockNetPorts(driver=driver, sinks=tuple(sinks))

@@ -1,0 +1,230 @@
+"""Multi-layer power/ground grid generator.
+
+Builds the "typical power grid topology" of the paper's Figure 2: on each
+grid layer, interleaved power and ground stripes run in the layer's
+preferred direction; stripes of the same net on adjacent layers are stitched
+with vias at their crossings; external supply enters through pads on the
+uppermost layer.  Gates draw power from the lowest grid layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.layout import Layout, NetKind
+from repro.geometry.segment import Direction, Layer, default_layer_stack
+
+
+@dataclass(frozen=True)
+class _Stripe:
+    """Internal descriptor for one grid stripe before segmentation."""
+
+    net: str
+    layer: str
+    direction: Direction
+    transverse_center: float
+    axis_start: float
+    length: float
+    width: float
+
+
+@dataclass
+class PowerGridSpec:
+    """Parameters of a synthetic multi-layer power/ground grid.
+
+    Attributes:
+        die_width: Grid region extent in x [m].
+        die_height: Grid region extent in y [m].
+        layer_names: Grid layers, bottom to top; adjacent entries must have
+            orthogonal preferred directions (checked at build time).
+        stripe_pitch: Distance between two same-net stripes on a layer [m].
+            Power and ground stripes interleave at half this pitch.
+        stripe_width: Stripe width [m].
+        via_width: Via width [m].
+        power_net: Name of the power net.
+        ground_net: Name of the ground net.
+        margin: Distance from the region edge to the first stripe [m].
+        pads_per_net: Number of supply pads per net on the top grid layer.
+    """
+
+    die_width: float
+    die_height: float
+    layer_names: tuple[str, ...] = ("M5", "M6")
+    stripe_pitch: float = 40e-6
+    stripe_width: float = 2e-6
+    via_width: float = 1e-6
+    power_net: str = "VDD"
+    ground_net: str = "GND"
+    margin: float = 5e-6
+    pads_per_net: int = 2
+
+    def __post_init__(self) -> None:
+        if self.die_width <= 0 or self.die_height <= 0:
+            raise ValueError("die dimensions must be positive")
+        if self.stripe_pitch <= self.stripe_width:
+            raise ValueError("stripe_pitch must exceed stripe_width")
+        if len(self.layer_names) < 1:
+            raise ValueError("at least one grid layer is required")
+        if self.pads_per_net < 1:
+            raise ValueError("pads_per_net must be >= 1")
+
+
+def _stripe_positions(extent: float, margin: float, pitch: float) -> list[float]:
+    """Transverse center coordinates of interleaved stripes across ``extent``.
+
+    Stripes alternate between the two nets; same-net spacing is ``pitch``,
+    so consecutive stripes sit ``pitch / 2`` apart.
+    """
+    positions = []
+    c = margin
+    while c <= extent - margin + 1e-15:
+        positions.append(c)
+        c += pitch / 2.0
+    if len(positions) < 2:
+        raise ValueError(
+            f"grid extent {extent} too small for pitch {pitch} and margin {margin}"
+        )
+    return positions
+
+
+def _build_stripes(spec: PowerGridSpec, layout: Layout) -> list[_Stripe]:
+    stripes: list[_Stripe] = []
+    for layer_name in spec.layer_names:
+        layer = layout.layer(layer_name)
+        direction = layer.pitch_direction
+        if direction == Direction.X:
+            transverse_extent = spec.die_height
+            length = spec.die_width
+        else:
+            transverse_extent = spec.die_width
+            length = spec.die_height
+        centers = _stripe_positions(transverse_extent, spec.margin, spec.stripe_pitch)
+        for k, center in enumerate(centers):
+            net = spec.power_net if k % 2 == 0 else spec.ground_net
+            stripes.append(
+                _Stripe(
+                    net=net,
+                    layer=layer_name,
+                    direction=direction,
+                    transverse_center=center,
+                    axis_start=0.0,
+                    length=length,
+                    width=spec.stripe_width,
+                )
+            )
+    return stripes
+
+
+def build_power_grid(
+    spec: PowerGridSpec,
+    layers: list[Layer] | None = None,
+    layout: Layout | None = None,
+) -> Layout:
+    """Build (or extend) a layout with a stitched power/ground grid.
+
+    Args:
+        spec: Grid parameters.
+        layers: Metal stack to use when creating a fresh layout; defaults to
+            :func:`default_layer_stack`.
+        layout: Existing layout to extend in place (its stack is reused and
+            ``layers`` is ignored).
+
+    Returns:
+        The layout containing the grid (the one passed in, if any).
+    """
+    if layout is None:
+        layout = Layout(layers or default_layer_stack(), name="power_grid")
+    layout.add_net(spec.power_net, NetKind.POWER)
+    layout.add_net(spec.ground_net, NetKind.GROUND)
+
+    for a, b in zip(spec.layer_names[:-1], spec.layer_names[1:]):
+        da = layout.layer(a).pitch_direction
+        db = layout.layer(b).pitch_direction
+        if da.is_parallel_to(db):
+            raise ValueError(
+                f"adjacent grid layers {a}/{b} must route orthogonally "
+                f"(both prefer {da.value})"
+            )
+
+    stripes = _build_stripes(spec, layout)
+
+    # Crossings between same-net stripes on adjacent grid layers become vias;
+    # both stripes must be cut there so the via lands on segment terminals.
+    breakpoints: dict[int, set[float]] = {i: set() for i in range(len(stripes))}
+    via_requests: list[tuple[str, float, float, str, str]] = []
+    layer_order = {name: i for i, name in enumerate(spec.layer_names)}
+    for i, lower in enumerate(stripes):
+        for j, upper in enumerate(stripes):
+            if lower.net != upper.net:
+                continue
+            if layer_order[upper.layer] != layer_order[lower.layer] + 1:
+                continue
+            if lower.direction.is_parallel_to(upper.direction):
+                continue
+            # Orthogonal same-net stripes on adjacent layers: crossing point
+            # is (upper center, lower center) resolved per direction.
+            if lower.direction == Direction.X:
+                x, y = upper.transverse_center, lower.transverse_center
+            else:
+                x, y = lower.transverse_center, upper.transverse_center
+            lower_axis = x if lower.direction == Direction.X else y
+            upper_axis = x if upper.direction == Direction.X else y
+            if not (lower.axis_start < lower_axis < lower.axis_start + lower.length):
+                continue
+            if not (upper.axis_start < upper_axis < upper.axis_start + upper.length):
+                continue
+            breakpoints[i].add(lower_axis)
+            breakpoints[j].add(upper_axis)
+            via_requests.append((lower.net, x, y, lower.layer, upper.layer))
+
+    for i, stripe in enumerate(stripes):
+        if stripe.direction == Direction.X:
+            start = (stripe.axis_start, stripe.transverse_center - stripe.width / 2)
+        else:
+            start = (stripe.transverse_center - stripe.width / 2, stripe.axis_start)
+        layout.add_wire(
+            net=stripe.net,
+            layer=stripe.layer,
+            direction=stripe.direction,
+            start=start,
+            length=stripe.length,
+            width=stripe.width,
+            breakpoints=sorted(breakpoints[i]),
+            name=f"{stripe.net}_{stripe.layer}_{i}",
+        )
+
+    for net, x, y, layer_bottom, layer_top in via_requests:
+        layout.add_via(net, x, y, layer_bottom, layer_top, spec.via_width)
+
+    _place_pads(spec, layout, stripes)
+    return layout
+
+
+def _place_pads(spec: PowerGridSpec, layout: Layout, stripes: list[_Stripe]) -> None:
+    """Place supply pads at axial ends of top-grid-layer stripes.
+
+    Pads must coincide with segment terminals, and stripe axial ends always
+    are terminals.  Pads are distributed across the available stripes of
+    each net for spatial spread (pad location matters for current paths,
+    per Section 1 of the paper).
+    """
+    top = spec.layer_names[-1]
+    if top != layout.layers[-1].name:
+        # Pads live on the top layer of the *stack*; when the grid does not
+        # reach it, place pads on the grid's top layer instead and let the
+        # package model attach there.
+        pass
+    for net in (spec.power_net, spec.ground_net):
+        candidates = [s for s in stripes if s.layer == top and s.net == net]
+        if not candidates:
+            raise ValueError(f"no top-layer stripes for net {net!r}")
+        step = max(1, len(candidates) // spec.pads_per_net)
+        chosen = candidates[::step][: spec.pads_per_net]
+        for k, stripe in enumerate(chosen):
+            # Alternate stripe ends so power enters from both sides.
+            axis_coord = stripe.axis_start if k % 2 == 0 else stripe.axis_start + stripe.length
+            if stripe.direction == Direction.X:
+                x, y = axis_coord, stripe.transverse_center
+            else:
+                x, y = stripe.transverse_center, axis_coord
+            layout.add_pad(net, x, y, name=f"pad_{net}_{k}")

@@ -1,0 +1,122 @@
+"""ASCII top-view rendering of layouts.
+
+Quick visual sanity checking without a GUI: wires become runs of ``-``
+(X direction) or ``|`` (Y direction), crossings ``+``, vias ``#`` and
+pads ``@``.  Per-layer views avoid ambiguity on dense stacks; the
+combined view overlays everything.
+
+    >>> print(render_layout(layout, width=60))     # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.layout import Layout
+from repro.geometry.segment import Direction
+
+#: Glyphs per feature class.
+GLYPH_X = "-"
+GLYPH_Y = "|"
+GLYPH_CROSS = "+"
+GLYPH_VIA = "#"
+GLYPH_PAD = "@"
+
+
+def _scale(layout: Layout, width: int, height: int):
+    (x0, y0, _), (x1, y1, _) = layout.bounding_box()
+    span_x = max(x1 - x0, 1e-12)
+    span_y = max(y1 - y0, 1e-12)
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - x0) / span_x * (width - 1))
+        row = int((y - y0) / span_y * (height - 1))
+        return min(max(col, 0), width - 1), min(max(row, 0), height - 1)
+
+    return to_cell
+
+
+def render_layout(
+    layout: Layout,
+    width: int = 72,
+    height: int = 24,
+    layer: str | None = None,
+    show_pads: bool = True,
+) -> str:
+    """Render a layout's top view as ASCII art.
+
+    Args:
+        layout: Layout to draw.
+        width: Character columns.
+        height: Character rows (the y axis points *up*: row 0 prints last).
+        layer: Restrict to one layer; ``None`` overlays all.
+        show_pads: Mark pad positions with ``@``.
+
+    Returns:
+        The multi-line drawing, bottom-left origin, with a legend line.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("need width >= 8 and height >= 4")
+    if not layout.segments:
+        raise ValueError("layout has no segments to draw")
+    to_cell = _scale(layout, width, height)
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(col: int, row: int, glyph: str) -> None:
+        current = grid[row][col]
+        if current == " ":
+            grid[row][col] = glyph
+        elif current != glyph and glyph != GLYPH_VIA and glyph != GLYPH_PAD:
+            grid[row][col] = GLYPH_CROSS
+        else:
+            grid[row][col] = glyph
+
+    for seg in layout.segments:
+        if layer is not None and seg.layer != layer:
+            continue
+        a, b = seg.endpoints()
+        c0, r0 = to_cell(a[0], a[1])
+        c1, r1 = to_cell(b[0], b[1])
+        if seg.direction == Direction.X:
+            for col in range(min(c0, c1), max(c0, c1) + 1):
+                put(col, r0, GLYPH_X)
+        elif seg.direction == Direction.Y:
+            for row in range(min(r0, r1), max(r0, r1) + 1):
+                put(c0, row, GLYPH_Y)
+        else:
+            put(c0, r0, GLYPH_VIA)
+
+    for via in layout.vias:
+        if layer is not None and layer not in (via.layer_bottom,
+                                               via.layer_top):
+            continue
+        col, row = to_cell(via.x, via.y)
+        grid[row][col] = GLYPH_VIA
+    if show_pads:
+        for pad in layout.pads:
+            col, row = to_cell(pad.x, pad.y)
+            grid[row][col] = GLYPH_PAD
+
+    lines = ["".join(row).rstrip() for row in reversed(grid)]
+    scope = f"layer {layer}" if layer else "all layers"
+    legend = (
+        f"[{layout.name}: {scope}; {GLYPH_X}/{GLYPH_Y} wires, "
+        f"{GLYPH_CROSS} crossing, {GLYPH_VIA} via, {GLYPH_PAD} pad]"
+    )
+    return "\n".join(lines + [legend])
+
+
+def layer_summary(layout: Layout) -> str:
+    """One line per layer: segment count and total wire length."""
+    rows = []
+    for layer in layout.layers:
+        segs = [s for s in layout.segments if s.layer == layer.name]
+        if not segs:
+            continue
+        total = sum(s.length for s in segs)
+        rows.append(
+            f"{layer.name}: {len(segs)} segments, "
+            f"{total * 1e6:.0f} um total, "
+            f"{layer.sheet_resistance * 1e3:.0f} mohm/sq"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,561 @@
+"""Test-structure generators: buses, shields, planes, fingers, bundles.
+
+These builders synthesize the canonical topologies of the paper's Figures
+3 and 5-9: a signal over a ground grid (loop extraction), shielded lines,
+dedicated ground planes, inter-digitated wide wires, parallel buses, and
+parallel/twisted bundles.  Each returns the layout plus the tap points a
+circuit builder or loop extractor needs.
+
+Return-path conductors are strapped together at the structure ends (as in
+physical test structures), giving the extractor a well-defined return loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.clocktree import TapPoint
+from repro.geometry.layout import Layout, NetKind
+from repro.geometry.segment import Direction, Layer, default_layer_stack
+
+
+@dataclass(frozen=True)
+class StructurePorts:
+    """Named tap points of a generated test structure."""
+
+    taps: dict[str, TapPoint]
+
+    def __getitem__(self, key: str) -> TapPoint:
+        return self.taps[key]
+
+    def names(self) -> list[str]:
+        return sorted(self.taps)
+
+
+def _fresh_layout(layers: list[Layer] | None, name: str) -> Layout:
+    return Layout(layers or default_layer_stack(), name=name)
+
+
+def _add_lines_with_straps(
+    layout: Layout,
+    net: str,
+    layer_name: str,
+    y_centers: list[float],
+    x_start: float,
+    length: float,
+    width: float,
+    straps: bool,
+    base: str,
+    extension: float = 0.0,
+) -> None:
+    """Add parallel X-direction lines at ``y_centers``, strapped at both ends.
+
+    ``extension`` stretches the lines beyond [x_start, x_start+length] so
+    this net's end straps sit at a different x than another net's straps
+    (two coincident collinear straps would physically overlap).
+    """
+    x_lo = x_start - extension
+    total = length + 2.0 * extension
+    for i, y in enumerate(y_centers):
+        layout.add_wire(
+            net=net,
+            layer=layer_name,
+            direction=Direction.X,
+            start=(x_lo, y - width / 2),
+            length=total,
+            width=width,
+            name=f"{base}_{i}",
+        )
+    if straps and len(y_centers) > 1:
+        ys = sorted(y_centers)
+        for side, x in enumerate((x_lo, x_lo + total)):
+            layout.add_wire(
+                net=net,
+                layer=layer_name,
+                direction=Direction.Y,
+                start=(x - width / 2, ys[0]),
+                length=ys[-1] - ys[0],
+                width=width,
+                breakpoints=ys[1:-1],
+                name=f"{base}_strap{side}",
+            )
+
+
+def build_signal_over_grid(
+    length: float = 1000e-6,
+    signal_width: float = 2e-6,
+    return_width: float = 1e-6,
+    pitch: float = 10e-6,
+    returns_per_side: int = 3,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    end_straps: bool = True,
+    signal_net: str = "sig",
+    ground_net: str = "GND",
+) -> tuple[Layout, StructurePorts]:
+    """Signal line flanked by a coplanar ground grid (paper Figure 3a).
+
+    A single signal wire runs along X at y = 0; ``returns_per_side`` ground
+    return lines run parallel on each side at multiples of ``pitch``,
+    strapped together at both ends.
+
+    Ports: ``driver`` / ``receiver`` on the signal; ``gnd_driver`` /
+    ``gnd_receiver`` on the nearest ground line's corresponding ends.
+    """
+    if returns_per_side < 1:
+        raise ValueError("returns_per_side must be >= 1")
+    layout = _fresh_layout(layers, "signal_over_grid")
+    layout.add_net(signal_net, NetKind.SIGNAL)
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    layout.add_wire(
+        net=signal_net,
+        layer=layer_name,
+        direction=Direction.X,
+        start=(0.0, -signal_width / 2),
+        length=length,
+        width=signal_width,
+        name=f"{signal_net}_line",
+    )
+    y_centers = [k * pitch for k in range(1, returns_per_side + 1)]
+    y_centers += [-y for y in y_centers]
+    _add_lines_with_straps(
+        layout, ground_net, layer_name, sorted(y_centers), 0.0, length,
+        return_width, end_straps, f"{ground_net}_ret",
+    )
+    taps = {
+        "driver": TapPoint(signal_net, 0.0, 0.0, layer_name, "driver"),
+        "receiver": TapPoint(signal_net, length, 0.0, layer_name, "receiver"),
+        "gnd_driver": TapPoint(ground_net, 0.0, pitch, layer_name, "gnd_driver"),
+        "gnd_receiver": TapPoint(ground_net, length, pitch, layer_name, "gnd_receiver"),
+    }
+    return layout, StructurePorts(taps)
+
+
+def build_shielded_line(
+    length: float = 1000e-6,
+    signal_width: float = 2e-6,
+    shield_width: float = 1.5e-6,
+    shield_spacing: float = 2e-6,
+    outer_returns: int = 2,
+    outer_pitch: float = 20e-6,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    with_shields: bool = True,
+    signal_net: str = "sig",
+    ground_net: str = "GND",
+) -> tuple[Layout, StructurePorts]:
+    """Signal sandwiched between ground shields (paper Figure 5).
+
+    "Loop inductance can be reduced by sandwiching a signal line between
+    ground return lines or guard traces."  With ``with_shields=False`` only
+    the distant outer return lines remain, giving the unshielded baseline.
+    """
+    layout = _fresh_layout(layers, "shielded_line")
+    layout.add_net(signal_net, NetKind.SIGNAL)
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    layout.add_wire(
+        net=signal_net,
+        layer=layer_name,
+        direction=Direction.X,
+        start=(0.0, -signal_width / 2),
+        length=length,
+        width=signal_width,
+        name=f"{signal_net}_line",
+    )
+    y_centers: list[float] = []
+    if with_shields:
+        offset = signal_width / 2 + shield_spacing + shield_width / 2
+        y_centers += [offset, -offset]
+    for k in range(1, outer_returns + 1):
+        y_centers += [k * outer_pitch, -k * outer_pitch]
+    _add_lines_with_straps(
+        layout, ground_net, layer_name, sorted(y_centers), 0.0, length,
+        shield_width, True, f"{ground_net}_sh",
+    )
+    near = min(abs(y) for y in y_centers)
+    taps = {
+        "driver": TapPoint(signal_net, 0.0, 0.0, layer_name, "driver"),
+        "receiver": TapPoint(signal_net, length, 0.0, layer_name, "receiver"),
+        "gnd_driver": TapPoint(ground_net, 0.0, near, layer_name, "gnd_driver"),
+        "gnd_receiver": TapPoint(ground_net, length, near, layer_name, "gnd_receiver"),
+    }
+    return layout, StructurePorts(taps)
+
+
+def build_ground_plane(
+    length: float = 1000e-6,
+    signal_width: float = 2e-6,
+    plane_width: float = 30e-6,
+    plane_strips: int = 7,
+    signal_layer: str = "M5",
+    plane_layers: tuple[str, ...] = ("M4", "M6"),
+    layers: list[Layer] | None = None,
+    side_returns: bool = True,
+    side_pitch: float = 20e-6,
+    signal_net: str = "sig",
+    ground_net: str = "GND",
+) -> tuple[Layout, StructurePorts]:
+    """Signal with dedicated ground planes above/below (paper Figure 6).
+
+    Planes are modeled as ``plane_strips`` adjacent parallel strips (the
+    paper: wide conductors "must be split into narrower lines before
+    computing inductance"), strapped at both ends.  ``plane_layers`` selects
+    above, below, or both.
+    """
+    if plane_strips < 1:
+        raise ValueError("plane_strips must be >= 1")
+    layout = _fresh_layout(layers, "ground_plane")
+    layout.add_net(signal_net, NetKind.SIGNAL)
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    layout.add_wire(
+        net=signal_net,
+        layer=signal_layer,
+        direction=Direction.X,
+        start=(0.0, -signal_width / 2),
+        length=length,
+        width=signal_width,
+        name=f"{signal_net}_line",
+    )
+    strip_width = plane_width / plane_strips
+    strip_centers = [
+        -plane_width / 2 + (i + 0.5) * strip_width for i in range(plane_strips)
+    ]
+    for layer_name in plane_layers:
+        _add_lines_with_straps(
+            layout, ground_net, layer_name, strip_centers, 0.0, length,
+            strip_width * 0.98, True, f"{ground_net}_pl_{layer_name}",
+        )
+    if side_returns:
+        _add_lines_with_straps(
+            layout, ground_net, signal_layer, [side_pitch, -side_pitch],
+            0.0, length, signal_width, True, f"{ground_net}_side",
+        )
+    gnd_layer = plane_layers[0]
+    gy = strip_centers[len(strip_centers) // 2]
+    taps = {
+        "driver": TapPoint(signal_net, 0.0, 0.0, signal_layer, "driver"),
+        "receiver": TapPoint(signal_net, length, 0.0, signal_layer, "receiver"),
+        "gnd_driver": TapPoint(ground_net, 0.0, gy, gnd_layer, "gnd_driver"),
+        "gnd_receiver": TapPoint(ground_net, length, gy, gnd_layer, "gnd_receiver"),
+    }
+    return layout, StructurePorts(taps)
+
+
+def build_interdigitated_wire(
+    length: float = 1000e-6,
+    total_signal_width: float = 8e-6,
+    num_fingers: int = 4,
+    shield_width: float = 1e-6,
+    finger_spacing: float = 1e-6,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    outer_returns: int = 1,
+    outer_pitch: float = 25e-6,
+    signal_net: str = "sig",
+    ground_net: str = "GND",
+) -> tuple[Layout, StructurePorts]:
+    """Wide wire split into fingers with interleaved ground shields (Figure 7).
+
+    "Wider wires can be split into multiple thinner wires with shields in
+    between.  Such inter-digitizing reduces self-inductance, increases
+    resistance and capacitance."  With ``num_fingers=1`` and no shields the
+    structure degenerates to the solid-wire baseline.
+
+    The signal fingers are strapped at both ends (they are one electrical
+    wire); ground shields sit between and outside the fingers.
+    """
+    if num_fingers < 1:
+        raise ValueError("num_fingers must be >= 1")
+    layout = _fresh_layout(layers, "interdigitated")
+    layout.add_net(signal_net, NetKind.SIGNAL)
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    finger_width = total_signal_width / num_fingers
+    pitch = finger_width + shield_width + 2 * finger_spacing
+    span = (num_fingers - 1) * pitch
+    finger_centers = [-span / 2 + i * pitch for i in range(num_fingers)]
+    _add_lines_with_straps(
+        layout, signal_net, layer_name, finger_centers, 0.0, length,
+        finger_width, True, f"{signal_net}_f",
+    )
+    shield_centers = [
+        (a + b) / 2 for a, b in zip(finger_centers[:-1], finger_centers[1:])
+    ]
+    # Outer shields just outside the finger array complete the G-S-G pattern.
+    if num_fingers >= 1:
+        edge = span / 2 + finger_width / 2 + finger_spacing + shield_width / 2
+        shield_centers += [edge, -edge]
+    for k in range(1, outer_returns + 1):
+        off = span / 2 + k * outer_pitch
+        shield_centers += [off, -off]
+    # Extend the ground system past the signal straps so the two nets'
+    # straps occupy distinct x positions.
+    _add_lines_with_straps(
+        layout, ground_net, layer_name, sorted(shield_centers), 0.0, length,
+        shield_width, True, f"{ground_net}_sh",
+        extension=2e-6 + shield_width,
+    )
+    gy = min(shield_centers, key=abs)
+    ext = 2e-6 + shield_width
+    taps = {
+        "driver": TapPoint(signal_net, 0.0, finger_centers[0], layer_name, "driver"),
+        "receiver": TapPoint(signal_net, length, finger_centers[0], layer_name, "receiver"),
+        "gnd_driver": TapPoint(ground_net, -ext, gy, layer_name, "gnd_driver"),
+        "gnd_receiver": TapPoint(ground_net, length + ext, gy, layer_name, "gnd_receiver"),
+    }
+    return layout, StructurePorts(taps)
+
+
+def build_bus(
+    num_signals: int = 4,
+    length: float = 500e-6,
+    wire_width: float = 1e-6,
+    pitch: float = 4e-6,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    edge_grounds: bool = True,
+    ground_pitch_factor: float = 2.0,
+    signal_prefix: str = "bus",
+    ground_net: str = "GND",
+    layout: Layout | None = None,
+    y_offset: float = 0.0,
+    x_start: float = 0.0,
+) -> tuple[Layout, StructurePorts]:
+    """Parallel signal bus, optionally bounded by ground lines.
+
+    The substrate for crosstalk studies (staggered inverters, SINO, twisted
+    bundles).  Signals are named ``{signal_prefix}0 .. {signal_prefix}N-1``
+    bottom to top; ports ``{net}:in`` / ``{net}:out`` at the wire ends.
+    """
+    if num_signals < 1:
+        raise ValueError("num_signals must be >= 1")
+    if layout is None:
+        layout = _fresh_layout(layers, "bus")
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    taps: dict[str, TapPoint] = {}
+    for i in range(num_signals):
+        net = f"{signal_prefix}{i}"
+        layout.add_net(net, NetKind.SIGNAL)
+        y = y_offset + i * pitch
+        layout.add_wire(
+            net=net,
+            layer=layer_name,
+            direction=Direction.X,
+            start=(x_start, y - wire_width / 2),
+            length=length,
+            width=wire_width,
+            name=f"{net}_line",
+        )
+        taps[f"{net}:in"] = TapPoint(net, x_start, y, layer_name, f"{net}_in")
+        taps[f"{net}:out"] = TapPoint(net, x_start + length, y, layer_name, f"{net}_out")
+
+    if edge_grounds:
+        gp = pitch * ground_pitch_factor
+        y_lo = y_offset - gp
+        y_hi = y_offset + (num_signals - 1) * pitch + gp
+        _add_lines_with_straps(
+            layout, ground_net, layer_name, [y_lo, y_hi], x_start, length,
+            wire_width, True, f"{ground_net}_edge",
+        )
+        taps["gnd:in"] = TapPoint(ground_net, x_start, y_lo, layer_name, "gnd_in")
+        taps["gnd:out"] = TapPoint(ground_net, x_start + length, y_lo, layer_name, "gnd_out")
+    return layout, StructurePorts(taps)
+
+
+def _build_bundle(
+    twisted: bool,
+    num_nets: int,
+    num_regions: int,
+    length: float,
+    wire_width: float,
+    pitch: float,
+    layer_name: str,
+    layers: list[Layer] | None,
+    signal_prefix: str,
+    ground_net: str,
+    twist_pairs: tuple[int, ...] | None = None,
+) -> tuple[Layout, StructurePorts]:
+    if num_nets < 2:
+        raise ValueError("a bundle needs at least 2 nets")
+    if num_regions < 1:
+        raise ValueError("num_regions must be >= 1")
+    name = "twisted_bundle" if twisted else "parallel_bundle"
+    layout = _fresh_layout(layers, name)
+    layout.add_net(ground_net, NetKind.GROUND)
+
+    region_len = length / num_regions
+    track_y = [i * pitch for i in range(num_nets)]
+    clearance = max(3.0 * wire_width, 2e-6)
+    if 3.0 * clearance >= region_len:
+        raise ValueError(
+            "regions too short for the crossover geometry; increase length "
+            "or reduce num_regions"
+        )
+
+    # Track assignment per region.  Twisting swaps each fixed adjacent track
+    # pair (0,1), (2,3), ... at every region boundary: each pair becomes a
+    # twisted pair, which is how the structure "creates complementary and
+    # opposite current loops ... such that the magnetic fluxes arising from
+    # any signal net within a twisted group cancel each other" (Zhong et
+    # al., paper ref [23]).  At a crossover, the up-going net jogs in-plane
+    # and the down-going net dips to the layer below through vias.
+    assignment = [list(range(num_nets))]  # assignment[r][track] = net index
+    active_pairs = (
+        tuple(range(num_nets // 2)) if twist_pairs is None else twist_pairs
+    )
+    for r in range(num_regions - 1):
+        current = list(assignment[-1])
+        if twisted:
+            for pair in active_pairs:
+                t = 2 * pair
+                if t + 1 < num_nets:
+                    current[t], current[t + 1] = current[t + 1], current[t]
+        assignment.append(current)
+
+    def track_of(net_idx: int, region: int) -> int:
+        return assignment[region].index(net_idx)
+
+    lower = layout.layers[layout.layer(layer_name).index - 1]
+    if lower.index >= layout.layer(layer_name).index:
+        raise ValueError(f"layer {layer_name} needs a routing layer below it")
+
+    taps: dict[str, TapPoint] = {}
+    for i in range(num_nets):
+        net = f"{signal_prefix}{i}"
+        layout.add_net(net, NetKind.SIGNAL)
+        # Per-region wire spans, adjusted at crossover boundaries.
+        for r in range(num_regions):
+            t_here = track_of(i, r)
+            y = track_y[t_here]
+            x0 = r * region_len
+            x1 = (r + 1) * region_len
+            if r > 0 and track_of(i, r - 1) > t_here:
+                x0 += clearance  # arrived via the lower-layer crossover
+            going_down = (
+                r + 1 < num_regions and track_of(i, r + 1) < t_here
+            )
+            if going_down:
+                x1 -= clearance  # departs early into the crossover
+            layout.add_wire(
+                net=net,
+                layer=layer_name,
+                direction=Direction.X,
+                start=(x0, y - wire_width / 2),
+                length=x1 - x0,
+                width=wire_width,
+                name=f"{net}_r{r}",
+            )
+            if r + 1 < num_regions:
+                t_next = track_of(i, r + 1)
+                if t_next > t_here:
+                    # Up-going: in-plane Y jog at the boundary.
+                    layout.add_wire(
+                        net=net,
+                        layer=layer_name,
+                        direction=Direction.Y,
+                        start=((r + 1) * region_len - wire_width / 2,
+                               track_y[t_here]),
+                        length=track_y[t_next] - track_y[t_here],
+                        width=wire_width,
+                        name=f"{net}_jog{r}",
+                    )
+                elif t_next < t_here:
+                    # Down-going: dip to the layer below, cross under the
+                    # partner's jog, come back up past the boundary.
+                    xb = (r + 1) * region_len
+                    y_next = track_y[t_next]
+                    layout.add_via(net, xb - clearance, y, lower.name,
+                                   layer_name, wire_width,
+                                   name=f"{net}_vd{r}")
+                    layout.add_wire(
+                        net=net,
+                        layer=lower.name,
+                        direction=Direction.Y,
+                        start=(xb - clearance - wire_width / 2,
+                               min(y, y_next)),
+                        length=abs(y - y_next),
+                        width=wire_width,
+                        name=f"{net}_x{r}a",
+                    )
+                    layout.add_wire(
+                        net=net,
+                        layer=lower.name,
+                        direction=Direction.X,
+                        start=(xb - clearance, y_next - wire_width / 2),
+                        length=2 * clearance,
+                        width=wire_width,
+                        name=f"{net}_x{r}b",
+                    )
+                    layout.add_via(net, xb + clearance, y_next, lower.name,
+                                   layer_name, wire_width,
+                                   name=f"{net}_vu{r}")
+        y_in = track_y[track_of(i, 0)]
+        y_out = track_y[track_of(i, num_regions - 1)]
+        taps[f"{net}:in"] = TapPoint(net, 0.0, y_in, layer_name, f"{net}_in")
+        taps[f"{net}:out"] = TapPoint(net, length, y_out, layer_name, f"{net}_out")
+
+    # Ground returns bounding the bundle.
+    y_lo = -2 * pitch
+    y_hi = track_y[-1] + 2 * pitch
+    _add_lines_with_straps(
+        layout, ground_net, layer_name, [y_lo, y_hi], 0.0, length,
+        wire_width, True, f"{ground_net}_edge",
+    )
+    taps["gnd:in"] = TapPoint(ground_net, 0.0, y_lo, layer_name, "gnd_in")
+    taps["gnd:out"] = TapPoint(ground_net, length, y_lo, layer_name, "gnd_out")
+    return layout, StructurePorts(taps)
+
+
+def build_parallel_bundle(
+    num_nets: int = 4,
+    num_regions: int = 4,
+    length: float = 800e-6,
+    wire_width: float = 1e-6,
+    pitch: float = 4e-6,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    signal_prefix: str = "n",
+    ground_net: str = "GND",
+) -> tuple[Layout, StructurePorts]:
+    """Straight parallel bundle: the Figure-9 baseline for twisting."""
+    return _build_bundle(
+        False, num_nets, num_regions, length, wire_width, pitch,
+        layer_name, layers, signal_prefix, ground_net,
+    )
+
+
+def build_twisted_bundle(
+    num_nets: int = 4,
+    num_regions: int = 4,
+    length: float = 800e-6,
+    wire_width: float = 1e-6,
+    pitch: float = 4e-6,
+    layer_name: str = "M6",
+    layers: list[Layer] | None = None,
+    signal_prefix: str = "n",
+    ground_net: str = "GND",
+    twist_pairs: tuple[int, ...] | None = None,
+) -> tuple[Layout, StructurePorts]:
+    """Twisted-bundle layout (paper Figure 9, ref [23]).
+
+    The routing region is divided into ``num_regions`` sections; adjacent
+    track pairs cross over at every section boundary (in-plane jog for the
+    up-going net, layer-below dip for the down-going net), so magnetic
+    fluxes coupled between a twisted pair's loop and its neighbours
+    alternate sign along the run and largely cancel.
+
+    Args:
+        twist_pairs: Which track pairs (pair k = tracks 2k, 2k+1) twist;
+            ``None`` twists all of them.  Giving neighbouring pairs
+            different twist behaviour (one twisted, one straight) maximizes
+            the flux cancellation, exactly as in a twisted-pair cable run.
+    """
+    return _build_bundle(
+        True, num_nets, num_regions, length, wire_width, pitch,
+        layer_name, layers, signal_prefix, ground_net,
+        twist_pairs=twist_pairs,
+    )

@@ -1,0 +1,13 @@
+"""Interchange: SPICE netlist export.
+
+The paper's flow hands its models to a production SPICE ("the complete
+circuit is simulated in SPICE").  This package writes any
+:class:`~repro.circuit.netlist.Circuit` -- including PEEC models with
+dense mutual-inductance blocks -- as a standard SPICE deck, so results
+can be cross-checked against an external simulator.
+"""
+
+from repro.io.spice import write_spice
+from repro.io.parser import ParsedDeck, SpiceParseError, read_spice
+
+__all__ = ["write_spice", "read_spice", "ParsedDeck", "SpiceParseError"]

@@ -1,0 +1,200 @@
+"""SPICE netlist import.
+
+Parses the deck subset :func:`repro.io.spice.write_spice` emits -- R, C,
+L, K coupling lines, and V/I sources with DC / PULSE / PWL / SIN
+specifications -- into a :class:`~repro.circuit.netlist.Circuit`.  This
+closes the round trip: decks produced here (or by other tools within this
+subset) simulate directly on the in-package MNA engine.
+
+Supported syntax:
+
+* one element per line; ``+`` continuation lines; ``*`` comments;
+* SPICE engineering suffixes (``f p n u m k meg g t``) and plain
+  exponents;
+* ``.end`` terminates; other dot-cards are ignored (with a record in
+  :attr:`ParsedDeck.ignored_cards`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, TextIO
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import DC, PWL, Pulse, SineWave
+
+_SUFFIXES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3, "m": 1e-3,
+    "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+
+_NUMBER = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(t|g|meg|k|mil|m|u|n|p|f)?[a-z]*$",
+    re.IGNORECASE,
+)
+
+
+class SpiceParseError(ValueError):
+    """A deck line could not be interpreted."""
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    match = _NUMBER.match(token.strip())
+    if not match:
+        raise SpiceParseError(f"cannot parse number {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    if suffix == "mil":
+        return base * 25.4e-6
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+@dataclass
+class ParsedDeck:
+    """Result of parsing a SPICE deck.
+
+    Attributes:
+        circuit: The reconstructed netlist.
+        title: The deck's title line.
+        ignored_cards: Dot-cards that were skipped (``.tran`` etc.).
+    """
+
+    circuit: Circuit
+    title: str
+    ignored_cards: list[str] = field(default_factory=list)
+
+
+def _logical_lines(stream: Iterable[str]) -> Iterable[str]:
+    """Join ``+`` continuations, drop comments and blanks."""
+    pending: str | None = None
+    for raw in stream:
+        line = raw.rstrip("\n")
+        if line.startswith("+"):
+            if pending is None:
+                raise SpiceParseError("continuation line with no antecedent")
+            pending += " " + line[1:]
+            continue
+        if pending is not None:
+            yield pending
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            pending = None
+            continue
+        pending = stripped
+    if pending is not None:
+        yield pending
+
+
+def _split_source_spec(tokens: list[str]) -> tuple[str, list[float]]:
+    """('PULSE', [args...]) / ('DC', [v]) from the tail of a source line."""
+    text = " ".join(tokens)
+    match = re.match(r"^(dc)\s+(\S+)$", text, re.IGNORECASE)
+    if match:
+        return ("DC", [parse_value(match.group(2))])
+    match = re.match(r"^(pulse|pwl|sin)\s*\((.*)\)$", text, re.IGNORECASE)
+    if match:
+        args = [parse_value(tok) for tok in match.group(2).split()]
+        return (match.group(1).upper(), args)
+    if len(tokens) == 1:
+        return ("DC", [parse_value(tokens[0])])
+    raise SpiceParseError(f"unsupported source specification {text!r}")
+
+
+def _waveform(kind: str, args: list[float]):
+    if kind == "DC":
+        return DC(args[0])
+    if kind == "PULSE":
+        padded = args + [0.0] * (7 - len(args))
+        v0, v1, delay, rise, fall, width, period = padded[:7]
+        return Pulse(v0=v0, v1=v1, delay=delay,
+                     rise_time=max(rise, 1e-15),
+                     fall_time=max(fall, 1e-15),
+                     width=width, period=period)
+    if kind == "PWL":
+        if len(args) % 2 != 0 or not args:
+            raise SpiceParseError("PWL needs an even number of values")
+        points = tuple(zip(args[0::2], args[1::2]))
+        return PWL(points=points)
+    if kind == "SIN":
+        padded = args + [0.0] * (4 - len(args))
+        offset, amplitude, freq, delay = padded[:4]
+        return SineWave(offset=offset, amplitude=amplitude,
+                        frequency=freq, delay=delay)
+    raise SpiceParseError(f"unknown source kind {kind!r}")
+
+
+def read_spice(stream: TextIO) -> ParsedDeck:
+    """Parse a SPICE deck into a circuit.
+
+    Args:
+        stream: Text stream positioned at the title line.
+
+    Returns:
+        The parsed deck.
+
+    Raises:
+        SpiceParseError: Unsupported or malformed content.
+    """
+    lines = iter(stream)
+    try:
+        title = next(lines).strip().lstrip("* ")
+    except StopIteration:
+        raise SpiceParseError("empty deck") from None
+
+    circuit = Circuit(title or "imported")
+    ignored: list[str] = []
+    couplings: list[tuple[str, str, str, float]] = []
+
+    for line in _logical_lines(lines):
+        lower = line.lower()
+        if lower.startswith(".end"):
+            break
+        if lower.startswith("."):
+            ignored.append(line)
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        kind = head[0].upper()
+        # Keep the full designator as the element name: SPICE names are
+        # only unique per element class, Circuit names are global.
+        name = head
+        if kind == "R":
+            circuit.add_resistor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3]))
+        elif kind == "C":
+            circuit.add_capacitor(name, tokens[1], tokens[2],
+                                  parse_value(tokens[3]))
+        elif kind == "L":
+            circuit.add_inductor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3]))
+        elif kind == "K":
+            couplings.append((name, tokens[1], tokens[2],
+                              parse_value(tokens[3])))
+        elif kind in ("V", "I"):
+            source_kind, args = _split_source_spec(tokens[3:])
+            waveform = _waveform(source_kind, args)
+            if kind == "V":
+                circuit.add_vsource(name, tokens[1], tokens[2], waveform)
+            else:
+                circuit.add_isource(name, tokens[1], tokens[2], waveform)
+        else:
+            raise SpiceParseError(f"unsupported element line {line!r}")
+
+    by_token = {l.name.lower(): l.name for l in circuit.inductors}
+    for name, ref1, ref2, k in couplings:
+        l1 = by_token.get(ref1.lower())
+        l2 = by_token.get(ref2.lower())
+        if l1 is None or l2 is None:
+            raise SpiceParseError(
+                f"coupling K{name} references unknown inductors "
+                f"{ref1!r}/{ref2!r}"
+            )
+        la = next(l for l in circuit.inductors if l.name == l1)
+        lb = next(l for l in circuit.inductors if l.name == l2)
+        mutual = k * math.sqrt(la.inductance * lb.inductance)
+        circuit.add_mutual(name, l1, l2, mutual)
+
+    return ParsedDeck(circuit=circuit, title=title, ignored_cards=ignored)

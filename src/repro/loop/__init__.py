@@ -1,0 +1,27 @@
+"""Loop-inductance extraction and modeling (paper Section 5).
+
+The simplified alternative to the detailed PEEC model: define a port at
+the driver side of a signal line, short the receiver side to local ground,
+solve the R + jwL filament system over frequency (what FastHenry does,
+minus the multipole acceleration we don't need at laptop scale), and lump
+the result -- either at a single frequency (Figure 3c) or as the
+two-frequency R0/L0/R1/L1 ladder (Figure 3d).
+"""
+
+from repro.loop.extractor import (
+    LoopExtractionResult,
+    LoopPort,
+    extract_loop_impedance,
+)
+from repro.loop.ladder import LadderModel, fit_ladder
+from repro.loop.model import LoopModelSpec, build_loop_circuit
+
+__all__ = [
+    "LoopPort",
+    "LoopExtractionResult",
+    "extract_loop_impedance",
+    "LadderModel",
+    "fit_ladder",
+    "LoopModelSpec",
+    "build_loop_circuit",
+]

@@ -1,0 +1,141 @@
+"""Two-frequency ladder fit for frequency-dependent loop R and L.
+
+Krauter & Pileggi (paper ref [5], Figure 3d): "the loop impedance is
+extracted at two frequencies, and the parameters R0, L0, R1 and L1 used in
+the ladder circuit are computed."  The ladder::
+
+    Z(s) = R0 + s L0 + (R1 * s L1) / (R1 + s L1)
+
+has the right physics built in: at low frequency current uses the full
+return cross-section (Z -> R0 + s(L0 + L1)), at high frequency it crowds
+into the low-inductance path (Z -> (R0 + R1) + s L0).  R rises and L falls
+monotonically between those asymptotes, matching Figure 3(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize
+
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class LadderModel:
+    """Fitted R0/L0/R1/L1 ladder (Figure 3d).
+
+    Attributes:
+        r0: Series resistance [ohm] (low-frequency resistance).
+        l0: Series inductance [H] (high-frequency inductance).
+        r1: Shunt-branch resistance [ohm]; R0+R1 is the high-frequency
+            resistance.
+        l1: Shunt-branch inductance [H]; L0+L1 is the low-frequency
+            inductance.
+    """
+
+    r0: float
+    l0: float
+    r1: float
+    l1: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("r0", "l0", "r1", "l1"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"ladder parameter {field_name} must be positive")
+
+    def impedance(self, frequencies) -> np.ndarray:
+        """Complex Z(f) of the ladder."""
+        f = np.asarray(frequencies, dtype=float)
+        s = 2j * np.pi * f
+        return self.r0 + s * self.l0 + (self.r1 * s * self.l1) / (
+            self.r1 + s * self.l1
+        )
+
+    def resistance(self, frequencies) -> np.ndarray:
+        """Effective series resistance R(f) [ohm]."""
+        return np.real(self.impedance(frequencies))
+
+    def inductance(self, frequencies) -> np.ndarray:
+        """Effective series inductance L(f) [H]."""
+        f = np.asarray(frequencies, dtype=float)
+        omega = 2.0 * np.pi * f
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                omega > 0, np.imag(self.impedance(f)) / omega, self.l0 + self.l1
+            )
+
+    def add_to_circuit(
+        self, circuit: Circuit, n1: str, n2: str, prefix: str = "lad"
+    ) -> None:
+        """Stamp the ladder between two circuit nodes.
+
+        Topology: n1 --R0--(a)--L0--(b)-- n2 with the R1 || L1 pair in
+        series at (b): n1-R0-a, a-L0-b, b-{R1 || L1}-n2.
+        """
+        a = circuit.node(f"{prefix}:a")
+        b = circuit.node(f"{prefix}:b")
+        circuit.add_resistor(f"{prefix}:R0", n1, a, self.r0)
+        circuit.add_inductor(f"{prefix}:L0", a, b, self.l0)
+        circuit.add_resistor(f"{prefix}:R1", b, n2, self.r1)
+        circuit.add_inductor(f"{prefix}:L1", b, n2, self.l1)
+
+
+def fit_ladder(
+    f_low: float,
+    z_low: complex,
+    f_high: float,
+    z_high: complex,
+    refine: bool = True,
+) -> LadderModel:
+    """Fit the ladder to loop impedance samples at two frequencies.
+
+    The asymptotic seed assumes ``f_low`` is near-DC and ``f_high`` is deep
+    in the current-crowded regime::
+
+        R0 = R(f_low)     L0 = L(f_high)
+        R1 = R(f_high) - R(f_low)     L1 = L(f_low) - L(f_high)
+
+    and, when ``refine`` is set, a least-squares polish makes the ladder
+    interpolate both samples exactly (4 real equations, 4 unknowns).
+
+    Raises:
+        ValueError: The samples do not show the rising-R / falling-L
+            signature the ladder can represent (e.g. both frequencies in
+            the same asymptotic regime).
+    """
+    if f_high <= f_low:
+        raise ValueError("need f_high > f_low")
+    w_low = 2.0 * np.pi * f_low
+    w_high = 2.0 * np.pi * f_high
+    r_low, l_low = z_low.real, z_low.imag / w_low
+    r_high, l_high = z_high.real, z_high.imag / w_high
+    if r_high <= r_low or l_high >= l_low:
+        raise ValueError(
+            f"samples not fittable by the ladder: need R rising "
+            f"({r_low:.4g} -> {r_high:.4g}) and L falling "
+            f"({l_low:.4g} -> {l_high:.4g}) with frequency"
+        )
+    seed = np.array([r_low, l_high, r_high - r_low, l_low - l_high])
+
+    if not refine:
+        return LadderModel(*seed)
+
+    targets = np.array([z_low.real, z_low.imag, z_high.real, z_high.imag])
+    scale = np.abs(targets).max()
+
+    # Optimize in log space: parameters stay positive and the objective is
+    # smooth (an abs() reparametrization has a kink that stalls LM).
+    def residuals(log_params: np.ndarray) -> np.ndarray:
+        model = LadderModel(*np.exp(log_params))
+        z = model.impedance([f_low, f_high])
+        return (
+            np.array([z[0].real, z[0].imag, z[1].real, z[1].imag]) - targets
+        ) / scale
+
+    sol = scipy.optimize.least_squares(
+        residuals, np.log(seed), method="lm",
+        xtol=1e-15, ftol=1e-15, gtol=1e-15, max_nfev=5000,
+    )
+    return LadderModel(*np.exp(sol.x))

@@ -1,0 +1,124 @@
+"""Loop-model netlist construction (paper Figure 3c).
+
+"A netlist is then constructed with the resistance and loop inductance of
+the signal and ground grid, at one frequency ... Note that all the
+interconnect and load capacitance is modeled as a lumped capacitance at
+the receiver end of the signal interconnect.  The lumped RLC circuit
+representation can be improved by increasing the number of RLC-pi
+segments."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.loop.extractor import LoopExtractionResult
+from repro.loop.ladder import LadderModel
+
+
+@dataclass
+class LoopModelSpec:
+    """How to lump the extracted loop impedance into a netlist.
+
+    Attributes:
+        frequency: Extraction frequency for the single-frequency R/L lump
+            [Hz]; pick near the signal's significant-spectrum knee
+            (~0.35 / rise time).
+        num_sections: RLC-pi sections ("increasing the number of RLC-pi
+            segments" improves the lumped representation).
+        ladder: Use the R0/L0/R1/L1 ladder instead of single-frequency R/L
+            (``frequency`` then selects nothing; the ladder carries the
+            frequency dependence).
+    """
+
+    frequency: float = 1e9
+    num_sections: int = 1
+    ladder: LadderModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_sections < 1:
+            raise ValueError("num_sections must be >= 1")
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+
+def build_loop_circuit(
+    extraction: LoopExtractionResult,
+    total_capacitance: float,
+    spec: LoopModelSpec | None = None,
+    circuit: Circuit | None = None,
+    driver_node: str = "drv",
+    receiver_node: str = "rcv",
+    prefix: str = "loop",
+) -> Circuit:
+    """Build the Figure-3c lumped loop-model netlist.
+
+    The loop R/L (signal + return path combined, as the port sees them) is
+    split across ``num_sections`` series sections; the capacitance is
+    placed at the section boundaries with the receiver end carrying a
+    section's full share -- for one section that is the paper's "all the
+    capacitance lumped at the receiver".
+
+    Args:
+        extraction: Loop extraction result providing Z(f).
+        total_capacitance: Interconnect + load capacitance to lump [F].
+        spec: Lumping options.
+        circuit: Existing circuit to extend; a fresh one is created
+            otherwise.
+        driver_node: Node name at the driving-gate side.
+        receiver_node: Node name at the receiver side.
+        prefix: Element-name prefix.
+
+    Returns:
+        The circuit containing the loop model.
+    """
+    spec = spec or LoopModelSpec()
+    if total_capacitance <= 0:
+        raise ValueError("total_capacitance must be positive")
+    circuit = circuit or Circuit("loop_model")
+
+    n = spec.num_sections
+    nodes = [driver_node] + [
+        circuit.node(f"{prefix}:s{k}") for k in range(1, n)
+    ] + [receiver_node]
+
+    if spec.ladder is not None:
+        section_models = [
+            LadderModel(
+                r0=spec.ladder.r0 / n,
+                l0=spec.ladder.l0 / n,
+                r1=spec.ladder.r1 / n,
+                l1=spec.ladder.l1 / n,
+            )
+            for _ in range(n)
+        ]
+        for k, model in enumerate(section_models):
+            model.add_to_circuit(
+                circuit, nodes[k], nodes[k + 1], prefix=f"{prefix}:lad{k}"
+            )
+    else:
+        z = extraction.at(spec.frequency)
+        omega = 2.0 * 3.141592653589793 * spec.frequency
+        loop_r = z.real
+        loop_l = z.imag / omega
+        if loop_r <= 0 or loop_l <= 0:
+            raise ValueError(
+                f"extracted loop impedance at {spec.frequency:.3g} Hz is not "
+                f"inductive-resistive (Z = {z}); check the port"
+            )
+        for k in range(n):
+            circuit.add_series_rl(
+                f"{prefix}:sec{k}",
+                nodes[k],
+                nodes[k + 1],
+                loop_r / n,
+                loop_l / n,
+            )
+
+    # Capacitance at section boundaries; single-section puts it all at the
+    # receiver (the paper's Figure 3c).
+    c_each = total_capacitance / n
+    for k in range(1, n + 1):
+        circuit.add_capacitor(f"{prefix}:C{k}", nodes[k], GROUND, c_each)
+    return circuit

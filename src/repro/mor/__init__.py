@@ -1,0 +1,33 @@
+"""Reduced-order modeling: PRIMA and the combined acceleration flow.
+
+"Reduced-order models for the linear portion of the circuit can be
+combined with the gate models and simulated in SPICE ... they are well
+suited to handle large topologies or longer simulation times and also
+provide a control over the accuracy via the order of the reduced system."
+(Paper, Section 4.)
+
+:mod:`~repro.mor.prima` implements the PRIMA block-Arnoldi congruence
+reduction (Odabasioglu et al., paper ref [20]); :mod:`~repro.mor.ports`
+builds input/output maps including the paper's active-port refinement
+("applying excitation sources only to the active ports, and not to the
+sinks"); :mod:`~repro.mor.combined` packages the block-diagonal +
+PRIMA pipeline of the authors' DAC-2000 system (paper ref [4]).
+"""
+
+from repro.mor.ports import NodePort, SourcePort, input_matrix, output_matrix
+from repro.mor.prima import ReducedOrderModel, prima_reduce
+from repro.mor.combined import CombinedFlowResult, combined_reduction
+from repro.mor.hierarchical import HierarchicalModel, hierarchical_reduction
+
+__all__ = [
+    "NodePort",
+    "SourcePort",
+    "input_matrix",
+    "output_matrix",
+    "ReducedOrderModel",
+    "prima_reduce",
+    "CombinedFlowResult",
+    "combined_reduction",
+    "HierarchicalModel",
+    "hierarchical_reduction",
+]

@@ -1,0 +1,237 @@
+"""Hierarchical interconnect models -- Beattie & Pileggi (paper ref [16]).
+
+"Hierarchical interconnect models have been proposed to utilize the
+existing hierarchical nature of parasitic extractors.  The concept of
+global circuit node is introduced to separate the electrical interaction
+into local and global interaction."
+
+The same idea, realized with this library's machinery: the circuit's
+nodes are partitioned into blocks; every element whose nodes live inside
+one block is *local*, everything else (plus block boundary nodes touched
+from outside) is *global*.  Each block's local network is PRIMA-reduced
+to a passive macromodel on its global nodes, and the global circuit --
+boundary wiring, sources, devices -- is simulated against the stack of
+macromodels.
+
+Constraints (inherent to the formulation, not this implementation):
+
+* inductive couplings must not straddle blocks -- run block-diagonal
+  sparsification first so every :class:`InductorSet` is block-local;
+* independent sources and nonlinear devices always stay global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.mor.combined import combined_reduction
+from repro.mor.ports import NodePort
+
+
+@dataclass
+class HierarchicalModel:
+    """Result of a hierarchical reduction.
+
+    Attributes:
+        circuit: The global circuit with one macromodel per block.
+        global_nodes: Nodes shared between blocks / exposed to the caller.
+        block_orders: block index -> reduced order used.
+        full_unknowns: MNA unknown count of the original flat circuit.
+    """
+
+    circuit: Circuit
+    global_nodes: list[str]
+    block_orders: dict[int, int]
+    full_unknowns: int
+
+
+def _element_nodes(element) -> tuple[str, ...]:
+    if hasattr(element, "n1"):
+        return (element.n1, element.n2)
+    if hasattr(element, "branches"):
+        return tuple(n for pair in element.branches for n in pair)
+    if hasattr(element, "n_plus"):
+        return (element.n_plus, element.n_minus)
+    raise TypeError(f"unsupported element {element!r}")
+
+
+def hierarchical_reduction(
+    circuit: Circuit,
+    blocks: list[set[str]],
+    order_per_block: int = 16,
+    keep_nodes: set[str] | None = None,
+    s0_hz: float = 2e9,
+) -> HierarchicalModel:
+    """Reduce a flat linear circuit block by block.
+
+    Args:
+        circuit: Flat linear circuit (sources are fine -- they stay
+            global; nonlinear devices are rejected).
+        blocks: Disjoint node sets.  Nodes not claimed by any block are
+            global.  Ground is implicitly shared.
+        order_per_block: PRIMA order for each block macromodel.
+        keep_nodes: Nodes to force global even if a block claims them
+            (observation points).
+        s0_hz: PRIMA expansion point.
+
+    Returns:
+        The hierarchical model; simulate ``result.circuit`` as usual.
+    """
+    if circuit.devices:
+        raise ValueError("hierarchical reduction handles linear circuits; "
+                         "attach devices to the result instead")
+    if circuit.k_sets or circuit.macromodels:
+        raise ValueError("nested K-sets/macromodels are not supported")
+    keep_nodes = set(keep_nodes or ())
+    claimed: dict[str, int] = {}
+    for b, nodes in enumerate(blocks):
+        for node in nodes:
+            if node in claimed:
+                raise ValueError(f"node {node!r} claimed by two blocks")
+            if node == GROUND:
+                raise ValueError("ground cannot belong to a block")
+            claimed[node] = b
+
+    def block_of(nodes: tuple[str, ...]) -> int | None:
+        """Block index when ALL non-ground nodes live in one block."""
+        owners = {
+            claimed.get(n) for n in nodes
+            if n != GROUND and n not in keep_nodes
+        }
+        owners.discard(None)
+        if len(owners) != 1:
+            return None
+        if any(
+            n != GROUND and (claimed.get(n) is None or n in keep_nodes)
+            for n in nodes
+        ):
+            return None
+        return owners.pop()
+
+    # Sources always stay global.
+    local_elements: dict[int, list] = {b: [] for b in range(len(blocks))}
+    global_elements: list = []
+    for group in (circuit.resistors, circuit.capacitors, circuit.inductors,
+                  circuit.inductor_sets):
+        for element in group:
+            b = block_of(_element_nodes(element))
+            if b is None:
+                global_elements.append(element)
+            else:
+                local_elements[b].append(element)
+    for mut in circuit.mutuals:
+        # A mutual is local iff both its inductors are local to one block.
+        l_owner = {}
+        for b, elements in local_elements.items():
+            for element in elements:
+                if hasattr(element, "inductance"):
+                    l_owner[element.name] = b
+        b1 = l_owner.get(mut.inductor1)
+        b2 = l_owner.get(mut.inductor2)
+        if b1 is not None and b1 == b2:
+            local_elements[b1].append(mut)
+        else:
+            raise ValueError(
+                f"mutual {mut.name!r} couples across blocks; sparsify "
+                "block-locally first"
+            )
+    global_elements += list(circuit.vsources) + list(circuit.isources)
+
+    # Boundary nodes: nodes that appear inside a block's local elements
+    # AND are touched from outside (global elements or keep requests).
+    local_nodes: dict[int, set[str]] = {
+        b: {
+            n for element in elements for n in _element_nodes(element)
+            if n != GROUND
+        }
+        for b, elements in local_elements.items()
+    }
+    boundary: dict[int, set[str]] = {b: set() for b in range(len(blocks))}
+    for element in global_elements:
+        for node in _element_nodes(element):
+            b = claimed.get(node)
+            if b is not None and node in local_nodes[b]:
+                boundary[b].add(node)
+    for node in keep_nodes:
+        b = claimed.get(node)
+        if b is not None and node in local_nodes[b]:
+            boundary[b].add(node)
+
+    from repro.circuit.mna import MNASystem
+
+    full_unknowns = MNASystem(circuit).size
+
+    out = Circuit(f"{circuit.name}:hier")
+    block_orders: dict[int, int] = {}
+    for b, elements in local_elements.items():
+        ports = sorted(boundary[b])
+        if not elements:
+            continue
+        if not ports:
+            continue  # fully floating block: electrically irrelevant
+        sub = Circuit(f"block{b}")
+        for element in elements:
+            _copy_element(sub, element)
+        reduction = combined_reduction(
+            sub, ports, [], order=order_per_block, s0_hz=s0_hz
+        )
+        mm = reduction.model.to_macromodel(
+            f"blk{b}", [NodePort(p) for p in ports]
+        )
+        out.add_macromodel(mm.name, mm.ports, mm.g_red, mm.c_red, mm.b_red)
+        block_orders[b] = reduction.model.order
+
+    for element in global_elements:
+        _copy_element(out, element)
+
+    global_nodes = sorted(
+        {n for e in global_elements for n in _element_nodes(e)
+         if n != GROUND}
+        | keep_nodes
+    )
+    return HierarchicalModel(
+        circuit=out,
+        global_nodes=global_nodes,
+        block_orders=block_orders,
+        full_unknowns=full_unknowns,
+    )
+
+
+def _copy_element(target: Circuit, element) -> None:
+    """Re-register an element on another circuit."""
+    from repro.circuit.elements import (
+        Capacitor,
+        CurrentSource,
+        InductorSet,
+        MutualInductor,
+        Resistor,
+        SelfInductor,
+        VoltageSource,
+    )
+
+    if isinstance(element, Resistor):
+        target.add_resistor(element.name, element.n1, element.n2,
+                            element.resistance)
+    elif isinstance(element, Capacitor):
+        target.add_capacitor(element.name, element.n1, element.n2,
+                             element.capacitance)
+    elif isinstance(element, SelfInductor):
+        target.add_inductor(element.name, element.n1, element.n2,
+                            element.inductance)
+    elif isinstance(element, MutualInductor):
+        target.add_mutual(element.name, element.inductor1,
+                          element.inductor2, element.mutual)
+    elif isinstance(element, InductorSet):
+        target.add_inductor_set(element.name, element.branches,
+                                element.matrix)
+    elif isinstance(element, VoltageSource):
+        target.add_vsource(element.name, element.n_plus, element.n_minus,
+                           element.waveform)
+    elif isinstance(element, CurrentSource):
+        target.add_isource(element.name, element.n_plus, element.n_minus,
+                           element.waveform)
+    else:
+        raise TypeError(f"cannot copy element {element!r}")

@@ -1,0 +1,34 @@
+"""PEEC circuit-model construction (paper Section 3).
+
+Turns a :class:`~repro.geometry.layout.Layout` into the detailed circuit
+model of the paper's Figure 2: an RLC-pi section per metal segment,
+partial self/mutual inductances (optionally sparsified), coupling
+capacitance between adjacent lines, via resistances, device decoupling
+capacitance, background switching-activity current sources, and
+pad/package RL models.
+"""
+
+from repro.peec.model import PEECModel, PEECOptions, build_peec_model
+from repro.peec.package import PackageSpec, attach_package, attach_package_to_nodes
+from repro.peec.decap import attach_decaps, estimate_decoupling_capacitance
+from repro.peec.activity import attach_switching_activity
+from repro.peec.substrate import (
+    SubstrateSpec,
+    attach_nwell_capacitance,
+    attach_substrate,
+)
+
+__all__ = [
+    "PEECModel",
+    "PEECOptions",
+    "build_peec_model",
+    "PackageSpec",
+    "attach_package",
+    "attach_package_to_nodes",
+    "attach_decaps",
+    "estimate_decoupling_capacitance",
+    "attach_switching_activity",
+    "SubstrateSpec",
+    "attach_substrate",
+    "attach_nwell_capacitance",
+]

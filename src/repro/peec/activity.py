@@ -1,0 +1,98 @@
+"""Background switching-activity current sources (paper Section 3).
+
+"In addition to the signal of interest, other signals switch
+simultaneously.  Those gates draw current from the power grid and inject
+it into the ground grid, causing voltage fluctuations and affecting
+current distribution.  This effect is modeled by using time-varying
+current sources connected at random locations on the lowest metal layer.
+The current value changes with time during the simulation, to account for
+different parts of the chip switching at different times."
+
+Each source is a triangular current pulse (a gate's charge packet) between
+a random power node and a random ground node on the lowest grid layer,
+with randomized start times spread over the activity window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.waveforms import PWL
+from repro.peec.model import PEECModel
+
+
+def triangular_pulse(
+    start: float, peak_current: float, rise: float, fall: float
+) -> PWL:
+    """A single triangular current pulse starting at ``start``."""
+    if rise <= 0 or fall <= 0:
+        raise ValueError("rise and fall must be positive")
+    return PWL(
+        points=(
+            (start, 0.0),
+            (start + rise, peak_current),
+            (start + rise + fall, 0.0),
+        )
+    )
+
+
+def attach_switching_activity(
+    model: PEECModel,
+    num_sources: int = 8,
+    peak_current: float = 1e-3,
+    window: tuple[float, float] = (0.0, 0.5e-9),
+    rise: float = 30e-12,
+    fall: float = 70e-12,
+    power_net: str = "VDD",
+    ground_net: str = "GND",
+    layer: str | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[str]:
+    """Attach randomized background-activity current sources.
+
+    Args:
+        model: Compiled PEEC model with both supply grids.
+        num_sources: Number of current sources.
+        peak_current: Peak of each triangular pulse [A].
+        window: (earliest, latest) pulse start times [s].
+        rise: Pulse rise time [s].
+        fall: Pulse fall time [s].
+        power_net: Power net name (current drawn from here).
+        ground_net: Ground net name (current injected here).
+        layer: Attachment layer; ``None`` uses the lowest layer carrying
+            both nets.
+        rng: Seeded generator for reproducible placement/timing.
+
+    Returns:
+        Names of the current sources added.
+    """
+    if num_sources < 1:
+        raise ValueError("num_sources must be >= 1")
+    if peak_current <= 0:
+        raise ValueError("peak_current must be positive")
+    rng = rng or np.random.default_rng(101)
+    from repro.peec.decap import _lowest_common_layer
+
+    layer = layer or _lowest_common_layer(model, power_net, ground_net)
+    p_nodes = model.nodes_of_net(power_net, layer)
+    g_nodes = model.nodes_of_net(ground_net, layer)
+    if not p_nodes or not g_nodes:
+        raise ValueError(
+            f"no nodes for {power_net!r}/{ground_net!r} on layer {layer!r}"
+        )
+    t_lo, t_hi = window
+    if t_hi < t_lo:
+        raise ValueError("activity window must have t_hi >= t_lo")
+    names = []
+    for k in range(num_sources):
+        np_node = p_nodes[int(rng.integers(len(p_nodes)))]
+        ng_node = g_nodes[int(rng.integers(len(g_nodes)))]
+        start = float(rng.uniform(t_lo, t_hi))
+        src = model.circuit.add_isource(
+            f"Iact{k}",
+            np_node,
+            ng_node,
+            triangular_pulse(start, peak_current, rise, fall),
+        )
+        names.append(src.name)
+    return names

@@ -1,0 +1,135 @@
+"""Pad / package parasitics (paper Section 3, "Pad/Package models").
+
+"External power and ground are routed to a chip via package leads and
+pads.  The parasitic inductances associated with the package must be
+modeled, since they affect on-chip behavior significantly.  In the PEEC
+model, it is assumed that the package planes are ideal ... The package is
+modeled as a bar, including the pad and a via between the pad and
+package."
+
+Each pad gets an ideal external supply behind a series R + L bar model.
+The inductance value dominates the chip-level L*di/dt supply noise, which
+is why the paper calls it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import GROUND
+from repro.geometry.clocktree import TapPoint
+from repro.peec.model import PEECModel
+
+
+@dataclass
+class PackageSpec:
+    """Per-pad package parasitics and rail voltages.
+
+    Attributes:
+        resistance: Series resistance per pad (lead + bump + pad) [ohm].
+        inductance: Series inductance per pad (bar model of lead + via)
+            [H].
+        rail_voltages: Net name -> ideal external rail voltage [V]
+            (typically VDD -> supply voltage, GND -> 0).
+    """
+
+    resistance: float = 0.1
+    inductance: float = 1.0e-9
+    rail_voltages: dict[str, float] = field(
+        default_factory=lambda: {"VDD": 1.2, "GND": 0.0}
+    )
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0 or self.inductance <= 0:
+            raise ValueError("package R and L must be positive")
+
+
+def attach_package(model: PEECModel, spec: PackageSpec | None = None) -> list[str]:
+    """Attach ideal supplies through package RL to every pad in the layout.
+
+    Args:
+        model: A compiled PEEC model whose layout has pads.
+        spec: Package parameters; nets missing from ``rail_voltages`` get
+            their pads skipped (with an error, to catch typos).
+
+    Returns:
+        Names of the voltage sources added (one per pad), so analyses can
+        measure per-pad supply currents.
+    """
+    spec = spec or PackageSpec()
+    circuit = model.circuit
+    if not model.layout.pads:
+        raise ValueError(
+            f"layout {model.layout.name!r} has no pads; generate the grid "
+            "with pads or add them explicitly"
+        )
+    sources = []
+    for pad in model.layout.pads:
+        if pad.net not in spec.rail_voltages:
+            raise KeyError(
+                f"pad {pad.name!r} is on net {pad.net!r}, which has no rail "
+                f"voltage in PackageSpec ({sorted(spec.rail_voltages)})"
+            )
+        voltage = spec.rail_voltages[pad.net]
+        # Pads sit on the highest grid layer carrying their net.
+        tap_layer = _pad_layer(model, pad)
+        pad_node = model.node_at(
+            TapPoint(pad.net, pad.x, pad.y, tap_layer, pad.name)
+        )
+        ext = circuit.node(f"ext_{pad.name}")
+        mid = circuit.node(f"pkg_{pad.name}")
+        src = circuit.add_vsource(f"Vpkg_{pad.name}", ext, GROUND, voltage)
+        circuit.add_resistor(f"Rpkg_{pad.name}", ext, mid, spec.resistance)
+        circuit.add_inductor(f"Lpkg_{pad.name}", mid, pad_node, spec.inductance)
+        sources.append(src.name)
+    return sources
+
+
+def attach_package_to_nodes(
+    circuit,
+    pad_bindings: dict[str, tuple[str, str]],
+    spec: PackageSpec | None = None,
+) -> list[str]:
+    """Attach package RL + ideal rails to explicit circuit nodes.
+
+    The host-circuit counterpart of :func:`attach_package`, used when the
+    grid lives inside a reduced macromodel and the pads surface as ports.
+
+    Args:
+        circuit: Host circuit to extend.
+        pad_bindings: pad name -> (host node, net name) as returned by
+            :meth:`PEECModel.pad_nodes` (with nodes remapped to the host).
+        spec: Package parameters.
+
+    Returns:
+        Names of the voltage sources added.
+    """
+    spec = spec or PackageSpec()
+    sources = []
+    for pad_name, (node, net) in sorted(pad_bindings.items()):
+        if net not in spec.rail_voltages:
+            raise KeyError(
+                f"pad {pad_name!r} is on net {net!r} with no rail voltage"
+            )
+        ext = circuit.node(f"ext_{pad_name}")
+        mid = circuit.node(f"pkg_{pad_name}")
+        src = circuit.add_vsource(
+            f"Vpkg_{pad_name}", ext, GROUND, spec.rail_voltages[net]
+        )
+        circuit.add_resistor(f"Rpkg_{pad_name}", ext, mid, spec.resistance)
+        circuit.add_inductor(f"Lpkg_{pad_name}", mid, node, spec.inductance)
+        sources.append(src.name)
+    return sources
+
+
+def _pad_layer(model: PEECModel, pad) -> str:
+    """Highest layer on which the pad's net has metal."""
+    layers = {
+        lay
+        for _, (net, lay) in model.node_info.items()
+        if net == pad.net
+    }
+    if not layers:
+        raise KeyError(f"net {pad.net!r} has no nodes in the model")
+    by_index = {model.layout.layer(name).index: name for name in layers}
+    return by_index[max(by_index)]

@@ -1,0 +1,199 @@
+"""Substrate network and N-well capacitance extensions.
+
+"This model can also easily be extended to include substrate models,
+N-well capacitance and explicit decoupling capacitance."  (Paper,
+Section 3.)  This module is that extension:
+
+* :func:`attach_substrate` -- a resistive mesh under the die,
+  capacitively coupled to the on-chip ground grid and tied to the
+  package ground through substrate contacts.  At high frequency the
+  low-impedance substrate becomes an additional return path (the effect
+  the authors analyze in their companion work on substrate/power-grid
+  interaction).
+* :func:`attach_nwell_capacitance` -- the reverse-biased N-well-to-
+  substrate junction capacitance, which acts as distributed decap
+  between VDD and the substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND
+from repro.peec.model import PEECModel
+
+#: Junction capacitance of an N-well per area [F/m^2]; ~0.1 fF/um^2.
+NWELL_CAP_PER_AREA = 1e-4
+
+#: Substrate contact resistance per tap [ohm].
+SUBSTRATE_TAP_RESISTANCE = 5.0
+
+
+@dataclass(frozen=True)
+class SubstrateSpec:
+    """Substrate mesh parameters.
+
+    Attributes:
+        mesh: Substrate nodes per axis (mesh x mesh grid).
+        sheet_resistance: Substrate sheet resistance [ohm/sq]; heavily
+            doped (low-impedance) substrates are ~1-10, lightly doped
+            hundreds.
+        coupling_cap_per_node: Capacitance from each on-chip ground node
+            to the nearest substrate node [F] (junction + well caps of
+            the local devices).
+        tap_fraction: Fraction of substrate nodes tied to the ground grid
+            through substrate contacts.
+    """
+
+    mesh: int = 3
+    sheet_resistance: float = 10.0
+    coupling_cap_per_node: float = 5e-15
+    tap_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mesh < 2:
+            raise ValueError("mesh must be >= 2")
+        if self.sheet_resistance <= 0:
+            raise ValueError("sheet_resistance must be positive")
+        if not 0.0 < self.tap_fraction <= 1.0:
+            raise ValueError("tap_fraction must be in (0, 1]")
+
+
+def attach_substrate(
+    model: PEECModel,
+    spec: SubstrateSpec | None = None,
+    ground_net: str = "GND",
+    rng: np.random.Generator | None = None,
+) -> list[str]:
+    """Attach a resistive substrate mesh under the layout.
+
+    The mesh spans the layout's bounding box; every on-chip ground node on
+    the lowest ground-carrying layer couples capacitively to its nearest
+    substrate node, and a ``tap_fraction`` of substrate nodes connect to
+    the same ground nodes resistively (substrate contacts).
+
+    Returns:
+        Names of the substrate mesh nodes created (row-major).
+    """
+    spec = spec or SubstrateSpec()
+    rng = rng or np.random.default_rng(7)
+    circuit = model.circuit
+    (x0, y0, _), (x1, y1, _) = model.layout.bounding_box()
+
+    n = spec.mesh
+    xs = np.linspace(x0, x1, n)
+    ys = np.linspace(y0, y1, n)
+    node_names: list[str] = []
+    for j in range(n):
+        for i in range(n):
+            node_names.append(circuit.node(f"sub_{i}_{j}"))
+
+    def name(i: int, j: int) -> str:
+        return f"sub_{i}_{j}"
+
+    # Mesh resistors: one square between neighbouring nodes.
+    for j in range(n):
+        for i in range(n):
+            if i + 1 < n:
+                circuit.add_resistor(
+                    f"Rsub_h_{i}_{j}", name(i, j), name(i + 1, j),
+                    spec.sheet_resistance,
+                )
+            if j + 1 < n:
+                circuit.add_resistor(
+                    f"Rsub_v_{i}_{j}", name(i, j), name(i, j + 1),
+                    spec.sheet_resistance,
+                )
+
+    # Couple the on-chip ground grid to the substrate.
+    gnd_layers = sorted(
+        {model.layout.layer(lay).index
+         for _, (net, lay) in model.node_info.items() if net == ground_net}
+    )
+    if not gnd_layers:
+        raise ValueError(f"no {ground_net!r} nodes to couple the substrate to")
+    lowest = next(
+        lay.name for lay in model.layout.layers
+        if lay.index == gnd_layers[0]
+    )
+    gnd_nodes = model.nodes_of_net(ground_net, lowest)
+
+    # Geometric positions of ground nodes for nearest-substrate matching.
+    positions = {}
+    for key, node in model._node_by_point.items():
+        if node in set(gnd_nodes):
+            positions[node] = (key[0] * 1e-10, key[1] * 1e-10)
+
+    tap_candidates = []
+    for k, node in enumerate(gnd_nodes):
+        px, py = positions[node]
+        i = int(np.clip(np.searchsorted(xs, px), 0, n - 1))
+        j = int(np.clip(np.searchsorted(ys, py), 0, n - 1))
+        circuit.add_capacitor(
+            f"Csub_{k}", node, name(i, j), spec.coupling_cap_per_node
+        )
+        tap_candidates.append((node, name(i, j)))
+
+    # Substrate contacts: resistive ties for a fraction of the couplings.
+    num_taps = max(1, int(round(spec.tap_fraction * len(tap_candidates))))
+    pick = rng.choice(len(tap_candidates), size=num_taps, replace=False)
+    for t, idx in enumerate(pick):
+        gnd_node, sub_node = tap_candidates[int(idx)]
+        circuit.add_resistor(
+            f"Rtap_{t}", gnd_node, sub_node, SUBSTRATE_TAP_RESISTANCE
+        )
+    # Leak to the reference so the mesh has a DC level even without taps.
+    circuit.add_resistor("Rsub_ref", name(0, 0), GROUND, 1e6)
+    return node_names
+
+
+def attach_nwell_capacitance(
+    model: PEECModel,
+    total_well_area: float,
+    power_net: str = "VDD",
+    count: int = 6,
+    cap_per_area: float = NWELL_CAP_PER_AREA,
+    series_resistance: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> list[str]:
+    """Attach N-well junction capacitance between VDD and ground.
+
+    The reverse-biased well-substrate junction of every N-well acts as
+    free decap from the power net to the substrate/ground system; the
+    paper lists it as a model extension next to explicit decap.
+
+    Args:
+        model: Compiled PEEC model.
+        total_well_area: Total N-well area in the region [m^2].
+        power_net: Net the wells tie to.
+        count: Number of lumped well instances to distribute.
+        cap_per_area: Junction capacitance density [F/m^2].
+        series_resistance: Well resistance in series with each lump [ohm].
+        rng: Seeded generator for placement.
+
+    Returns:
+        Names of the capacitors added.
+    """
+    if total_well_area <= 0:
+        raise ValueError("total_well_area must be positive")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = rng or np.random.default_rng(11)
+    total_cap = total_well_area * cap_per_area
+    vdd_nodes = model.nodes_of_net(power_net)
+    if not vdd_nodes:
+        raise ValueError(f"no nodes on net {power_net!r}")
+    names = []
+    for k in range(count):
+        node = vdd_nodes[int(rng.integers(len(vdd_nodes)))]
+        mid = model.circuit.node(f"nwell{k}:m")
+        model.circuit.add_resistor(f"Rnwell{k}", node, mid,
+                                   series_resistance)
+        cap = model.circuit.add_capacitor(
+            f"Cnwell{k}", mid, GROUND, total_cap / count
+        )
+        names.append(cap.name)
+    return names

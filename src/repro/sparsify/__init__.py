@@ -1,0 +1,46 @@
+"""Sparsification of the partial-inductance matrix (paper Section 4).
+
+The dense PEEC inductance matrix makes direct simulation "infeasible due
+to impractical time and memory requirements".  This package implements the
+paper's catalog of remedies:
+
+* :mod:`~repro.sparsify.truncation` -- naive threshold truncation, which
+  can destroy positive definiteness (the paper's cautionary tale).
+* :mod:`~repro.sparsify.block_diagonal` -- topology-partitioned blocks,
+  passive by construction.
+* :mod:`~repro.sparsify.shell` -- Krauter's shift-truncate shell method.
+* :mod:`~repro.sparsify.halo` -- Shepard's return-limited halo rule.
+* :mod:`~repro.sparsify.kmatrix` -- Devgan's inverse-inductance K element.
+* :mod:`~repro.sparsify.stability` -- positive-definiteness / passivity
+  checks shared by all of them.
+
+Every strategy implements :class:`Sparsifier`: partial-L matrix in,
+:class:`InductanceBlocks` out; the PEEC circuit builder consumes the
+blocks directly.
+"""
+
+from repro.sparsify.base import DenseInductance, InductanceBlocks, Sparsifier
+from repro.sparsify.truncation import TruncationSparsifier
+from repro.sparsify.block_diagonal import BlockDiagonalSparsifier
+from repro.sparsify.shell import ShellSparsifier
+from repro.sparsify.halo import HaloSparsifier
+from repro.sparsify.kmatrix import KMatrixSparsifier
+from repro.sparsify.stability import (
+    is_positive_definite,
+    min_eigenvalue,
+    sparsity_ratio,
+)
+
+__all__ = [
+    "Sparsifier",
+    "InductanceBlocks",
+    "DenseInductance",
+    "TruncationSparsifier",
+    "BlockDiagonalSparsifier",
+    "ShellSparsifier",
+    "HaloSparsifier",
+    "KMatrixSparsifier",
+    "is_positive_definite",
+    "min_eigenvalue",
+    "sparsity_ratio",
+]

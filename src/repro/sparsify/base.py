@@ -1,0 +1,96 @@
+"""Sparsifier interface shared by all Section-4 strategies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extraction.partial_matrix import PartialInductanceResult
+
+
+@dataclass
+class InductanceBlocks:
+    """Sparsified inductance structure consumed by the PEEC circuit builder.
+
+    Attributes:
+        kind: ``"L"`` -- blocks are inductance matrices; ``"K"`` -- blocks
+            are inverse-inductance matrices (simulated via the special
+            K-element support).
+        blocks: ``(segment_indices, matrix)`` pairs.  ``segment_indices``
+            index into the extraction result's segment list; every segment
+            must appear in exactly one block.  A block of size 1 is a plain
+            self inductance.
+    """
+
+    kind: str
+    blocks: list[tuple[list[int], np.ndarray]]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("L", "K"):
+            raise ValueError(f"kind must be 'L' or 'K', got {self.kind!r}")
+        seen: set[int] = set()
+        for indices, matrix in self.blocks:
+            m = np.asarray(matrix)
+            if m.shape != (len(indices), len(indices)):
+                raise ValueError(
+                    f"block shape {m.shape} does not match {len(indices)} indices"
+                )
+            overlap = seen.intersection(indices)
+            if overlap:
+                raise ValueError(f"segments {sorted(overlap)} appear in two blocks")
+            seen.update(indices)
+
+    @property
+    def num_segments(self) -> int:
+        return sum(len(idx) for idx, _ in self.blocks)
+
+    @property
+    def num_mutuals(self) -> int:
+        """Retained off-diagonal couplings across all blocks."""
+        return sum(
+            int(np.count_nonzero(np.triu(np.asarray(m), k=1)))
+            for _, m in self.blocks
+        )
+
+    def to_dense(self, size: int | None = None) -> np.ndarray:
+        """Expand back to one (possibly block-) sparse dense matrix.
+
+        Only valid for ``kind == "L"``; used by analyses that compare
+        sparsified and original matrices entry-wise.
+        """
+        if self.kind != "L":
+            raise ValueError("to_dense is only meaningful for L blocks")
+        n = size if size is not None else self.num_segments
+        out = np.zeros((n, n))
+        for indices, matrix in self.blocks:
+            ix = np.asarray(indices)
+            out[np.ix_(ix, ix)] = matrix
+        return out
+
+
+class Sparsifier(abc.ABC):
+    """Strategy interface: partial-L extraction in, inductance blocks out."""
+
+    @abc.abstractmethod
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        """Sparsify the extraction result."""
+
+    @property
+    def name(self) -> str:
+        """Short human-readable strategy name (for reports)."""
+        return type(self).__name__.replace("Sparsifier", "").lower()
+
+
+class DenseInductance(Sparsifier):
+    """Identity strategy: keep the full dense partial-inductance matrix.
+
+    This is the reference "detailed PEEC model" -- accurate and expensive.
+    """
+
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        n = result.size
+        return InductanceBlocks(
+            kind="L", blocks=[(list(range(n)), result.matrix.copy())]
+        )

@@ -1,0 +1,189 @@
+"""Halo (return-limited) sparsification -- Shepard et al. (paper ref [15]).
+
+"It is based on the assumption that the currents of signal lines return
+within the region enclosed by the nearest same-direction power-ground
+lines": each conductor's return current is assigned to the supply lines
+bounding its *halo*, so
+
+* couplings between conductors screened from each other by a supply line
+  are dropped, and
+* the retained partial inductances (self and mutual) are *shifted* by the
+  mutual inductance to the assumed return at the halo boundary -- the
+  same shift-truncate mathematics as the shell method, but with the
+  radius determined by the actual power-grid geometry instead of a free
+  parameter.
+
+Without the shift, plain geometric dropping is just truncation by another
+name and can lose positive definiteness; with it, every current is paired
+with a nearby return and the matrix stays diagonally dominant.  This is a
+geometric rule, so unlike :mod:`~repro.sparsify.shell` it needs to know
+which nets are supply -- pass ``supply_nets``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.extraction.inductance import mutual_inductance_filaments
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.sparsify.base import InductanceBlocks, Sparsifier
+from repro.sparsify.stability import is_positive_definite
+
+
+@dataclass
+class HaloSparsifier(Sparsifier):
+    """Return-limited inductances bounded by power/ground halos.
+
+    Attributes:
+        supply_nets: Names of power/ground/shield nets whose lines bound
+            the halos and carry the assumed returns.
+        min_overlap_fraction: A supply line blocks a pair only when it
+            axially overlaps at least this fraction of the pair's common
+            span (a short jog does not screen a long bus).
+        same_layer_only: Restrict blocking to supply lines on the same
+            layer (coplanar screening); ``False`` lets planes on other
+            layers block too.
+        shift: Apply the return-shift to retained entries (the actual
+            return-limited formulation).  ``False`` gives the naive
+            drop-only variant, kept for the ablation benchmark -- it can
+            and does lose passivity.
+    """
+
+    supply_nets: tuple[str, ...] = ("VDD", "GND")
+    min_overlap_fraction: float = 0.5
+    same_layer_only: bool = True
+    shift: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_overlap_fraction <= 1.0:
+            raise ValueError("min_overlap_fraction must be in (0, 1]")
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def _supply_indices(self, result: PartialInductanceResult) -> list[int]:
+        return [
+            k for k, s in enumerate(result.segments)
+            if s.net in self.supply_nets
+        ]
+
+    def _halo_radius(
+        self,
+        result: PartialInductanceResult,
+        i: int,
+        supply_indices: list[int],
+    ) -> float:
+        """Distance from segment i to its nearest parallel supply return."""
+        si = result.segments[i]
+        best = math.inf
+        for k in supply_indices:
+            if k == i:
+                continue
+            sk = result.segments[k]
+            if sk.direction.axis != si.direction.axis:
+                continue
+            if self.same_layer_only and sk.layer != si.layer:
+                continue
+            overlap = si.axial_overlap(sk)
+            if overlap < self.min_overlap_fraction * si.length:
+                continue
+            best = min(best, si.transverse_distance(sk))
+        return best
+
+    def _blocked(
+        self,
+        result: PartialInductanceResult,
+        i: int,
+        j: int,
+        supply_indices: list[int],
+    ) -> bool:
+        """True when a supply segment screens pair (i, j)."""
+        si = result.segments[i]
+        sj = result.segments[j]
+        axis = si.direction.axis
+        t_axis = 1 - axis
+        ti = si.center[t_axis]
+        tj = sj.center[t_axis]
+        lo_t, hi_t = sorted((ti, tj))
+        if hi_t - lo_t <= 0:
+            return False  # vertically stacked pair; no coplanar screen
+        span_lo = max(si.axis_start, sj.axis_start)
+        span_hi = min(si.axis_end, sj.axis_end)
+        pair_overlap = max(span_hi - span_lo, 0.0)
+        if pair_overlap <= 0:
+            span_lo = min(si.axis_start, sj.axis_start)
+            span_hi = max(si.axis_end, sj.axis_end)
+            pair_overlap = span_hi - span_lo
+        for k in supply_indices:
+            if k in (i, j):
+                continue
+            sk = result.segments[k]
+            if sk.direction.axis != axis:
+                continue
+            if self.same_layer_only and (
+                sk.layer != si.layer and sk.layer != sj.layer
+            ):
+                continue
+            tk = sk.center[t_axis]
+            if not lo_t < tk < hi_t:
+                continue
+            ov = min(sk.axis_end, span_hi) - max(sk.axis_start, span_lo)
+            if ov >= self.min_overlap_fraction * pair_overlap:
+                return True
+        return False
+
+    # -- the strategy ------------------------------------------------------------
+
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        segs = result.segments
+        n = result.size
+        supply_indices = self._supply_indices(result)
+        matrix = result.matrix.copy()
+
+        radii = [
+            self._halo_radius(result, i, supply_indices) for i in range(n)
+        ]
+
+        if self.shift:
+            # Self terms: pair every conductor's current with a return at
+            # its halo boundary.
+            for i in range(n):
+                if math.isfinite(radii[i]):
+                    matrix[i, i] -= mutual_inductance_filaments(
+                        segs[i].axis_start, segs[i].axis_end,
+                        segs[i].axis_start, segs[i].axis_end,
+                        radii[i],
+                    )
+
+        for i in range(n):
+            for j in range(i + 1, n):
+                if matrix[i, j] == 0.0:
+                    continue
+                if not segs[i].is_parallel(segs[j]):
+                    continue
+                if self._blocked(result, i, j, supply_indices):
+                    matrix[i, j] = matrix[j, i] = 0.0
+                    continue
+                if self.shift:
+                    # The tighter of the two halos carries the assumed
+                    # return; couplings to the bounding return itself
+                    # shift to ~zero.
+                    radius = min(radii[i], radii[j])
+                    if math.isfinite(radius):
+                        shift = mutual_inductance_filaments(
+                            segs[i].axis_start, segs[i].axis_end,
+                            segs[j].axis_start, segs[j].axis_end,
+                            radius,
+                        )
+                        value = matrix[i, j] - shift
+                        matrix[i, j] = matrix[j, i] = value
+
+        if self.shift and not is_positive_definite(matrix):
+            raise RuntimeError(
+                "return-limited (halo) matrix lost positive definiteness; "
+                "the layout's power grid is too sparse to bound the halos "
+                "-- add returns or use the shell method"
+            )
+        return InductanceBlocks(kind="L", blocks=[(list(range(n)), matrix)])

@@ -1,0 +1,66 @@
+"""K-matrix (inverse inductance) sparsification -- Devgan et al. (ref [17]).
+
+"A recent approach defines a circuit matrix K, as the inverse of the
+partial inductance matrix L.  K has a higher degree of locality and
+sparsity, similar to the capacitance matrix, and hence is amenable to
+sparsification and simulation.  However, it requires inversion of the
+partial inductance matrix, and a special circuit simulator that can handle
+the K matrix."
+
+The inversion happens here; the special simulator support is the
+:class:`~repro.circuit.elements.KInductorSet` element, which the MNA
+engine stamps as ``d i/dt = K v``.  Crucially, truncating small K entries
+preserves positive definiteness far more robustly than truncating L
+(K is diagonally dominant, like the capacitance matrix), which is the
+entire point of the method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.sparsify.base import InductanceBlocks, Sparsifier
+from repro.sparsify.stability import is_positive_definite
+
+
+@dataclass
+class KMatrixSparsifier(Sparsifier):
+    """Invert L, truncate small K entries, simulate with the K element.
+
+    Attributes:
+        threshold: Entries with ``|K_ij| / sqrt(K_ii K_jj) < threshold``
+            are zeroed.  K's locality means even aggressive thresholds keep
+            the near-neighbour physics.
+    """
+
+    threshold: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        try:
+            kmatrix = np.linalg.inv(result.matrix)
+        except np.linalg.LinAlgError as exc:
+            raise RuntimeError(
+                "partial-inductance matrix is singular; K extraction needs a "
+                "positive definite L"
+            ) from exc
+        kmatrix = (kmatrix + kmatrix.T) / 2.0
+        if self.threshold > 0.0:
+            diag = np.sqrt(np.diagonal(kmatrix))
+            rel = np.abs(kmatrix) / np.outer(diag, diag)
+            drop = rel < self.threshold
+            np.fill_diagonal(drop, False)
+            kmatrix[drop] = 0.0
+        if not is_positive_definite(kmatrix):
+            raise RuntimeError(
+                f"sparsified K matrix lost positive definiteness at threshold "
+                f"{self.threshold}; lower the threshold"
+            )
+        n = result.size
+        return InductanceBlocks(kind="K", blocks=[(list(range(n)), kmatrix)])

@@ -1,0 +1,51 @@
+"""Stability / passivity checks for sparsified inductance matrices.
+
+An RLC circuit built from a partial-inductance matrix is passive iff the
+matrix is symmetric positive definite.  "The resulting matrix can become
+non-positive definite, and the sparsified system becomes active and can
+generate energy" -- the paper's core warning about naive truncation.
+These helpers are how every strategy (and the test suite) verifies itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_positive_definite(matrix: np.ndarray, tol: float = 0.0) -> bool:
+    """True when the symmetric matrix is positive definite.
+
+    Uses Cholesky (fast, numerically meaningful).  ``tol`` shifts the
+    diagonal down first, so ``tol > 0`` demands strict margin.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    if not np.allclose(m, m.T, rtol=1e-9, atol=0.0):
+        return False
+    try:
+        np.linalg.cholesky(m - tol * np.eye(m.shape[0]))
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+def min_eigenvalue(matrix: np.ndarray) -> float:
+    """Smallest eigenvalue of a symmetric matrix.
+
+    Negative values quantify *how* non-passive a truncated matrix is; the
+    ablation benchmark reports this alongside the transient blow-up.
+    """
+    m = np.asarray(matrix, dtype=float)
+    return float(np.linalg.eigvalsh((m + m.T) / 2.0)[0])
+
+
+def sparsity_ratio(matrix: np.ndarray) -> float:
+    """Fraction of off-diagonal entries that are exactly zero."""
+    m = np.asarray(matrix)
+    n = m.shape[0]
+    if n <= 1:
+        return 1.0
+    off_total = n * (n - 1)
+    off_nonzero = np.count_nonzero(m) - np.count_nonzero(np.diagonal(m))
+    return 1.0 - off_nonzero / off_total

@@ -1,0 +1,48 @@
+"""Naive threshold truncation of the partial-inductance matrix.
+
+"The simplest approach to sparsifying the inductance matrix is to discard
+all mutual coupling terms falling below a certain threshold. ... However,
+the resulting matrix can become non-positive definite, and the sparsified
+system becomes active and can generate energy.  Since there is no
+guarantee on either the degree of sparsity or stability, truncation is not
+a feasible solution."  (Paper, Section 4.)
+
+We implement it anyway -- as the negative control.  The ablation benchmark
+shows the indefinite matrices and the transient energy growth this
+produces, reproducing the paper's argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.sparsify.base import InductanceBlocks, Sparsifier
+
+
+@dataclass
+class TruncationSparsifier(Sparsifier):
+    """Drop mutual terms with coupling coefficient below ``threshold``.
+
+    Attributes:
+        threshold: Couplings with ``|M_ij| / sqrt(L_ii L_jj) < threshold``
+            are zeroed.  0 keeps everything; 1 keeps nothing off-diagonal.
+    """
+
+    threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        matrix = result.matrix.copy()
+        diag = np.sqrt(np.diagonal(matrix))
+        coupling = np.abs(matrix) / np.outer(diag, diag)
+        drop = coupling < self.threshold
+        np.fill_diagonal(drop, False)
+        matrix[drop] = 0.0
+        n = result.size
+        return InductanceBlocks(kind="L", blocks=[(list(range(n)), matrix)])

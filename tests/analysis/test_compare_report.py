@@ -1,0 +1,63 @@
+"""Waveform comparison and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_waveforms
+from repro.analysis.report import format_table
+
+
+class TestCompare:
+    def test_identical_waveforms(self):
+        t = np.linspace(0, 1, 11)
+        v = np.sin(t)
+        cmp = compare_waveforms(t, v, t, v)
+        assert cmp.max_error == 0.0
+        assert cmp.rms_error == 0.0
+
+    def test_constant_offset(self):
+        t = np.linspace(0, 1, 11)
+        cmp = compare_waveforms(t, np.ones(11), t, np.zeros(11))
+        assert cmp.max_error == pytest.approx(1.0)
+        assert cmp.rms_error == pytest.approx(1.0)
+
+    def test_different_time_bases_interpolated(self):
+        t1 = np.linspace(0, 1, 11)
+        t2 = np.linspace(0, 1, 101)
+        cmp = compare_waveforms(t1, t1, t2, t2)
+        assert cmp.max_error < 1e-12
+
+    def test_reports_error_location(self):
+        t = np.linspace(0, 1, 101)
+        v2 = np.zeros(101)
+        v1 = np.zeros(101)
+        v1[50] = 1.0  # spike at t=0.5
+        cmp = compare_waveforms(t, v1, t, v2)
+        assert cmp.max_error_time == pytest.approx(0.5)
+
+    def test_disjoint_time_bases_rejected(self):
+        with pytest.raises(ValueError):
+            compare_waveforms(
+                np.array([0.0, 1.0]), np.zeros(2),
+                np.array([2.0, 3.0]), np.zeros(2),
+            )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out

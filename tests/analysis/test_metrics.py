@@ -1,0 +1,110 @@
+"""Waveform metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    delay_50,
+    overshoot,
+    peak_noise,
+    rise_time,
+    settling_time,
+    skew,
+    threshold_crossing,
+    undershoot,
+)
+
+
+class TestThresholdCrossing:
+    def test_linear_interpolation(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([0.0, 1.0, 2.0])
+        assert threshold_crossing(t, v, 0.5) == pytest.approx(0.5)
+        assert threshold_crossing(t, v, 1.5) == pytest.approx(1.5)
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 4, 5)
+        v = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        assert threshold_crossing(t, v, 0.5, rising=True) == pytest.approx(0.5)
+        assert threshold_crossing(t, v, 0.5, rising=False) == pytest.approx(1.5)
+
+    def test_start_window(self):
+        t = np.linspace(0, 4, 5)
+        v = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        late = threshold_crossing(t, v, 0.5, rising=True, start=1.0)
+        assert late == pytest.approx(2.5)
+
+    def test_no_crossing_raises(self):
+        t = np.linspace(0, 1, 5)
+        v = np.full(5, 0.2)
+        with pytest.raises(ValueError):
+            threshold_crossing(t, v, 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            threshold_crossing(np.zeros(3), np.zeros(4), 0.5)
+
+    @given(level=st.floats(0.05, 0.95))
+    @settings(max_examples=40)
+    def test_crossing_brackets_level(self, level):
+        t = np.linspace(0, 1, 101)
+        v = t**2  # monotone rising
+        tc = threshold_crossing(t, v, level)
+        assert tc == pytest.approx(np.sqrt(level), abs=0.02)
+
+
+class TestDelays:
+    def test_delay_50_ideal_shift(self):
+        t = np.linspace(0, 10e-9, 1001)
+        vin = np.clip((t - 1e-9) / 1e-9, 0, 1)
+        vout = np.clip((t - 3e-9) / 1e-9, 0, 1)
+        assert delay_50(t, vin, vout, 1.0) == pytest.approx(2e-9, rel=1e-6)
+
+    def test_delay_with_inverting_output(self):
+        t = np.linspace(0, 10e-9, 1001)
+        vin = np.clip((t - 1e-9) / 1e-9, 0, 1)
+        vout = 1.0 - np.clip((t - 3e-9) / 1e-9, 0, 1)
+        assert delay_50(t, vin, vout, 1.0) == pytest.approx(2e-9, rel=1e-6)
+
+    def test_rise_time(self):
+        t = np.linspace(0, 10e-9, 1001)
+        v = np.clip(t / 10e-9, 0, 1)
+        assert rise_time(t, v, 1.0) == pytest.approx(8e-9, rel=1e-3)
+
+    def test_skew(self):
+        assert skew([1e-12, 5e-12, 3e-12]) == pytest.approx(4e-12)
+        with pytest.raises(ValueError):
+            skew([])
+
+
+class TestExcursions:
+    def test_overshoot(self):
+        v = np.array([0.0, 1.3, 1.0, 1.05, 1.0])
+        assert overshoot(v, 1.0) == pytest.approx(0.3)
+        assert overshoot(np.array([0.5, 0.9]), 1.0) == 0.0
+
+    def test_undershoot(self):
+        v = np.array([0.0, -0.2, 0.1])
+        assert undershoot(v, 0.0) == pytest.approx(0.2)
+
+    def test_peak_noise(self):
+        v = np.array([1.19, 1.25, 1.18])
+        assert peak_noise(v, 1.2) == pytest.approx(0.05)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 10, 11)
+        v = np.array([0, 2, 1.5, 1.2, 1.05, 1.02, 1.01, 1.0, 1.0, 1.0, 1.0])
+        assert settling_time(t, v, 1.0, band=0.03) == pytest.approx(5.0)
+
+    def test_settling_never_raises(self):
+        t = np.linspace(0, 1, 5)
+        v = np.array([0.0, 2.0, 0.0, 2.0, 0.0])
+        with pytest.raises(ValueError):
+            settling_time(t, v, 1.0, band=0.1)
+
+    def test_settled_from_start(self):
+        t = np.linspace(0, 1, 5)
+        v = np.full(5, 1.0)
+        assert settling_time(t, v, 1.0, band=0.1) == 0.0

@@ -1,0 +1,61 @@
+"""Spectral helpers for extraction-frequency selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    edge_spectrum,
+    significant_frequency,
+    spectral_knee,
+)
+
+
+class TestSignificantFrequency:
+    def test_rule_of_thumb(self):
+        assert significant_frequency(34e-12) == pytest.approx(1e10)
+
+    def test_faster_edge_higher_knee(self):
+        assert significant_frequency(10e-12) > significant_frequency(100e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            significant_frequency(0.0)
+
+
+class TestEdgeSpectrum:
+    def test_sine_peaks_at_its_frequency(self):
+        t = np.linspace(0, 10e-9, 1000, endpoint=False)
+        v = np.sin(2 * np.pi * 1e9 * t)
+        freqs, amps = edge_spectrum(t, v)
+        assert freqs[int(np.argmax(amps))] == pytest.approx(1e9, rel=0.01)
+
+    def test_requires_uniform_time_base(self):
+        t = np.array([0.0, 1.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            edge_spectrum(t, np.zeros(4))
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            edge_spectrum(np.zeros(2), np.zeros(2))
+
+
+class TestSpectralKnee:
+    def test_faster_edge_has_higher_knee(self):
+        t = np.linspace(0, 4e-9, 4000, endpoint=False)
+
+        def edge(rise):
+            return np.clip((t - 1e-9) / rise, 0.0, 1.0)
+
+        knee_fast = spectral_knee(t, edge(20e-12))
+        knee_slow = spectral_knee(t, edge(200e-12))
+        assert knee_fast > knee_slow
+
+    def test_fraction_validated(self):
+        t = np.linspace(0, 1e-9, 100, endpoint=False)
+        with pytest.raises(ValueError):
+            spectral_knee(t, np.sin(t * 1e10), energy_fraction=1.5)
+
+    def test_dc_waveform_rejected(self):
+        t = np.linspace(0, 1e-9, 100, endpoint=False)
+        with pytest.raises(ValueError):
+            spectral_knee(t, np.ones(100))

@@ -1,0 +1,94 @@
+"""Transmission-line regime classification (paper ref [1] criteria)."""
+
+import pytest
+
+from repro.analysis.tline import (
+    TransmissionLineAssessment,
+    WireRegime,
+    assess_from_extraction,
+    assess_line,
+)
+
+# Representative on-chip global wire: 50 ohm/mm, 0.5 nH/mm, 0.2 pF/mm.
+R_PUL = 50e3  # ohm/m
+L_PUL = 0.5e-6  # H/m
+C_PUL = 0.2e-9  # F/m
+
+
+class TestAssessLine:
+    def test_short_wire_is_not_inductive(self):
+        out = assess_line(50e-6, R_PUL, L_PUL, C_PUL, rise_time=100e-12)
+        assert out.regime in (WireRegime.LUMPED, WireRegime.RC)
+        assert not out.inductance_matters
+
+    def test_long_wide_wire_is_inductive(self):
+        # Fast edge, low-resistance wide wire, millimeter length: the
+        # paper's "long and wide wires exhibit inductive behavior".
+        out = assess_line(3e-3, 10e3, L_PUL, C_PUL, rise_time=30e-12)
+        assert out.regime == WireRegime.RLC
+        assert out.inductance_matters
+
+    def test_very_long_wire_degrades_to_rc(self):
+        # Past the attenuation length, resistance wins again.
+        out = assess_line(50e-3, R_PUL, L_PUL, C_PUL, rise_time=30e-12)
+        assert out.regime == WireRegime.RC
+
+    def test_bounds_ordering(self):
+        out = assess_line(1e-3, 10e3, L_PUL, C_PUL, rise_time=30e-12)
+        assert out.lower_bound < out.upper_bound
+
+    def test_faster_edges_widen_the_window(self):
+        slow = assess_line(1e-3, R_PUL, L_PUL, C_PUL, rise_time=300e-12)
+        fast = assess_line(1e-3, R_PUL, L_PUL, C_PUL, rise_time=30e-12)
+        assert fast.lower_bound < slow.lower_bound
+
+    def test_characteristic_impedance(self):
+        out = assess_line(1e-3, R_PUL, L_PUL, C_PUL, rise_time=50e-12)
+        assert out.characteristic_impedance == pytest.approx(
+            (L_PUL / C_PUL) ** 0.5
+        )
+
+    def test_time_of_flight(self):
+        out = assess_line(1e-3, R_PUL, L_PUL, C_PUL, rise_time=50e-12)
+        assert out.time_of_flight == pytest.approx(
+            1e-3 * (L_PUL * C_PUL) ** 0.5
+        )
+
+    def test_damping_factor_scales_with_length(self):
+        short = assess_line(0.5e-3, R_PUL, L_PUL, C_PUL, rise_time=50e-12)
+        long = assess_line(2e-3, R_PUL, L_PUL, C_PUL, rise_time=50e-12)
+        assert long.damping_factor == pytest.approx(
+            4 * short.damping_factor
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            assess_line(0.0, R_PUL, L_PUL, C_PUL, 1e-12)
+        with pytest.raises(ValueError):
+            assess_line(1e-3, R_PUL, -L_PUL, C_PUL, 1e-12)
+
+
+class TestAssessFromExtraction:
+    def test_wraps_loop_extraction(self, signal_grid_structure):
+        import numpy as np
+
+        from repro.loop.extractor import LoopPort, extract_loop_impedance
+
+        layout, ports = signal_grid_structure
+        port = LoopPort(
+            signal=ports["driver"],
+            reference=ports["gnd_driver"],
+            short_signal=ports["receiver"],
+            short_reference=ports["gnd_receiver"],
+        )
+        extraction = extract_loop_impedance(
+            layout, port, np.logspace(8, 10.5, 5),
+            max_segment_length=150e-6,
+        )
+        out = assess_from_extraction(
+            extraction, length=300e-6, c_total=80e-15, rise_time=30e-12
+        )
+        assert isinstance(out, TransmissionLineAssessment)
+        assert out.characteristic_impedance > 0
+        # The 300-um test structure is resistive at this drive.
+        assert out.regime in (WireRegime.RC, WireRegime.LUMPED)

@@ -1,0 +1,132 @@
+"""AC analysis against closed-form impedances and transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, ac_impedance
+from repro.circuit.netlist import GROUND, Circuit
+
+
+class TestImpedance:
+    def test_resistor(self):
+        c = Circuit("t")
+        c.add_resistor("r", "p", GROUND, 42.0)
+        z = ac_impedance(c, [1e6, 1e9], ("p", GROUND))
+        assert np.allclose(z, 42.0)
+
+    def test_series_rl(self):
+        c = Circuit("t")
+        c.add_resistor("r", "p", "m", 10.0)
+        c.add_inductor("l", "m", GROUND, 2e-9)
+        freqs = np.array([1e8, 1e9, 5e9])
+        z = ac_impedance(c, freqs, ("p", GROUND))
+        expected = 10.0 + 1j * 2 * np.pi * freqs * 2e-9
+        assert np.allclose(z, expected, rtol=1e-9)
+
+    def test_capacitor(self):
+        c = Circuit("t")
+        c.add_capacitor("c1", "p", GROUND, 1e-12)
+        f = 1e9
+        z = ac_impedance(c, [f], ("p", GROUND), gmin=0.0)
+        expected = 1.0 / (1j * 2 * np.pi * f * 1e-12)
+        assert z[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_series_rlc_resonance(self):
+        c = Circuit("t")
+        c.add_resistor("r", "p", "a", 7.0)
+        c.add_inductor("l", "a", "b", 1e-9)
+        c.add_capacitor("c1", "b", GROUND, 1e-12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-9 * 1e-12))
+        z = ac_impedance(c, [f0], ("p", GROUND))
+        assert z[0].real == pytest.approx(7.0, rel=1e-6)
+        assert abs(z[0].imag) < 1e-3
+
+    def test_parallel_inductors_share_current(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "p", "a", 1.0)
+        c.add_inductor("l1", "a", GROUND, 2e-9)
+        c.add_resistor("r2", "p", "b", 1.0)
+        c.add_inductor("l2", "b", GROUND, 2e-9)
+        f = 1e9
+        z = ac_impedance(c, [f], ("p", GROUND))
+        expected = 0.5 * (1.0 + 1j * 2 * np.pi * f * 2e-9)
+        assert z[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_mutual_coupling_aiding(self):
+        # Two series-aiding coupled inductors: L_eff = L1 + L2 + 2M.
+        c = Circuit("t")
+        c.add_inductor("l1", "p", "m", 1e-9)
+        c.add_inductor("l2", "m", GROUND, 1e-9)
+        c.add_mutual("m12", "l1", "l2", 0.5e-9)
+        f = 1e9
+        z = ac_impedance(c, [f], ("p", GROUND), gmin=1e-12)
+        l_eff = z[0].imag / (2 * np.pi * f)
+        assert l_eff == pytest.approx(3e-9, rel=1e-6)
+
+    def test_k_set_matches_l_set(self):
+        l_matrix = np.array([[2e-9, 0.6e-9], [0.6e-9, 1.5e-9]])
+        freqs = [5e8, 2e9, 1e10]
+
+        def build(kind):
+            c = Circuit(kind)
+            c.add_resistor("r1", "p", "a", 1.0)
+            c.add_resistor("r2", "p", "b", 1.0)
+            if kind == "L":
+                c.add_inductor_set("s", [("a", GROUND), ("b", GROUND)], l_matrix)
+            else:
+                c.add_k_set("s", [("a", GROUND), ("b", GROUND)],
+                            np.linalg.inv(l_matrix))
+            return c
+
+        z_l = ac_impedance(build("L"), freqs, ("p", GROUND))
+        z_k = ac_impedance(build("K"), freqs, ("p", GROUND))
+        assert np.allclose(z_l, z_k, rtol=1e-9)
+
+
+class TestACAnalysis:
+    def test_rc_lowpass_transfer(self):
+        c = Circuit("t")
+        c.add_vsource("vin", "in", GROUND, 0.0)
+        c.add_resistor("r", "in", "out", 1000.0)
+        c.add_capacitor("c1", "out", GROUND, 1e-12)
+        f3db = 1.0 / (2 * np.pi * 1000.0 * 1e-12)
+        res = ac_analysis(c, [f3db / 100, f3db, f3db * 100], {"vin": 1.0})
+        h = res.voltage("out")
+        assert abs(h[0]) == pytest.approx(1.0, rel=1e-3)
+        assert abs(h[1]) == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+        assert abs(h[2]) < 0.02
+
+    def test_off_sources_are_zero(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 5.0)  # DC value ignored in AC
+        c.add_vsource("v2", "b", GROUND, 0.0)
+        c.add_resistor("r1", "a", "c", 1.0)
+        c.add_resistor("r2", "b", "c", 1.0)
+        c.add_resistor("r3", "c", GROUND, 1.0)
+        res = ac_analysis(c, [1e9], {"v2": 1.0})
+        # Only v2 active: v1 shorted.
+        assert abs(res.voltage("a")[0]) < 1e-12
+        assert abs(res.voltage("b")[0] - 1.0) < 1e-12
+
+    def test_unknown_stimulus_rejected(self):
+        c = Circuit("t")
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(KeyError):
+            ac_analysis(c, [1e9], {"nope": 1.0})
+
+    def test_nonlinear_rejected(self):
+        from repro.circuit.devices import CMOSInverter
+
+        c = Circuit("t")
+        c.add_vsource("vdd", "vdd", GROUND, 1.2)
+        c.add_device(CMOSInverter("u", "vdd", "out", "vdd", GROUND))
+        with pytest.raises(ValueError):
+            ac_analysis(c, [1e9], {"vdd": 1.0})
+
+    def test_branch_current_readout(self):
+        c = Circuit("t")
+        c.add_vsource("vin", "a", GROUND, 0.0)
+        c.add_resistor("r", "a", GROUND, 2.0)
+        res = ac_analysis(c, [1e9], {"vin": 1.0})
+        # Source branch current = -v/r (flows out of + internally).
+        assert res.branch_current("vin")[0] == pytest.approx(-0.5, rel=1e-9)

@@ -1,0 +1,96 @@
+"""Adaptive-step transient with LTE control."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.adaptive import adaptive_transient
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+
+
+def rc_circuit(tau=1e-9):
+    c = Circuit("rc")
+    c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-12))
+    c.add_resistor("r", "a", "b", 1000.0)
+    c.add_capacitor("c", "b", GROUND, tau / 1000.0)
+    return c
+
+
+def rlc_circuit():
+    c = Circuit("rlc")
+    c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.1e-9, 50e-12))
+    c.add_resistor("r", "a", "b", 5.0)
+    c.add_inductor("l", "b", "c", 1e-9)
+    c.add_capacitor("c1", "c", GROUND, 0.5e-12)
+    return c
+
+
+class TestAccuracy:
+    def test_matches_exponential(self):
+        res = adaptive_transient(rc_circuit(), 6e-9, 5e-12)
+        expected = 1.0 - np.exp(-res.times / 1e-9)
+        mask = res.times > 0.1e-9
+        err = np.max(np.abs(res.voltage("b")[mask] - expected[mask]))
+        assert err < 5e-3
+
+    def test_matches_fixed_step_on_ringing_circuit(self):
+        fixed = transient_analysis(rlc_circuit(), 3e-9, 1e-12, record=["c"])
+        adaptive = adaptive_transient(rlc_circuit(), 3e-9, 1e-12,
+                                      reltol=1e-4, record=["c"])
+        resampled = adaptive.resampled(fixed.times)
+        err = np.max(np.abs(resampled.voltage("c") - fixed.voltage("c")))
+        assert err < 0.02
+
+    def test_tight_tolerance_is_more_accurate(self):
+        fixed = transient_analysis(rlc_circuit(), 3e-9, 0.5e-12, record=["c"])
+
+        def error(reltol):
+            adaptive = adaptive_transient(rlc_circuit(), 3e-9, 1e-12,
+                                          reltol=reltol, record=["c"])
+            res = adaptive.resampled(fixed.times)
+            return np.max(np.abs(res.voltage("c") - fixed.voltage("c")))
+
+        assert error(1e-5) < error(1e-2)
+
+
+class TestStepControl:
+    def test_fewer_points_than_fixed_step(self):
+        # A fast edge then a long quiet tail: adaptive should coast.
+        res = adaptive_transient(rc_circuit(), 50e-9, 5e-12)
+        fixed_points = int(50e-9 / 5e-12)
+        assert len(res.times) < fixed_points / 5
+
+    def test_steps_grow_in_the_tail(self):
+        res = adaptive_transient(rc_circuit(), 50e-9, 5e-12)
+        steps = np.diff(res.times)
+        assert steps[-1] > 5 * steps[0]
+
+    def test_monotone_time_base(self):
+        res = adaptive_transient(rlc_circuit(), 3e-9, 1e-12)
+        assert np.all(np.diff(res.times) > 0)
+        assert res.times[-1] == pytest.approx(3e-9, rel=1e-9)
+
+    def test_factorizations_bounded(self):
+        res = adaptive_transient(rc_circuit(), 20e-9, 5e-12)
+        assert res.num_factorizations < 60
+
+
+class TestValidation:
+    def test_nonlinear_rejected(self):
+        from repro.circuit.devices import CMOSInverter
+
+        c = rc_circuit()
+        c.add_vsource("vdd", "vdd", GROUND, 1.2)
+        c.add_device(CMOSInverter("u", "a", "o", "vdd", GROUND))
+        with pytest.raises(ValueError):
+            adaptive_transient(c, 1e-9, 1e-12)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            adaptive_transient(rc_circuit(), 1e-9, 2e-9)
+
+    def test_zero_start(self):
+        res = adaptive_transient(rc_circuit(), 5e-9, 5e-12, x0="zero")
+        assert res.voltage("b")[0] == 0.0
+        assert res.voltage("b")[-1] == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,104 @@
+"""DC operating point."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import ConvergenceError, dc_operating_point
+from repro.circuit.devices import CMOSInverter
+from repro.circuit.linalg import SingularCircuitError
+from repro.circuit.mna import MNASystem
+from repro.circuit.netlist import GROUND, Circuit
+
+
+class TestLinearDC:
+    def test_resistor_divider(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 10.0)
+        c.add_resistor("r1", "a", "b", 6.0)
+        c.add_resistor("r2", "b", GROUND, 4.0)
+        x = dc_operating_point(c)
+        assert x[c.node_index("b")] == pytest.approx(4.0)
+
+    def test_inductors_are_shorts(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 2.0)
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_inductor("l", "b", "c", 1e-9)
+        c.add_resistor("r2", "c", GROUND, 1.0)
+        x = dc_operating_point(c)
+        system = MNASystem(c)
+        assert x[system.node_index("b")] == pytest.approx(
+            x[system.node_index("c")]
+        )
+        assert x[system.branch_index("l")] == pytest.approx(1.0)
+
+    def test_capacitors_are_open(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 2.0)
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_capacitor("c1", "b", GROUND, 1e-12)
+        x = dc_operating_point(c)
+        assert x[c.node_index("b")] == pytest.approx(2.0)
+
+    def test_current_source(self):
+        c = Circuit("t")
+        c.add_isource("i", GROUND, "a", 1e-3)  # inject 1 mA into a
+        c.add_resistor("r", "a", GROUND, 1000.0)
+        x = dc_operating_point(c)
+        assert x[c.node_index("a")] == pytest.approx(1.0)
+
+    def test_floating_node_handled_by_gmin(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_capacitor("c1", "a", "b", 1e-12)
+        c.add_capacitor("c2", "b", GROUND, 1e-12)
+        x = dc_operating_point(c)  # b floats at DC; gmin pins it
+        assert np.isfinite(x).all()
+
+    def test_sources_evaluated_at_t(self):
+        from repro.circuit.waveforms import Ramp
+
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, Ramp(0, 2, 0, 1e-9))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        x = dc_operating_point(c, t=0.5e-9)
+        assert x[c.node_index("a")] == pytest.approx(1.0)
+
+
+class TestNonlinearDC:
+    def test_inverter_vtc_endpoints(self):
+        for vin, expect_high in ((0.0, True), (1.2, False)):
+            c = Circuit("t")
+            c.add_vsource("vdd", "vdd", GROUND, 1.2)
+            c.add_vsource("vin", "in", GROUND, vin)
+            c.add_device(CMOSInverter("u", "in", "out", "vdd", GROUND))
+            c.add_resistor("rl", "out", GROUND, 1e9)
+            x = dc_operating_point(c)
+            v_out = x[c.node_index("out")]
+            if expect_high:
+                assert v_out > 1.1
+            else:
+                assert v_out < 0.1
+
+    def test_inverter_switching_region_monotone(self):
+        outs = []
+        for vin in (0.3, 0.5, 0.6, 0.7, 0.9):
+            c = Circuit("t")
+            c.add_vsource("vdd", "vdd", GROUND, 1.2)
+            c.add_vsource("vin", "in", GROUND, vin)
+            c.add_device(CMOSInverter("u", "in", "out", "vdd", GROUND))
+            c.add_resistor("rl", "out", GROUND, 1e9)
+            x = dc_operating_point(c)
+            outs.append(x[c.node_index("out")])
+        assert all(a >= b - 1e-9 for a, b in zip(outs, outs[1:]))
+
+    def test_two_stage_chain(self):
+        c = Circuit("t")
+        c.add_vsource("vdd", "vdd", GROUND, 1.2)
+        c.add_vsource("vin", "in", GROUND, 0.0)
+        c.add_device(CMOSInverter("u1", "in", "mid", "vdd", GROUND))
+        c.add_device(CMOSInverter("u2", "mid", "out", "vdd", GROUND))
+        c.add_resistor("rl", "out", GROUND, 1e9)
+        x = dc_operating_point(c)
+        assert x[c.node_index("mid")] > 1.1
+        assert x[c.node_index("out")] < 0.1

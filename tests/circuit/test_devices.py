@@ -1,0 +1,106 @@
+"""Square-law CMOS devices: currents, Jacobians, switching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.devices import CMOSInverter, MOSParameters, _nmos_ids
+
+
+class TestSquareLaw:
+    def test_cutoff(self):
+        p = MOSParameters(vt=0.45, beta=1e-3, lam=0.0, gmin=0.0)
+        ids, dgs, dds = _nmos_ids(0.3, 0.5, p)
+        assert ids == 0.0
+
+    def test_triode_value(self):
+        p = MOSParameters(vt=0.4, beta=1e-3, lam=0.0, gmin=0.0)
+        ids, _, _ = _nmos_ids(1.0, 0.2, p)
+        assert ids == pytest.approx(1e-3 * (0.6 * 0.2 - 0.02))
+
+    def test_saturation_value(self):
+        p = MOSParameters(vt=0.4, beta=1e-3, lam=0.0, gmin=0.0)
+        ids, _, _ = _nmos_ids(1.0, 1.0, p)
+        assert ids == pytest.approx(0.5e-3 * 0.36)
+
+    def test_continuity_at_saturation_boundary(self):
+        p = MOSParameters(vt=0.4, beta=1e-3, lam=0.05, gmin=0.0)
+        vov = 0.3
+        below, _, _ = _nmos_ids(0.7, vov - 1e-9, p)
+        above, _, _ = _nmos_ids(0.7, vov + 1e-9, p)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    @given(
+        vgs=st.floats(0.0, 1.5),
+        vds=st.floats(0.0, 1.5),
+    )
+    @settings(max_examples=100)
+    def test_derivatives_match_finite_difference(self, vgs, vds):
+        p = MOSParameters(vt=0.45, beta=2e-3, lam=0.05, gmin=1e-9)
+        h = 1e-7
+        ids, dgs, dds = _nmos_ids(vgs, vds, p)
+        num_dgs = (_nmos_ids(vgs + h, vds, p)[0] -
+                   _nmos_ids(vgs - h, vds, p)[0]) / (2 * h)
+        num_dds = (_nmos_ids(vgs, vds + h, p)[0] -
+                   _nmos_ids(vgs, vds - h, p)[0]) / (2 * h)
+        assert dgs == pytest.approx(num_dgs, abs=1e-6)
+        assert dds == pytest.approx(num_dds, abs=1e-6)
+
+
+class TestInverter:
+    def test_current_conservation(self):
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        for v in ([0.6, 0.5, 1.2, 0.0], [0.2, 1.1, 1.2, 0.0],
+                  [1.0, 0.1, 1.2, 0.0]):
+            i, _ = inv.evaluate(np.array(v))
+            assert sum(i) == pytest.approx(0.0, abs=1e-15)
+
+    def test_gate_draws_no_current(self):
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        i, _ = inv.evaluate(np.array([0.6, 0.5, 1.2, 0.0]))
+        assert i[0] == 0.0
+
+    def test_pulldown_when_input_high(self):
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        i, _ = inv.evaluate(np.array([1.2, 0.6, 1.2, 0.0]))
+        assert i[1] > 0.0  # current flows out of the output node (discharge)
+
+    def test_pullup_when_input_low(self):
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        i, _ = inv.evaluate(np.array([0.0, 0.6, 1.2, 0.0]))
+        assert i[1] < 0.0  # current flows into the output node (charge)
+
+    def test_strength_scales_current(self):
+        weak = CMOSInverter("w", "g", "o", "vdd", "vss", strength=1.0)
+        strong = CMOSInverter("s", "g", "o", "vdd", "vss", strength=4.0)
+        vi = np.array([1.2, 0.6, 1.2, 0.0])
+        iw, _ = weak.evaluate(vi)
+        istr, _ = strong.evaluate(vi)
+        assert istr[1] == pytest.approx(4.0 * iw[1], rel=1e-6)
+
+    @given(
+        v_g=st.floats(0.0, 1.2),
+        v_o=st.floats(0.0, 1.2),
+    )
+    @settings(max_examples=60)
+    def test_jacobian_matches_finite_difference(self, v_g, v_o):
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        v = np.array([v_g, v_o, 1.2, 0.0])
+        i0, jac = inv.evaluate(v)
+        h = 1e-7
+        for col in range(4):
+            vp = v.copy()
+            vp[col] += h
+            vm = v.copy()
+            vm[col] -= h
+            num = (inv.evaluate(vp)[0] - inv.evaluate(vm)[0]) / (2 * h)
+            assert np.allclose(jac[:, col], num, atol=1e-5)
+
+    def test_reverse_bias_handled(self):
+        # Output above vdd: PMOS conducts backwards without blowing up.
+        inv = CMOSInverter("u", "g", "o", "vdd", "vss")
+        i, jac = inv.evaluate(np.array([0.0, 1.5, 1.2, 0.0]))
+        assert np.all(np.isfinite(i))
+        assert np.all(np.isfinite(jac))
+        assert i[1] > 0.0  # current flows back into the rail

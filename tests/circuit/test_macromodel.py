@@ -1,0 +1,93 @@
+"""State-space macromodel element: embedding semantics."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import StateSpaceElement
+from repro.circuit.ac import ac_impedance
+from repro.circuit.mna import MNASystem
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+
+
+def rc_macromodel():
+    """Exact 2-state macromodel of R=100 in series with C=1pF to ground.
+
+    MNA of the subcircuit with port-injection input: states (v_port,
+    v_internal); G = [[1/R, -1/R], [-1/R, 1/R]]; C = diag(0, 1 pF);
+    b = [1, 0].
+    """
+    g = 1.0 / 100.0
+    g_red = np.array([[g, -g], [-g, g]])
+    c_red = np.array([[0.0, 0.0], [0.0, 1e-12]])
+    b_red = np.array([[1.0], [0.0]])
+    return g_red, c_red, b_red
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            StateSpaceElement("m", (("a", "0"),), np.eye(2), np.eye(3),
+                              np.ones((2, 1)))
+        with pytest.raises(ValueError):
+            StateSpaceElement("m", (("a", "0"),), np.eye(2), np.eye(2),
+                              np.ones((2, 2)))
+
+    def test_counts(self):
+        g_red, c_red, b_red = rc_macromodel()
+        e = StateSpaceElement("m", (("a", "0"),), g_red, c_red, b_red)
+        assert e.num_states == 2
+        assert e.num_ports == 1
+
+
+class TestEmbeddedBehaviour:
+    def test_ac_impedance_matches_native_rc(self):
+        g_red, c_red, b_red = rc_macromodel()
+        macro = Circuit("macro")
+        macro.add_macromodel("m", [("p", GROUND)], g_red, c_red, b_red)
+
+        native = Circuit("native")
+        native.add_resistor("r", "p", "x", 100.0)
+        native.add_capacitor("c", "x", GROUND, 1e-12)
+
+        freqs = [1e7, 1e9, 1e10]
+        z_m = ac_impedance(macro, freqs, ("p", GROUND), gmin=1e-12)
+        z_n = ac_impedance(native, freqs, ("p", GROUND), gmin=1e-12)
+        assert np.allclose(z_m, z_n, rtol=1e-6)
+
+    def test_transient_matches_native_rc(self):
+        g_red, c_red, b_red = rc_macromodel()
+
+        def driven(circuit):
+            circuit.add_vsource("vin", "in", GROUND, Ramp(0, 1, 0, 0.1e-9))
+            circuit.add_resistor("rd", "in", "p", 50.0)
+            return circuit
+
+        macro = driven(Circuit("macro"))
+        macro.add_macromodel("m", [("p", GROUND)], g_red, c_red, b_red)
+        native = driven(Circuit("native"))
+        native.add_resistor("r", "p", "x", 100.0)
+        native.add_capacitor("c", "x", GROUND, 1e-12)
+
+        res_m = transient_analysis(macro, 2e-9, 2e-12, record=["p"])
+        res_n = transient_analysis(native, 2e-9, 2e-12, record=["p"])
+        assert np.allclose(res_m.voltage("p"), res_n.voltage("p"), atol=1e-6)
+
+    def test_state_branches_recorded(self):
+        g_red, c_red, b_red = rc_macromodel()
+        c = Circuit("macro")
+        c.add_vsource("vin", "in", GROUND, Ramp(0, 1, 0, 0.1e-9))
+        c.add_resistor("rd", "in", "p", 50.0)
+        c.add_macromodel("m", [("p", GROUND)], g_red, c_red, b_red)
+        res = transient_analysis(c, 1e-9, 2e-12)
+        # Internal cap state should track toward 1 V.
+        z1 = res.current("m.z1")
+        assert z1[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_stats_count_macromodels(self):
+        g_red, c_red, b_red = rc_macromodel()
+        c = Circuit("t")
+        c.add_macromodel("m", [("p", GROUND)], g_red, c_red, b_red)
+        assert c.stats()["macromodels"] == 1
+        assert MNASystem(c).m_ss == 3  # 2 states + 1 port current

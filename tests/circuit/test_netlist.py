@@ -1,0 +1,110 @@
+"""Circuit container and element validation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import InductorSet, KInductorSet
+from repro.circuit.netlist import GROUND, Circuit
+
+
+@pytest.fixture
+def circuit():
+    return Circuit("t")
+
+
+class TestNodes:
+    def test_ground_index(self, circuit):
+        assert circuit.node_index(GROUND) == -1
+
+    def test_indices_assigned_in_order(self, circuit):
+        circuit.add_resistor("r1", "a", "b", 1.0)
+        circuit.add_resistor("r2", "b", "c", 1.0)
+        assert circuit.node_index("a") == 0
+        assert circuit.node_index("b") == 1
+        assert circuit.node_index("c") == 2
+        assert circuit.num_nodes == 3
+
+    def test_unknown_node_raises(self, circuit):
+        with pytest.raises(KeyError):
+            circuit.node_index("nope")
+
+    def test_node_names_order(self, circuit):
+        circuit.add_resistor("r1", "z", "a", 1.0)
+        assert circuit.node_names == ["z", "a"]
+
+
+class TestElements:
+    def test_duplicate_names_rejected(self, circuit):
+        circuit.add_resistor("x", "a", "b", 1.0)
+        with pytest.raises(ValueError):
+            circuit.add_capacitor("x", "a", "b", 1e-12)
+
+    def test_nonpositive_values_rejected(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.add_resistor("r", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            circuit.add_capacitor("c", "a", "b", -1e-12)
+        with pytest.raises(ValueError):
+            circuit.add_inductor("l", "a", "b", 0.0)
+
+    def test_mutual_requires_known_inductors(self, circuit):
+        circuit.add_inductor("l1", "a", "b", 1e-9)
+        with pytest.raises(ValueError):
+            circuit.add_mutual("m", "l1", "l2", 1e-10)
+
+    def test_mutual_requires_distinct(self, circuit):
+        circuit.add_inductor("l1", "a", "b", 1e-9)
+        with pytest.raises(ValueError):
+            circuit.add_mutual("m", "l1", "l1", 1e-10)
+
+    def test_inductor_set_shape_checked(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.add_inductor_set("ls", [("a", "b")], np.eye(2))
+
+    def test_inductor_set_symmetry_checked(self):
+        with pytest.raises(ValueError):
+            InductorSet("ls", (("a", "b"), ("c", "d")),
+                        np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_k_set_symmetry_checked(self):
+        with pytest.raises(ValueError):
+            KInductorSet("ks", (("a", "b"), ("c", "d")),
+                         np.array([[1.0, 0.5], [0.2, 1.0]]))
+
+    def test_scalar_source_value_wrapped_as_dc(self, circuit):
+        src = circuit.add_vsource("v", "a", GROUND, 1.2)
+        assert src.waveform(123.0) == 1.2
+
+    def test_series_rl_creates_internal_node(self, circuit):
+        r, l = circuit.add_series_rl("seg", "a", "b", 10.0, 1e-9)
+        assert r.n2 == l.n1 == "seg:m"
+        assert circuit.node_index("seg:m") >= 0
+
+    def test_device_interface_enforced(self, circuit):
+        class Bogus:
+            name = "b"
+
+        with pytest.raises(TypeError):
+            circuit.add_device(Bogus())
+
+
+class TestStats:
+    def test_counts(self, circuit):
+        circuit.add_resistor("r", "a", "b", 1.0)
+        circuit.add_capacitor("c", "b", GROUND, 1e-12)
+        circuit.add_inductor("l1", "a", "c", 1e-9)
+        circuit.add_inductor("l2", "c", "d", 1e-9)
+        circuit.add_mutual("m", "l1", "l2", 1e-10)
+        circuit.add_inductor_set(
+            "ls", [("d", "e"), ("e", "f")],
+            np.array([[1e-9, 2e-10], [2e-10, 1e-9]]),
+        )
+        stats = circuit.stats()
+        assert stats["resistors"] == 1
+        assert stats["capacitors"] == 1
+        assert stats["inductors"] == 4  # 2 scalar + 2 set branches
+        assert stats["mutuals"] == 2  # 1 scalar + 1 in-set coupling
+
+    def test_repr_mentions_counts(self, circuit):
+        circuit.add_resistor("r", "a", "b", 1.0)
+        assert "R=1" in repr(circuit)

@@ -1,0 +1,176 @@
+"""Transient integration against closed-form responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import DC, Ramp
+
+
+def rc_circuit(r=1000.0, cap=1e-12):
+    c = Circuit("rc")
+    c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-13))
+    c.add_resistor("r", "a", "b", r)
+    c.add_capacitor("c", "b", GROUND, cap)
+    return c
+
+
+class TestRC:
+    def test_step_response_matches_exponential(self):
+        tau = 1e-9
+        c = rc_circuit()
+        res = transient_analysis(c, 5e-9, 5e-12)
+        v = res.voltage("b")
+        expected = 1.0 - np.exp(-res.times / tau)
+        # Skip the stimulus edge itself.
+        mask = res.times > 0.2e-9
+        assert np.max(np.abs(v[mask] - expected[mask])) < 0.01
+
+    def test_be_more_damped_but_converges(self):
+        c1 = rc_circuit()
+        c2 = rc_circuit()
+        trap = transient_analysis(c1, 5e-9, 5e-12, method="trap")
+        be = transient_analysis(c2, 5e-9, 5e-12, method="be")
+        assert be.voltage("b")[-1] == pytest.approx(
+            trap.voltage("b")[-1], abs=0.01
+        )
+
+    def test_dt_validation(self):
+        c = rc_circuit()
+        with pytest.raises(ValueError):
+            transient_analysis(c, 1e-9, 2e-9)
+        with pytest.raises(ValueError):
+            transient_analysis(c, 1e-9, 0.0)
+
+    def test_method_validation(self):
+        with pytest.raises(ValueError):
+            transient_analysis(rc_circuit(), 1e-9, 1e-12, method="magic")
+
+
+class TestRL:
+    def test_inductor_current_rise(self):
+        # Series RL driven by a step: i(t) = (V/R)(1 - exp(-tR/L)).
+        c = Circuit("rl")
+        c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-13))
+        c.add_resistor("r", "a", "b", 10.0)
+        c.add_inductor("l", "b", GROUND, 10e-9)
+        tau = 10e-9 / 10.0
+        res = transient_analysis(c, 5e-9, 2e-12)
+        i = res.current("l")
+        expected = 0.1 * (1.0 - np.exp(-res.times / tau))
+        mask = res.times > 0.2e-9
+        assert np.max(np.abs(i[mask] - expected[mask])) < 0.002
+
+
+class TestLC:
+    def test_resonant_ringing_frequency(self):
+        # Lightly damped series RLC rings at ~f0 = 1/(2 pi sqrt(LC)).
+        c = Circuit("rlc")
+        c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-12))
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_inductor("l", "b", "c", 1e-9)
+        c.add_capacitor("c1", "c", GROUND, 1e-12)
+        res = transient_analysis(c, 3e-9, 1e-12)
+        v = res.voltage("c")
+        # Count zero crossings of (v - 1) to estimate the ring period.
+        sign_changes = np.nonzero(np.diff(np.sign(v - 1.0)))[0]
+        assert len(sign_changes) >= 4
+        periods = 2 * np.diff(res.times[sign_changes])
+        f_est = 1.0 / np.mean(periods)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-9 * 1e-12))
+        assert f_est == pytest.approx(f0, rel=0.05)
+
+    def test_trapezoidal_preserves_ringing_longer_than_be(self):
+        def build():
+            c = Circuit("rlc")
+            c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-12))
+            c.add_resistor("r", "a", "b", 0.5)
+            c.add_inductor("l", "b", "c", 1e-9)
+            c.add_capacitor("c1", "c", GROUND, 1e-12)
+            return c
+
+        trap = transient_analysis(build(), 4e-9, 2e-12, method="trap")
+        be = transient_analysis(build(), 4e-9, 2e-12, method="be")
+        tail = trap.times > 3e-9
+        ring_trap = np.ptp(trap.voltage("c")[tail])
+        ring_be = np.ptp(be.voltage("c")[tail])
+        assert ring_trap > ring_be
+
+
+class TestCoupledInductors:
+    def test_transformer_voltage_induction(self):
+        # Driving L1 induces M * di/dt across open L2.
+        c = Circuit("xfmr")
+        c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 0.2e-9))
+        c.add_resistor("r1", "a", "b", 10.0)
+        c.add_inductor("l1", "b", GROUND, 2e-9)
+        c.add_inductor("l2", "sec", GROUND, 2e-9)
+        c.add_resistor("rsec", "sec", GROUND, 1e6)
+        c.add_mutual("m", "l1", "l2", 1e-9)
+        res = transient_analysis(c, 1e-9, 1e-12)
+        v_sec = res.voltage("sec")
+        assert np.max(np.abs(v_sec)) > 1e-3  # induction happened
+        i1 = res.current("l1")
+        # Induced polarity follows M di1/dt.
+        k = np.searchsorted(res.times, 0.1e-9)
+        di_dt = np.gradient(i1, res.times)
+        assert np.sign(v_sec[k]) == np.sign(di_dt[k])
+
+
+class TestKSets:
+    def test_k_transient_matches_l_transient(self):
+        l_matrix = np.array([[2e-9, 0.5e-9], [0.5e-9, 1.2e-9]])
+
+        def build(kind):
+            c = Circuit(kind)
+            c.add_vsource("vin", "p", GROUND, Ramp(0.0, 1.0, 0.0, 0.1e-9))
+            c.add_resistor("r1", "p", "a", 5.0)
+            c.add_resistor("r2", "p", "b", 5.0)
+            if kind == "L":
+                c.add_inductor_set("s", [("a", GROUND), ("b", GROUND)], l_matrix)
+            else:
+                c.add_k_set("s", [("a", GROUND), ("b", GROUND)],
+                            np.linalg.inv(l_matrix))
+            return c
+
+        res_l = transient_analysis(build("L"), 2e-9, 1e-12)
+        res_k = transient_analysis(build("K"), 2e-9, 1e-12)
+        assert np.allclose(res_l.voltage("a"), res_k.voltage("a"), atol=1e-6)
+        assert np.allclose(
+            res_l.current("s[0]"), res_k.current("s[0]"), atol=1e-7
+        )
+
+
+class TestRecording:
+    def test_record_subset(self):
+        c = rc_circuit()
+        res = transient_analysis(c, 1e-9, 10e-12, record=["b"])
+        assert res.voltage("b").shape == res.times.shape
+        with pytest.raises(KeyError):
+            res.voltage("a")
+
+    def test_ground_voltage_is_zero(self):
+        c = rc_circuit()
+        res = transient_analysis(c, 1e-9, 10e-12)
+        assert np.all(res.voltage("0") == 0.0)
+
+    def test_record_branch_current(self):
+        c = rc_circuit()
+        res = transient_analysis(c, 1e-9, 10e-12, record=["vin", "b"])
+        assert res.current("vin").shape == res.times.shape
+
+    def test_x0_zero_start(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, DC(1.0))
+        c.add_resistor("r", "a", "b", 100.0)
+        c.add_capacitor("c1", "b", GROUND, 1e-12)
+        res = transient_analysis(c, 2e-9, 2e-12, x0="zero")
+        v = res.voltage("b")
+        assert v[0] == 0.0
+        assert v[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_x0_explicit_shape_checked(self):
+        c = rc_circuit()
+        with pytest.raises(ValueError):
+            transient_analysis(c, 1e-9, 10e-12, x0=np.zeros(2))

@@ -1,0 +1,93 @@
+"""Source waveforms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.waveforms import DC, PWL, Pulse, Ramp, SineWave
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(3.3)
+        assert w(0.0) == 3.3
+        assert w(1e9) == 3.3
+
+
+class TestRamp:
+    def test_shape(self):
+        w = Ramp(0.0, 1.2, delay=1e-9, rise_time=2e-9)
+        assert w(0.0) == 0.0
+        assert w(1e-9) == 0.0
+        assert w(2e-9) == pytest.approx(0.6)
+        assert w(3e-9) == pytest.approx(1.2)
+        assert w(10e-9) == 1.2
+
+    def test_falling(self):
+        w = Ramp(1.2, 0.0, delay=0.0, rise_time=1e-9)
+        assert w(0.5e-9) == pytest.approx(0.6)
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(ValueError):
+            Ramp(0, 1, 0, 0.0)
+
+    @given(t=st.floats(0, 1e-6))
+    @settings(max_examples=50)
+    def test_bounded(self, t):
+        w = Ramp(0.2, 1.0, 1e-9, 3e-9)
+        assert 0.2 <= w(t) <= 1.0
+
+
+class TestPulse:
+    def test_single_pulse_phases(self):
+        w = Pulse(v0=0.0, v1=1.0, delay=1e-9, rise_time=1e-9,
+                  fall_time=1e-9, width=2e-9, period=0.0)
+        assert w(0.5e-9) == 0.0
+        assert w(1.5e-9) == pytest.approx(0.5)
+        assert w(3e-9) == 1.0
+        assert w(4.5e-9) == pytest.approx(0.5)
+        assert w(10e-9) == 0.0
+
+    def test_periodic(self):
+        w = Pulse(v0=0.0, v1=1.0, delay=0.0, rise_time=1e-9,
+                  fall_time=1e-9, width=1e-9, period=10e-9)
+        assert w(1.5e-9) == w(11.5e-9)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, rise_time=0.0)
+
+
+class TestPWL:
+    def test_interpolation_and_clamping(self):
+        w = PWL(points=((1e-9, 0.0), (2e-9, 1.0), (4e-9, -1.0)))
+        assert w(0.0) == 0.0
+        assert w(1.5e-9) == pytest.approx(0.5)
+        assert w(3e-9) == pytest.approx(0.0)
+        assert w(9e-9) == -1.0
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            PWL(points=((1e-9, 0.0), (1e-9, 1.0)))
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            PWL(points=())
+
+
+class TestSine:
+    def test_values(self):
+        w = SineWave(offset=0.5, amplitude=0.5, frequency=1e9)
+        assert w(0.0) == pytest.approx(0.5)
+        assert w(0.25e-9) == pytest.approx(1.0)
+        assert w(0.75e-9) == pytest.approx(0.0)
+
+    def test_holds_before_delay(self):
+        w = SineWave(offset=0.5, amplitude=0.5, frequency=1e9, delay=1e-9)
+        assert w(0.5e-9) == 0.5
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            SineWave(0, 1, 0.0)

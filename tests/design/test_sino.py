@@ -1,0 +1,108 @@
+"""SINO: shield insertion and net ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design.sino import (
+    NetSpec,
+    SINOProblem,
+    SINOSolution,
+    _noise,
+    anneal_sino,
+    greedy_sino,
+    is_feasible,
+    random_problem,
+    violations,
+)
+
+
+def tiny_problem():
+    return SINOProblem(
+        nets=[
+            NetSpec("loud", aggressiveness=2.0, cap_bound=5.0, ind_bound=5.0),
+            NetSpec("quiet", aggressiveness=0.1, cap_bound=0.5, ind_bound=0.5),
+            NetSpec("mid", aggressiveness=1.0, cap_bound=3.0, ind_bound=3.0),
+        ]
+    )
+
+
+class TestNoiseModel:
+    def test_shield_blocks_capacitive_neighbour(self):
+        problem = tiny_problem()
+        order = ["loud", "quiet", "mid"]
+        open_sol = SINOSolution(order=order)
+        shielded = SINOSolution(order=order, shields_after={0})
+        n_open = _noise(problem, open_sol)["quiet"]
+        n_shielded = _noise(problem, shielded)["quiet"]
+        assert n_shielded[0] < n_open[0]  # cap noise down
+        assert n_shielded[1] < n_open[1]  # inductive noise down (halo cut)
+
+    def test_inductive_noise_decays_with_distance(self):
+        problem = SINOProblem(
+            nets=[
+                NetSpec("v", 0.0, 10.0, 10.0),
+                NetSpec("a1", 1.0, 10.0, 10.0),
+                NetSpec("pad", 0.0, 10.0, 10.0),
+                NetSpec("a2", 1.0, 10.0, 10.0),
+            ]
+        )
+        sol = SINOSolution(order=["v", "a1", "pad", "a2"])
+        noise = _noise(problem, sol)["v"]
+        # a1 contributes ind_unit, a2 contributes ind_unit/3.
+        assert noise[1] == pytest.approx(problem.ind_unit * (1 + 1 / 3))
+
+    def test_area_counts_shields(self):
+        sol = SINOSolution(order=["a", "b"], shields_after={0})
+        assert sol.area == 3
+
+
+class TestSolvers:
+    def test_greedy_is_feasible(self):
+        problem = tiny_problem()
+        sol = greedy_sino(problem)
+        assert is_feasible(problem, sol)
+        assert sorted(sol.order) == sorted(n.name for n in problem.nets)
+
+    def test_greedy_on_random_instances(self):
+        for seed in range(5):
+            problem = random_problem(num_nets=8, seed=seed)
+            sol = greedy_sino(problem)
+            assert is_feasible(problem, sol)
+
+    def test_anneal_feasible_and_no_worse(self):
+        problem = random_problem(num_nets=8, seed=3)
+        greedy = greedy_sino(problem)
+        annealed = anneal_sino(problem, iterations=2000, seed=1)
+        assert is_feasible(problem, annealed)
+        assert annealed.area <= greedy.area
+
+    def test_anneal_deterministic_for_seed(self):
+        problem = random_problem(num_nets=6, seed=9)
+        a = anneal_sino(problem, iterations=500, seed=42)
+        b = anneal_sino(problem, iterations=500, seed=42)
+        assert a.order == b.order
+        assert a.shields_after == b.shields_after
+
+    def test_violations_zero_iff_feasible(self):
+        problem = tiny_problem()
+        # Put quiet right next to loud with no shield: should violate.
+        bad = SINOSolution(order=["loud", "quiet", "mid"])
+        assert violations(problem, bad) > 0
+        assert not is_feasible(problem, bad)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_always_feasible_property(self, seed):
+        problem = random_problem(num_nets=7, seed=seed)
+        assert is_feasible(problem, greedy_sino(problem))
+
+
+class TestProblemValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SINOProblem(nets=[NetSpec("a", 1, 1, 1), NetSpec("a", 1, 1, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SINOProblem(nets=[])

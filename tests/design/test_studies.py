@@ -1,0 +1,101 @@
+"""Design-technique studies: the Figure 5-9 trend assertions at mini scale.
+
+These are integration tests of the whole stack (layout generator ->
+extraction -> circuit -> analysis); parameters are shrunk for speed, the
+benchmark harness runs the full-size versions.
+"""
+
+import pytest
+
+from repro.design.ground_plane import ground_plane_study
+from repro.design.interdigitate import interdigitation_study
+from repro.design.shielding import shielding_study
+from repro.design.staggered import staggered_study
+from repro.design.twisted_bundle import twisted_bundle_study
+
+
+@pytest.mark.slow
+class TestShielding:
+    def test_shields_reduce_inductance(self):
+        results = shielding_study(
+            shield_spacings=(2e-6,), length=300e-6,
+        )
+        baseline, shielded = results
+        assert baseline.shield_spacing is None
+        assert shielded.loop_inductance < baseline.loop_inductance
+
+    def test_tighter_shields_reduce_more(self):
+        results = shielding_study(
+            shield_spacings=(1e-6, 8e-6), length=300e-6,
+        )
+        _, tight, loose = results
+        assert tight.loop_inductance < loose.loop_inductance
+
+
+@pytest.mark.slow
+class TestGroundPlanes:
+    def test_planes_beat_baseline_at_high_frequency(self):
+        results = ground_plane_study(
+            frequencies=[1e8, 3e10], length=300e-6,
+        )
+        by_label = {r.label: r for r in results}
+        base = by_label["baseline"]
+        planes = by_label["with ground planes"]
+        assert planes.inductance[-1] < base.inductance[-1]
+
+    def test_plane_benefit_grows_with_frequency(self):
+        results = ground_plane_study(
+            frequencies=[1e8, 3e10], length=300e-6,
+        )
+        by_label = {r.label: r for r in results}
+        base = by_label["baseline"]
+        planes = by_label["with ground planes"]
+        ratio_low = planes.inductance[0] / base.inductance[0]
+        ratio_high = planes.inductance[-1] / base.inductance[-1]
+        assert ratio_high < ratio_low  # "planes help mostly at high f"
+
+
+@pytest.mark.slow
+class TestInterdigitation:
+    def test_fingers_cut_inductance_raise_r_and_c(self):
+        results = interdigitation_study(
+            finger_counts=(1, 4), length=300e-6,
+        )
+        solid, fingered = results
+        assert fingered.loop_inductance < solid.loop_inductance
+        assert fingered.signal_resistance > solid.signal_resistance
+        assert fingered.total_capacitance > solid.total_capacitance
+        assert fingered.metal_area > solid.metal_area
+
+
+@pytest.mark.slow
+class TestStaggered:
+    def test_staggering_cuts_victim_noise(self):
+        results = staggered_study(length=300e-6, t_stop=0.5e-9)
+        by_pattern = {r.pattern: r for r in results}
+        assert by_pattern["staggered"].victim_peak_noise < \
+            0.2 * by_pattern["non-staggered"].victim_peak_noise
+
+    def test_nonstaggered_noise_is_nonzero(self):
+        results = staggered_study(length=300e-6, t_stop=0.5e-9)
+        by_pattern = {r.pattern: r for r in results}
+        assert by_pattern["non-staggered"].victim_peak_noise > 1e-4
+
+
+@pytest.mark.slow
+class TestTwistedBundle:
+    def test_twisting_cuts_victim_noise(self):
+        results = twisted_bundle_study(
+            num_regions=4, length=400e-6, t_stop=0.4e-9,
+        )
+        by_style = {r.style: r for r in results}
+        assert by_style["twisted"].victim_peak_noise < \
+            0.9 * by_style["parallel"].victim_peak_noise
+
+    def test_twisting_costs_metal(self):
+        results = twisted_bundle_study(
+            num_regions=4, length=400e-6, t_stop=0.3e-9,
+        )
+        by_style = {r.style: r for r in results}
+        assert by_style["twisted"].num_segments > \
+            by_style["parallel"].num_segments

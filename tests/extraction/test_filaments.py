@@ -1,0 +1,103 @@
+"""Filament subdivision for skin/proximity effect."""
+
+import pytest
+
+from repro.constants import RHO_COPPER, skin_depth
+from repro.extraction.filaments import (
+    FilamentGrid,
+    filaments_for_skin_depth,
+    max_useful_frequency,
+)
+from repro.geometry.segment import Direction, Segment
+
+
+def make_segment(width=4e-6, thickness=2e-6):
+    return Segment(net="s", layer="M6", direction=Direction.X,
+                   origin=(0.0, 0.0, 1e-6), length=100e-6,
+                   width=width, thickness=thickness, name="seg")
+
+
+class TestFilamentGrid:
+    def test_count(self):
+        assert FilamentGrid(3, 2).count == 6
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FilamentGrid(0, 1)
+
+    def test_offsets_centered_and_symmetric(self):
+        offsets = FilamentGrid(3, 1).offsets(6e-6, 2e-6)
+        ws = sorted(dw for dw, _ in offsets)
+        assert ws == pytest.approx([-2e-6, 0.0, 2e-6])
+        assert all(dt == 0.0 for _, dt in offsets)
+
+    def test_single_filament_is_identity(self):
+        seg = make_segment()
+        assert FilamentGrid(1, 1).split_segment(seg) == [seg]
+
+    def test_split_preserves_cross_section(self):
+        seg = make_segment()
+        fils = FilamentGrid(4, 2).split_segment(seg)
+        assert len(fils) == 8
+        total_area = sum(f.cross_section_area for f in fils)
+        assert total_area == pytest.approx(seg.cross_section_area)
+
+    def test_split_filaments_tile_parent_box(self):
+        seg = make_segment()
+        fils = FilamentGrid(2, 2).split_segment(seg)
+        lo_y = min(f.origin[1] for f in fils)
+        hi_y = max(f.end[1] for f in fils)
+        lo_z = min(f.origin[2] for f in fils)
+        hi_z = max(f.end[2] for f in fils)
+        assert lo_y == pytest.approx(seg.origin[1])
+        assert hi_y == pytest.approx(seg.end[1])
+        assert lo_z == pytest.approx(seg.origin[2])
+        assert hi_z == pytest.approx(seg.end[2])
+
+    def test_split_preserves_span_and_net(self):
+        seg = make_segment()
+        for f in FilamentGrid(3, 3).split_segment(seg):
+            assert f.axis_start == seg.axis_start
+            assert f.axis_end == seg.axis_end
+            assert f.net == seg.net
+            assert f.layer == seg.layer
+
+    def test_y_direction_split(self):
+        seg = Segment(net="s", layer="M6", direction=Direction.Y,
+                      origin=(0.0, 0.0, 1e-6), length=100e-6,
+                      width=4e-6, thickness=2e-6, name="seg")
+        fils = FilamentGrid(2, 1).split_segment(seg)
+        xs = sorted(f.origin[0] for f in fils)
+        assert xs[1] - xs[0] == pytest.approx(2e-6)
+
+
+class TestSkinDepthSizing:
+    def test_dc_gives_single_filament(self):
+        grid = filaments_for_skin_depth(4e-6, 2e-6, 0.0, RHO_COPPER)
+        assert grid.count == 1
+
+    def test_low_frequency_single_filament(self):
+        grid = filaments_for_skin_depth(2e-6, 1e-6, 1e8, RHO_COPPER)
+        assert grid.count == 1
+
+    def test_high_frequency_subdivides(self):
+        grid = filaments_for_skin_depth(4e-6, 2e-6, 5e10, RHO_COPPER)
+        assert grid.num_width > 1
+
+    def test_counts_capped(self):
+        grid = filaments_for_skin_depth(
+            100e-6, 50e-6, 1e12, RHO_COPPER, max_per_axis=5
+        )
+        assert grid.num_width == 5
+        assert grid.num_thickness == 5
+
+    def test_filament_size_tracks_skin_depth(self):
+        f = 2e10
+        grid = filaments_for_skin_depth(8e-6, 1e-6, f, RHO_COPPER)
+        delta = skin_depth(f, RHO_COPPER)
+        assert 8e-6 / grid.num_width <= 2.0 * delta * 1.001
+
+    def test_max_useful_frequency_consistency(self):
+        f = max_useful_frequency(4e-6, 2e-6, RHO_COPPER)
+        # At that frequency the skin depth equals half the min dimension.
+        assert skin_depth(f, RHO_COPPER) == pytest.approx(1e-6, rel=1e-6)

@@ -1,0 +1,133 @@
+"""Dense partial-inductance matrix assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction.inductance import (
+    mutual_between_segments,
+    self_inductance_bar,
+)
+from repro.extraction.partial_matrix import (
+    extract_for_layout,
+    extract_partial_inductance,
+)
+from repro.geometry.layout import Layout, NetKind
+from repro.geometry.segment import Direction, Segment, default_layer_stack
+
+
+def parallel_lines(num=4, pitch=5e-6, length=200e-6):
+    return [
+        Segment(net="s", layer="M6", direction=Direction.X,
+                origin=(0.0, k * pitch, 7e-6), length=length,
+                width=1e-6, thickness=0.5e-6, name=f"l{k}")
+        for k in range(num)
+    ]
+
+
+class TestAssembly:
+    def test_symmetric_positive_definite(self):
+        result = extract_partial_inductance(parallel_lines())
+        m = result.matrix
+        assert np.allclose(m, m.T)
+        assert result.is_positive_definite()
+
+    def test_diagonal_matches_self_formula(self):
+        segs = parallel_lines(2)
+        result = extract_partial_inductance(segs)
+        for k, seg in enumerate(segs):
+            assert result.matrix[k, k] == pytest.approx(
+                self_inductance_bar(seg.length, seg.width, seg.thickness)
+            )
+
+    def test_offdiagonal_matches_pairwise(self):
+        segs = parallel_lines(3)
+        result = extract_partial_inductance(segs)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                direct = mutual_between_segments(
+                    segs[i], segs[j], subdivisions=3
+                )
+                # The matrix may use 1 filament for far pairs.
+                assert result.matrix[i, j] == pytest.approx(direct, rel=0.02)
+
+    def test_orthogonal_pairs_are_zero(self):
+        segs = parallel_lines(2)
+        segs.append(
+            Segment(net="s", layer="M5", direction=Direction.Y,
+                    origin=(50e-6, 0.0, 5e-6), length=100e-6,
+                    width=1e-6, thickness=0.5e-6, name="ortho")
+        )
+        result = extract_partial_inductance(segs)
+        assert result.matrix[0, 2] == 0.0
+        assert result.matrix[1, 2] == 0.0
+
+    def test_mutuals_count(self):
+        result = extract_partial_inductance(parallel_lines(4))
+        assert result.num_mutuals == 6  # C(4,2)
+
+    def test_coupling_coefficient_below_one(self):
+        result = extract_partial_inductance(parallel_lines(3, pitch=2e-6))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert abs(result.coupling_coefficient(i, j)) < 1.0
+
+    def test_nearer_pairs_couple_stronger(self):
+        result = extract_partial_inductance(parallel_lines(3, pitch=4e-6))
+        assert result.matrix[0, 1] > result.matrix[0, 2]
+
+    def test_rejects_vias(self):
+        via = Segment(net="s", layer="M6", direction=Direction.Z,
+                      origin=(0, 0, 1e-6), length=1e-6, width=1e-6,
+                      thickness=1e-6, name="via")
+        with pytest.raises(ValueError):
+            extract_partial_inductance([via])
+
+    def test_blocked_assembly_matches_unblocked(self):
+        segs = parallel_lines(6)
+        a = extract_partial_inductance(segs, block=2)
+        b = extract_partial_inductance(segs, block=512)
+        assert np.allclose(a.matrix, b.matrix)
+
+    def test_layout_extraction_skips_vias(self, small_grid_layout):
+        result, indices = extract_for_layout(small_grid_layout)
+        assert result.size == len(indices)
+        assert result.size == len(
+            [s for s in small_grid_layout.segments
+             if s.direction != Direction.Z]
+        )
+
+    def test_grid_layout_matrix_is_pd(self, small_grid_layout):
+        result, _ = extract_for_layout(small_grid_layout)
+        assert result.is_positive_definite()
+
+    def test_structure_extraction_pd(self, signal_grid_extraction):
+        assert signal_grid_extraction.is_positive_definite()
+
+
+class TestRandomizedPD:
+    @given(
+        seed=st.integers(0, 10_000),
+        num=st.integers(2, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_nonoverlapping_lines_give_pd_matrix(self, seed, num):
+        rng = np.random.default_rng(seed)
+        segs = []
+        y = 0.0
+        for k in range(num):
+            y += float(rng.uniform(2e-6, 20e-6))
+            segs.append(
+                Segment(
+                    net="s", layer="M6", direction=Direction.X,
+                    origin=(float(rng.uniform(0, 100e-6)), y, 7e-6),
+                    length=float(rng.uniform(20e-6, 500e-6)),
+                    width=float(rng.uniform(0.5e-6, 3e-6)),
+                    thickness=0.5e-6,
+                    name=f"r{k}",
+                )
+            )
+        result = extract_partial_inductance(segs)
+        assert result.is_positive_definite()

@@ -1,0 +1,78 @@
+"""Resistance extraction."""
+
+import pytest
+
+from repro.extraction.filaments import FilamentGrid
+from repro.extraction.resistance import (
+    MIN_VIA_RESISTANCE,
+    VIA_CUT_RESISTANCE,
+    resistivity_of,
+    segment_resistance,
+    via_resistance,
+)
+from repro.geometry.layout import Via
+from repro.geometry.segment import Direction, Segment, default_layer_stack
+
+
+@pytest.fixture
+def layer():
+    return default_layer_stack(6)[-1]
+
+
+def make_segment(layer, length=100e-6, width=2e-6, thickness=None):
+    return Segment(net="s", layer=layer.name, direction=Direction.X,
+                   origin=(0.0, 0.0, layer.z_bottom), length=length,
+                   width=width, thickness=thickness or layer.thickness,
+                   name="seg")
+
+
+class TestSegmentResistance:
+    def test_squares_times_sheet(self, layer):
+        seg = make_segment(layer, length=100e-6, width=2e-6)
+        assert segment_resistance(seg, layer) == pytest.approx(
+            layer.sheet_resistance * 50.0
+        )
+
+    def test_scales_linearly_with_length(self, layer):
+        r1 = segment_resistance(make_segment(layer, length=50e-6), layer)
+        r2 = segment_resistance(make_segment(layer, length=100e-6), layer)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_via_segment_rejected(self, layer):
+        seg = Segment(net="s", layer=layer.name, direction=Direction.Z,
+                      origin=(0, 0, 0), length=1e-6, width=1e-6,
+                      thickness=1e-6, name="v")
+        with pytest.raises(ValueError):
+            segment_resistance(seg, layer)
+
+    def test_filament_parallel_combination_matches_parent(self, layer):
+        seg = make_segment(layer, width=4e-6)
+        parent_r = segment_resistance(seg, layer)
+        fils = FilamentGrid(4, 3).split_segment(seg)
+        conductance = sum(1.0 / segment_resistance(f, layer) for f in fils)
+        assert 1.0 / conductance == pytest.approx(parent_r, rel=1e-9)
+
+    def test_resistivity_of_layer(self, layer):
+        assert resistivity_of(layer) == pytest.approx(
+            layer.sheet_resistance * layer.thickness
+        )
+
+
+class TestViaResistance:
+    def test_single_cut(self):
+        via = Via(net="v", x=0, y=0, layer_bottom="M5", layer_top="M6",
+                  width=0.5e-6)
+        assert via_resistance(via) == pytest.approx(VIA_CUT_RESISTANCE)
+
+    def test_wide_via_cut_array(self):
+        via = Via(net="v", x=0, y=0, layer_bottom="M5", layer_top="M6",
+                  width=2e-6)
+        # 4x4 cuts in parallel.
+        assert via_resistance(via) == pytest.approx(
+            max(VIA_CUT_RESISTANCE / 16, MIN_VIA_RESISTANCE)
+        )
+
+    def test_floor_applies(self):
+        via = Via(net="v", x=0, y=0, layer_bottom="M5", layer_top="M6",
+                  width=50e-6)
+        assert via_resistance(via) == MIN_VIA_RESISTANCE

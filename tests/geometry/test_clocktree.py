@@ -1,0 +1,70 @@
+"""Clock-net generator."""
+
+import pytest
+
+from repro.geometry.clocktree import ClockNetSpec, build_clock_net
+from repro.geometry.layout import Layout
+from repro.geometry.segment import default_layer_stack
+
+
+@pytest.fixture
+def layout():
+    return Layout(default_layer_stack(6), name="t")
+
+
+def spec(**kwargs):
+    defaults = dict(
+        trunk_y=50e-6,
+        trunk_x_start=0.0,
+        trunk_length=100e-6,
+        num_branches=2,
+        branch_length=40e-6,
+    )
+    defaults.update(kwargs)
+    return ClockNetSpec(**defaults)
+
+
+class TestSpec:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            spec(num_branches=0)
+        with pytest.raises(ValueError):
+            spec(sinks_per_branch=3)
+        with pytest.raises(ValueError):
+            spec(trunk_length=-1.0)
+
+
+class TestBuild:
+    def test_ports_counts(self, layout):
+        ports = build_clock_net(spec(), layout)
+        assert len(ports.sinks) == 4  # 2 branches x 2 sinks
+        assert ports.driver.net == "clk"
+
+    def test_single_sink_per_branch(self, layout):
+        ports = build_clock_net(spec(sinks_per_branch=1), layout)
+        assert len(ports.sinks) == 2
+
+    def test_net_connected_through_vias(self, layout):
+        build_clock_net(spec(), layout)
+        assert layout.net_is_connected("clk")
+        assert layout.validate() == []
+
+    def test_driver_at_trunk_start(self, layout):
+        ports = build_clock_net(spec(trunk_x_start=7e-6), layout)
+        assert ports.driver.x == pytest.approx(7e-6)
+        assert ports.driver.layer == "M5"
+
+    def test_sinks_at_branch_ends(self, layout):
+        ports = build_clock_net(spec(), layout)
+        for sink in ports.sinks:
+            assert sink.layer == "M6"
+            # Sinks are half a branch above/below the trunk.
+            assert abs(sink.y - 50e-6) == pytest.approx(20e-6)
+
+    def test_wrong_layer_direction_rejected(self, layout):
+        with pytest.raises(ValueError):
+            build_clock_net(spec(trunk_layer="M6", branch_layer="M5"), layout)
+
+    def test_via_per_branch(self, layout):
+        build_clock_net(spec(num_branches=3), layout)
+        assert len([v for v in layout.vias if v.net == "clk"]) == 3

@@ -1,0 +1,92 @@
+"""H-tree clock generator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.clocktree import HTreeSpec, build_htree_clock
+from repro.geometry.layout import Layout
+from repro.geometry.segment import default_layer_stack
+
+
+@pytest.fixture
+def layout():
+    return Layout(default_layer_stack(6))
+
+
+class TestHTreeGeometry:
+    def test_sink_count_is_four_to_the_levels(self, layout):
+        for levels, expected in ((1, 4), (2, 16)):
+            fresh = Layout(default_layer_stack(6))
+            ports = build_htree_clock(HTreeSpec(levels=levels), fresh)
+            assert len(ports.sinks) == expected
+
+    def test_connected_and_valid(self, layout):
+        build_htree_clock(HTreeSpec(levels=2), layout)
+        assert layout.net_is_connected("clk")
+        assert layout.validate() == []
+
+    def test_sinks_are_symmetric_about_center(self, layout):
+        spec = HTreeSpec(levels=2, center=(200e-6, 200e-6))
+        ports = build_htree_clock(spec, layout)
+        cx, cy = spec.center
+        dx = np.sort(np.array([s.x - cx for s in ports.sinks]))
+        dy = np.sort(np.array([s.y - cy for s in ports.sinks]))
+        # Mirror symmetry: the offset multiset equals its own negation.
+        assert np.allclose(dx, -dx[::-1])
+        assert np.allclose(dy, -dy[::-1])
+
+    def test_widths_taper(self, layout):
+        build_htree_clock(HTreeSpec(levels=2, root_width=4e-6, taper=0.5),
+                          layout)
+        widths = {round(s.width * 1e9) for s in layout.segments}
+        assert {4000, 2000} <= widths
+
+    def test_driver_at_center(self, layout):
+        spec = HTreeSpec(levels=1, center=(100e-6, 150e-6))
+        ports = build_htree_clock(spec, layout)
+        assert ports.driver.x == pytest.approx(100e-6)
+        assert ports.driver.y == pytest.approx(150e-6)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HTreeSpec(levels=0)
+        with pytest.raises(ValueError):
+            HTreeSpec(taper=0.0)
+        with pytest.raises(ValueError):
+            HTreeSpec(span=-1.0)
+
+    def test_layer_direction_check(self, layout):
+        with pytest.raises(ValueError):
+            build_htree_clock(HTreeSpec(h_layer="M6", v_layer="M5"), layout)
+
+
+@pytest.mark.slow
+class TestHTreeBalance:
+    def test_htree_skew_is_small(self, layout):
+        """A balanced H-tree's sinks switch nearly simultaneously."""
+        from repro.analysis.metrics import delay_50, skew
+        from repro.circuit.netlist import GROUND
+        from repro.circuit.transient import transient_analysis
+        from repro.circuit.waveforms import Ramp
+        from repro.peec.model import PEECOptions, build_peec_model
+
+        ports = build_htree_clock(HTreeSpec(levels=2, span=150e-6), layout)
+        model = build_peec_model(layout, PEECOptions(max_segment_length=60e-6))
+        circuit = model.circuit
+        drv = model.node_at(ports.driver)
+        circuit.add_vsource("Vin", "vin", GROUND, Ramp(0, 1.2, 20e-12, 40e-12))
+        circuit.add_resistor("Rdrv", "vin", drv, 25.0)
+        sink_nodes = {}
+        for k, sink in enumerate(ports.sinks):
+            node = model.node_at(sink)
+            sink_nodes[sink.name] = node
+            circuit.add_capacitor(f"Cl{k}", node, GROUND, 10e-15)
+        res = transient_analysis(circuit, 0.6e-9, 2e-12,
+                                 record=list(sink_nodes.values()))
+        v_in = np.array([Ramp(0, 1.2, 20e-12, 40e-12)(t) for t in res.times])
+        delays = [
+            delay_50(res.times, v_in, res.voltage(node), 1.2)
+            for node in sink_nodes.values()
+        ]
+        # Perfectly balanced tree: skew is a tiny fraction of the delay.
+        assert skew(delays) < 0.05 * max(delays)

@@ -1,0 +1,56 @@
+"""ASCII layout rendering."""
+
+import pytest
+
+from repro.geometry.render import layer_summary, render_layout
+
+
+class TestRenderLayout:
+    def test_grid_renders_wires_and_vias(self, small_grid_layout):
+        art = render_layout(small_grid_layout, width=60, height=20)
+        assert "-" in art
+        assert "|" in art
+        assert "#" in art
+        assert "@" in art  # pads
+        assert art.splitlines()[-1].startswith("[power_grid")
+
+    def test_layer_filter(self, small_grid_layout):
+        m5_only = render_layout(small_grid_layout, layer="M5")
+        # M5 prefers X: the single-layer view has no vertical wires.
+        body = "\n".join(m5_only.splitlines()[:-1])
+        assert "-" in body
+        assert "|" not in body
+
+    def test_dimensions(self, small_grid_layout):
+        art = render_layout(small_grid_layout, width=40, height=10)
+        lines = art.splitlines()[:-1]
+        assert len(lines) == 10
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_crossings_marked(self, grid_with_clock):
+        layout, _ = grid_with_clock
+        art = render_layout(layout, width=80, height=30)
+        assert "+" in art
+
+    def test_size_validation(self, small_grid_layout):
+        with pytest.raises(ValueError):
+            render_layout(small_grid_layout, width=4)
+
+    def test_empty_layout_rejected(self):
+        from repro.geometry.layout import Layout
+        from repro.geometry.segment import default_layer_stack
+
+        with pytest.raises(ValueError):
+            render_layout(Layout(default_layer_stack()))
+
+
+class TestLayerSummary:
+    def test_lists_used_layers_only(self, small_grid_layout):
+        summary = layer_summary(small_grid_layout)
+        assert "M5:" in summary
+        assert "M6:" in summary
+        assert "M1:" not in summary
+
+    def test_reports_lengths(self, small_grid_layout):
+        summary = layer_summary(small_grid_layout)
+        assert "um total" in summary

@@ -1,0 +1,159 @@
+"""Segments, layers, and their pairwise geometry."""
+
+import math
+
+import pytest
+
+from repro.geometry.segment import Direction, Layer, Segment, default_layer_stack
+
+
+def make_segment(direction=Direction.X, origin=(0.0, 0.0, 1e-6),
+                 length=100e-6, width=2e-6, thickness=1e-6, net="sig"):
+    return Segment(net=net, layer="M6", direction=direction, origin=origin,
+                   length=length, width=width, thickness=thickness, name="s")
+
+
+class TestDirection:
+    def test_axes(self):
+        assert Direction.X.axis == 0
+        assert Direction.Y.axis == 1
+        assert Direction.Z.axis == 2
+
+    def test_parallelism(self):
+        assert Direction.X.is_parallel_to(Direction.X)
+        assert not Direction.X.is_parallel_to(Direction.Y)
+
+
+class TestLayerStack:
+    def test_default_stack_ordering(self):
+        layers = default_layer_stack(6)
+        assert [l.name for l in layers] == ["M1", "M2", "M3", "M4", "M5", "M6"]
+        z = [l.z_bottom for l in layers]
+        assert z == sorted(z)
+        assert all(b.z_bottom >= a.z_top for a, b in zip(layers, layers[1:]))
+
+    def test_directions_alternate(self):
+        layers = default_layer_stack(4)
+        dirs = [l.pitch_direction for l in layers]
+        assert dirs == [Direction.X, Direction.Y, Direction.X, Direction.Y]
+
+    def test_upper_layers_thicker_and_less_resistive(self):
+        layers = default_layer_stack(6)
+        assert layers[-1].thickness > layers[0].thickness
+        assert layers[-1].sheet_resistance < layers[0].sheet_resistance
+
+    def test_z_center(self):
+        layer = default_layer_stack(2)[0]
+        assert layer.z_center == pytest.approx(
+            layer.z_bottom + layer.thickness / 2
+        )
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            default_layer_stack(0)
+        with pytest.raises(ValueError):
+            default_layer_stack(11)
+
+
+class TestSegmentGeometry:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            make_segment(length=0.0)
+        with pytest.raises(ValueError):
+            make_segment(width=-1e-6)
+
+    def test_extents_by_direction(self):
+        sx = make_segment(Direction.X)
+        assert sx.extents == (100e-6, 2e-6, 1e-6)
+        sy = make_segment(Direction.Y)
+        assert sy.extents == (2e-6, 100e-6, 1e-6)
+        sz = make_segment(Direction.Z)
+        assert sz.extents == (2e-6, 1e-6, 100e-6)
+
+    def test_center_and_end(self):
+        s = make_segment()
+        assert s.end == pytest.approx((100e-6, 2e-6, 2e-6))
+        assert s.center == pytest.approx((50e-6, 1e-6, 1.5e-6))
+
+    def test_endpoints_on_axis(self):
+        s = make_segment()
+        a, b = s.endpoints()
+        assert a == pytest.approx((0.0, 1e-6, 1.5e-6))
+        assert b == pytest.approx((100e-6, 1e-6, 1.5e-6))
+
+    def test_cross_section_and_volume(self):
+        s = make_segment()
+        assert s.cross_section_area == pytest.approx(2e-12)
+        assert s.volume == pytest.approx(2e-16)
+
+
+class TestSegmentPairs:
+    def test_axial_overlap(self):
+        a = make_segment(origin=(0.0, 0.0, 1e-6))
+        b = make_segment(origin=(50e-6, 10e-6, 1e-6))
+        assert a.axial_overlap(b) == pytest.approx(50e-6)
+
+    def test_axial_overlap_disjoint_is_zero(self):
+        a = make_segment()
+        b = make_segment(origin=(200e-6, 0.0, 1e-6))
+        assert a.axial_overlap(b) == 0.0
+
+    def test_axial_overlap_requires_parallel(self):
+        a = make_segment(Direction.X)
+        b = make_segment(Direction.Y)
+        with pytest.raises(ValueError):
+            a.axial_overlap(b)
+
+    def test_transverse_distance(self):
+        a = make_segment(origin=(0.0, 0.0, 1e-6))
+        b = make_segment(origin=(0.0, 3e-6, 5e-6))
+        assert a.transverse_distance(b) == pytest.approx(5e-6)  # 3-4-5
+
+    def test_gap_touching_is_zero(self):
+        a = make_segment(origin=(0.0, 0.0, 1e-6))
+        b = make_segment(origin=(0.0, 2e-6, 1e-6))  # shares a face
+        assert a.gap(b) == pytest.approx(0.0)
+
+    def test_gap_separated(self):
+        a = make_segment(origin=(0.0, 0.0, 1e-6))
+        b = make_segment(origin=(0.0, 5e-6, 1e-6))
+        assert a.gap(b) == pytest.approx(3e-6)  # 5 - width
+
+    def test_center_distance(self):
+        a = make_segment(origin=(0.0, 0.0, 1e-6))
+        b = make_segment(origin=(0.0, 10e-6, 1e-6))
+        assert a.center_distance(b) == pytest.approx(10e-6)
+
+
+class TestSplitting:
+    def test_split_preserves_total_length(self):
+        s = make_segment()
+        pieces = s.split(4)
+        assert len(pieces) == 4
+        assert sum(p.length for p in pieces) == pytest.approx(s.length)
+        # Pieces abut exactly.
+        for a, b in zip(pieces, pieces[1:]):
+            assert b.axis_start == pytest.approx(a.axis_end)
+
+    def test_split_one_returns_self(self):
+        s = make_segment()
+        assert s.split(1) == [s]
+
+    def test_split_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_segment().split(0)
+
+    def test_widthwise_strips_cover_width(self):
+        s = make_segment()
+        strips = s.widthwise_strips(4)
+        assert len(strips) == 4
+        assert sum(p.width for p in strips) == pytest.approx(s.width)
+        ys = sorted(p.origin[1] for p in strips)
+        assert ys[0] == pytest.approx(s.origin[1])
+        assert ys[-1] + strips[0].width == pytest.approx(s.origin[1] + s.width)
+
+    def test_widthwise_strips_y_direction(self):
+        s = make_segment(Direction.Y)
+        strips = s.widthwise_strips(2)
+        xs = sorted(p.origin[0] for p in strips)
+        assert xs[1] - xs[0] == pytest.approx(s.width / 2)

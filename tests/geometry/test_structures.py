@@ -1,0 +1,155 @@
+"""Test-structure generators (Figures 3, 5-9 topologies)."""
+
+import pytest
+
+from repro.geometry.layout import NetKind
+from repro.geometry.structures import (
+    build_bus,
+    build_ground_plane,
+    build_interdigitated_wire,
+    build_parallel_bundle,
+    build_shielded_line,
+    build_signal_over_grid,
+    build_twisted_bundle,
+)
+
+
+class TestSignalOverGrid:
+    def test_ports_exist(self, signal_grid_structure):
+        layout, ports = signal_grid_structure
+        assert set(ports.names()) == {
+            "driver", "receiver", "gnd_driver", "gnd_receiver"
+        }
+
+    def test_return_count(self):
+        layout, _ = build_signal_over_grid(length=100e-6, returns_per_side=3)
+        grounds = [s for s in layout.segments
+                   if s.net == "GND" and s.direction.value == "x"]
+        assert len(grounds) == 6
+
+    def test_ground_connected_via_straps(self, signal_grid_structure):
+        layout, _ = signal_grid_structure
+        assert layout.net_is_connected("GND")
+
+    def test_rejects_zero_returns(self):
+        with pytest.raises(ValueError):
+            build_signal_over_grid(returns_per_side=0)
+
+
+class TestShieldedLine:
+    def test_shields_adjacent_to_signal(self):
+        layout, _ = build_shielded_line(
+            length=100e-6, signal_width=2e-6, shield_width=1e-6,
+            shield_spacing=2e-6, with_shields=True,
+        )
+        gnd_x = [s for s in layout.segments
+                 if s.net == "GND" and s.direction.value == "x"]
+        nearest = min(abs(s.center[1]) for s in gnd_x)
+        assert nearest == pytest.approx(2e-6 / 2 + 2e-6 + 1e-6 / 2)
+
+    def test_baseline_has_no_near_shields(self):
+        layout, _ = build_shielded_line(
+            length=100e-6, with_shields=False, outer_pitch=20e-6,
+        )
+        gnd_x = [s for s in layout.segments
+                 if s.net == "GND" and s.direction.value == "x"]
+        assert min(abs(s.center[1]) for s in gnd_x) >= 20e-6 - 1e-9
+
+
+class TestGroundPlane:
+    def test_plane_strip_count(self):
+        layout, _ = build_ground_plane(
+            length=100e-6, plane_strips=5, plane_layers=("M4",),
+            side_returns=False,
+        )
+        strips = [s for s in layout.segments
+                  if s.layer == "M4" and s.direction.value == "x"]
+        assert len(strips) == 5
+
+    def test_planes_above_and_below(self):
+        layout, _ = build_ground_plane(
+            length=100e-6, plane_layers=("M4", "M6"), signal_layer="M5",
+            side_returns=False,
+        )
+        layers = {s.layer for s in layout.segments if s.net == "GND"}
+        assert layers == {"M4", "M6"}
+
+    def test_rejects_zero_strips(self):
+        with pytest.raises(ValueError):
+            build_ground_plane(plane_strips=0)
+
+
+class TestInterdigitated:
+    def test_finger_widths_sum_to_total(self):
+        layout, _ = build_interdigitated_wire(
+            length=100e-6, total_signal_width=8e-6, num_fingers=4,
+        )
+        fingers = [s for s in layout.segments
+                   if s.net == "sig" and s.direction.value == "x"]
+        assert len(fingers) == 4
+        assert sum(s.width for s in fingers) == pytest.approx(8e-6)
+
+    def test_shields_between_fingers(self):
+        layout, _ = build_interdigitated_wire(
+            length=100e-6, total_signal_width=8e-6, num_fingers=4,
+            outer_returns=0,
+        )
+        shields = [s for s in layout.segments
+                   if s.net == "GND" and s.direction.value == "x"]
+        # 3 between + 2 outside the finger array.
+        assert len(shields) == 5
+
+    def test_signal_is_one_connected_wire(self):
+        layout, _ = build_interdigitated_wire(num_fingers=3)
+        assert layout.net_is_connected("sig")
+
+    def test_single_finger_baseline(self):
+        layout, ports = build_interdigitated_wire(num_fingers=1)
+        fingers = [s for s in layout.segments
+                   if s.net == "sig" and s.direction.value == "x"]
+        assert len(fingers) == 1
+
+
+class TestBus:
+    def test_bus_taps_per_net(self):
+        layout, ports = build_bus(num_signals=3, length=100e-6)
+        for i in range(3):
+            assert f"bus{i}:in" in ports.taps
+            assert f"bus{i}:out" in ports.taps
+        assert layout.nets["bus0"].kind == NetKind.SIGNAL
+
+    def test_edge_grounds_optional(self):
+        layout, ports = build_bus(num_signals=2, edge_grounds=False)
+        assert "GND" in layout.nets
+        assert not layout.segments_of("GND")
+
+
+class TestBundles:
+    def test_parallel_bundle_stays_on_track(self):
+        layout, ports = build_parallel_bundle(num_nets=3, num_regions=3)
+        # No jogs in a parallel bundle.
+        jogs = [s for s in layout.segments
+                if s.net.startswith("n") and s.direction.value == "y"]
+        assert jogs == []
+
+    def test_twisted_bundle_has_jogs_and_connectivity(self):
+        layout, ports = build_twisted_bundle(num_nets=3, num_regions=3)
+        jogs = [s for s in layout.segments
+                if s.net.startswith("n") and s.direction.value == "y"]
+        assert jogs
+        for i in range(3):
+            assert layout.net_is_connected(f"n{i}")
+
+    def test_twisted_out_track_rotates(self):
+        _, ports = build_twisted_bundle(
+            num_nets=4, num_regions=2, pitch=4e-6
+        )
+        # Net 0 starts on track 0 and ends on track (0 + regions-1) % nets.
+        assert ports["n0:in"].y == pytest.approx(0.0)
+        assert ports["n0:out"].y == pytest.approx(4e-6)
+
+    def test_bundle_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            build_twisted_bundle(num_nets=1)
+        with pytest.raises(ValueError):
+            build_parallel_bundle(num_regions=0)

@@ -1,0 +1,158 @@
+"""SPICE deck import and export/import round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_impedance
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import DC, PWL, Pulse, Ramp, SineWave
+from repro.io.parser import ParsedDeck, SpiceParseError, parse_value, read_spice
+from repro.io.spice import write_spice
+
+
+def parse(text: str) -> ParsedDeck:
+    return read_spice(io.StringIO(text))
+
+
+class TestValues:
+    def test_engineering_suffixes(self):
+        assert parse_value("1k") == 1e3
+        assert parse_value("2.5n") == pytest.approx(2.5e-9)
+        assert parse_value("3meg") == 3e6
+        assert parse_value("10p") == 10e-12
+        assert parse_value("4f") == 4e-15
+        assert parse_value("1.5u") == pytest.approx(1.5e-6)
+
+    def test_exponent_form(self):
+        assert parse_value("2e-9") == 2e-9
+        assert parse_value("-3.5E3") == -3500.0
+
+    def test_trailing_units_ignored(self):
+        assert parse_value("100nH") == pytest.approx(100e-9)
+        assert parse_value("5pF") == pytest.approx(5e-12)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse_value("ohm5")
+
+
+class TestElements:
+    def test_basic_deck(self):
+        deck = parse(
+            "* test\n"
+            "R1 a b 1k\n"
+            "C1 b 0 1p\n"
+            "L1 b c 2n\n"
+            ".end\n"
+        )
+        assert deck.title == "test"
+        assert len(deck.circuit.resistors) == 1
+        assert deck.circuit.resistors[0].resistance == 1000.0
+        assert deck.circuit.capacitors[0].capacitance == pytest.approx(1e-12)
+        assert deck.circuit.inductors[0].inductance == pytest.approx(2e-9)
+
+    def test_comments_and_blanks_skipped(self):
+        deck = parse("* t\n\n* a comment\nR1 a 0 1\n.end\n")
+        assert len(deck.circuit.resistors) == 1
+
+    def test_continuation_lines(self):
+        deck = parse("* t\nR1 a\n+ 0 5\n.end\n")
+        assert deck.circuit.resistors[0].resistance == 5.0
+
+    def test_coupling_reconstructed_as_mutual(self):
+        deck = parse(
+            "* t\n"
+            "L1 a 0 1n\n"
+            "L2 b 0 4n\n"
+            "K1 L1 L2 0.5\n"
+            ".end\n"
+        )
+        mut = deck.circuit.mutuals[0]
+        assert mut.mutual == pytest.approx(1e-9)  # 0.5 * sqrt(1n*4n)
+
+    def test_unknown_coupling_ref_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse("* t\nL1 a 0 1n\nK1 L1 L9 0.5\n.end\n")
+
+    def test_dot_cards_recorded(self):
+        deck = parse("* t\nR1 a 0 1\n.tran 1p 1n\n.end\n")
+        assert deck.ignored_cards == [".tran 1p 1n"]
+
+    def test_unsupported_element_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse("* t\nQ1 a b c model\n.end\n")
+
+
+class TestSources:
+    def test_dc(self):
+        deck = parse("* t\nV1 a 0 DC 1.2\nR1 a 0 1\n.end\n")
+        assert deck.circuit.vsources[0].waveform(0.0) == pytest.approx(1.2)
+
+    def test_bare_value_is_dc(self):
+        deck = parse("* t\nI1 a 0 1m\nR1 a 0 1\n.end\n")
+        assert deck.circuit.isources[0].waveform(0.0) == pytest.approx(1e-3)
+
+    def test_pulse(self):
+        deck = parse(
+            "* t\nV1 a 0 PULSE(0 1 1n 0.1n 0.1n 2n 10n)\nR1 a 0 1\n.end\n"
+        )
+        w = deck.circuit.vsources[0].waveform
+        assert w(0.5e-9) == 0.0
+        assert w(2e-9) == 1.0
+
+    def test_pwl(self):
+        deck = parse("* t\nI1 a 0 PWL(0 0 1n 1m)\nR1 a 0 1\n.end\n")
+        w = deck.circuit.isources[0].waveform
+        assert w(0.5e-9) == pytest.approx(0.5e-3)
+
+    def test_sin(self):
+        deck = parse("* t\nV1 a 0 SIN(0.5 0.5 1g 0)\nR1 a 0 1\n.end\n")
+        w = deck.circuit.vsources[0].waveform
+        assert w(0.25e-9) == pytest.approx(1.0)
+
+    def test_bad_pwl_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse("* t\nV1 a 0 PWL(0 0 1n)\nR1 a 0 1\n.end\n")
+
+
+class TestRoundTrip:
+    def build_reference(self) -> Circuit:
+        circuit = Circuit("roundtrip")
+        circuit.add_vsource("vin", "in", GROUND, Ramp(0, 1, 0.1e-9, 0.2e-9))
+        circuit.add_resistor("rd", "in", "a", 25.0)
+        circuit.add_inductor("l1", "a", "b", 1e-9)
+        circuit.add_inductor("l2", "ret", GROUND, 0.8e-9)
+        circuit.add_mutual("m", "l1", "l2", 0.4e-9)
+        circuit.add_resistor("rret", "b", "ret", 0.1)
+        circuit.add_capacitor("cl", "b", GROUND, 0.2e-12)
+        return circuit
+
+    def test_transient_survives_round_trip(self):
+        original = self.build_reference()
+        buf = io.StringIO()
+        write_spice(original, buf)
+        buf.seek(0)
+        restored = read_spice(buf).circuit
+
+        res_a = transient_analysis(original, 2e-9, 2e-12, record=["b"])
+        res_b = transient_analysis(restored, 2e-9, 2e-12, record=["b"])
+        assert np.allclose(res_a.voltage("b"), res_b.voltage("b"), atol=1e-9)
+
+    def test_inductor_set_round_trip_electrically_equivalent(self):
+        matrix = np.array([[2e-9, 0.5e-9], [0.5e-9, 1.5e-9]])
+        original = Circuit("sets")
+        original.add_resistor("r1", "p", "a", 3.0)
+        original.add_resistor("r2", "p", "b", 4.0)
+        original.add_inductor_set("Lp", [("a", GROUND), ("b", GROUND)],
+                                  matrix)
+        buf = io.StringIO()
+        write_spice(original, buf)
+        buf.seek(0)
+        restored = read_spice(buf).circuit
+        freqs = [1e8, 1e9, 1e10]
+        z_a = ac_impedance(original, freqs, ("p", GROUND))
+        z_b = ac_impedance(restored, freqs, ("p", GROUND))
+        assert np.allclose(z_a, z_b, rtol=1e-9)

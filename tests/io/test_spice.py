@@ -1,0 +1,167 @@
+"""SPICE netlist export."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.waveforms import DC, PWL, Pulse, Ramp, SineWave
+from repro.io.spice import write_spice
+
+
+def export(circuit, **kwargs) -> str:
+    buf = io.StringIO()
+    write_spice(circuit, buf, **kwargs)
+    return buf.getvalue()
+
+
+class TestBasicElements:
+    def test_rlc_lines(self):
+        c = Circuit("t")
+        c.add_resistor("r1", "a", "b", 50.0)
+        c.add_capacitor("c1", "b", GROUND, 1e-12)
+        c.add_inductor("l1", "b", "c", 2e-9)
+        deck = export(c)
+        assert "Rr1 a b 50" in deck
+        assert "Cc1 b 0 1e-12" in deck
+        assert "Ll1 b c 2e-09" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_title_line_first(self):
+        c = Circuit("mycircuit")
+        c.add_resistor("r", "a", GROUND, 1.0)
+        deck = export(c)
+        assert deck.splitlines()[0] == "* mycircuit"
+
+    def test_mutual_as_coupling_coefficient(self):
+        c = Circuit("t")
+        c.add_inductor("l1", "a", GROUND, 1e-9)
+        c.add_inductor("l2", "b", GROUND, 4e-9)
+        c.add_mutual("m", "l1", "l2", 1e-9)
+        deck = export(c)
+        # k = M / sqrt(L1 L2) = 1e-9 / 2e-9 = 0.5
+        assert "Km Ll1 Ll2 0.5" in deck
+
+    def test_inductor_set_expansion(self):
+        c = Circuit("t")
+        matrix = np.array([[2e-9, 0.5e-9], [0.5e-9, 2e-9]])
+        c.add_inductor_set("Lp", [("a", GROUND), ("b", GROUND)], matrix)
+        deck = export(c)
+        assert "LLp_0 a 0 2e-09" in deck
+        assert "LLp_1 b 0 2e-09" in deck
+        assert "KLp_0_1 LLp_0 LLp_1 0.25" in deck
+
+    def test_zero_mutual_entries_skipped(self):
+        c = Circuit("t")
+        matrix = np.diag([1e-9, 1e-9])
+        c.add_inductor_set("Lp", [("a", GROUND), ("b", GROUND)], matrix)
+        deck = export(c)
+        assert "KLp" not in deck
+
+    def test_node_sanitization(self):
+        c = Circuit("t")
+        c.add_resistor("seg:R", "n0:m", "x.y", 1.0)
+        deck = export(c)
+        assert "Rseg_R n0_m x_y 1" in deck
+
+
+class TestSources:
+    def test_dc_source(self):
+        c = Circuit("t")
+        c.add_vsource("vdd", "a", GROUND, DC(1.2))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        assert "Vvdd a 0 DC 1.2" in export(c)
+
+    def test_ramp_as_pwl(self):
+        c = Circuit("t")
+        c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 1e-9, 2e-9))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        deck = export(c)
+        assert "PWL(0 0 1e-09 0 3e-09 1)" in deck
+
+    def test_pulse(self):
+        c = Circuit("t")
+        c.add_isource("i", "a", GROUND,
+                      Pulse(0, 1e-3, 1e-9, 1e-10, 1e-10, 1e-9, 4e-9))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        deck = export(c)
+        assert "PULSE(0 0.001 1e-09 1e-10 1e-10 1e-09 4e-09)" in deck
+
+    def test_pwl_points(self):
+        c = Circuit("t")
+        c.add_isource("i", "a", GROUND,
+                      PWL(points=((0.0, 0.0), (1e-9, 1e-3))))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        assert "PWL(0 0 1e-09 0.001)" in export(c)
+
+    def test_sine(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, SineWave(0.5, 0.5, 1e9))
+        c.add_resistor("r", "a", GROUND, 1.0)
+        assert "SIN(0.5 0.5 1e+09 0)" in export(c)
+
+    def test_unknown_waveform_sampled(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, lambda t: t * 1e9)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        deck = export(c, t_stop=1e-9)
+        assert "PWL(" in deck
+
+    def test_unknown_waveform_without_tstop_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, lambda t: 0.0)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            export(c)
+
+
+class TestUnsupported:
+    def test_k_sets_rejected(self):
+        c = Circuit("t")
+        c.add_k_set("ks", [("a", GROUND)], np.array([[1e9]]))
+        with pytest.raises(ValueError):
+            export(c)
+
+    def test_macromodels_rejected(self):
+        c = Circuit("t")
+        c.add_macromodel("m", [("a", GROUND)], np.eye(1), np.eye(1),
+                         np.ones((1, 1)))
+        with pytest.raises(ValueError):
+            export(c)
+
+    def test_devices_rejected(self):
+        from repro.circuit.devices import CMOSInverter
+
+        c = Circuit("t")
+        c.add_vsource("vdd", "vdd", GROUND, 1.2)
+        c.add_device(CMOSInverter("u", "vdd", "o", "vdd", GROUND))
+        with pytest.raises(ValueError):
+            export(c)
+
+
+class TestFullModelExport:
+    def test_peec_model_exports(self, small_grid_layout):
+        from repro.peec.model import PEECOptions, build_peec_model
+
+        model = build_peec_model(
+            small_grid_layout, PEECOptions(max_segment_length=60e-6)
+        )
+        deck = export(model.circuit, analysis=".tran 1p 1n")
+        # Every element class present, analysis card included.
+        assert deck.count("\nR") >= len(model.circuit.resistors)
+        assert ".tran 1p 1n" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_coupling_coefficients_below_one(self, small_grid_layout):
+        from repro.peec.model import PEECOptions, build_peec_model
+
+        model = build_peec_model(
+            small_grid_layout, PEECOptions(max_segment_length=60e-6)
+        )
+        deck = export(model.circuit)
+        for line in deck.splitlines():
+            if line.startswith("K"):
+                k = abs(float(line.split()[-1]))
+                assert k < 1.0

@@ -1,0 +1,107 @@
+"""Two-frequency ladder fit (Figure 3d)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_impedance
+from repro.circuit.netlist import GROUND, Circuit
+from repro.loop.ladder import LadderModel, fit_ladder
+
+
+@pytest.fixture
+def ladder():
+    return LadderModel(r0=10.0, l0=0.3e-9, r1=5.0, l1=0.1e-9)
+
+
+class TestLadderModel:
+    def test_low_frequency_asymptotes(self, ladder):
+        f = 1e3
+        assert ladder.resistance([f])[0] == pytest.approx(10.0, rel=1e-4)
+        assert ladder.inductance([f])[0] == pytest.approx(0.4e-9, rel=1e-4)
+
+    def test_high_frequency_asymptotes(self, ladder):
+        f = 1e13
+        assert ladder.resistance([f])[0] == pytest.approx(15.0, rel=1e-4)
+        assert ladder.inductance([f])[0] == pytest.approx(0.3e-9, rel=1e-4)
+
+    def test_monotone_transition(self, ladder):
+        freqs = np.logspace(6, 12, 30)
+        r = ladder.resistance(freqs)
+        l = ladder.inductance(freqs)
+        assert np.all(np.diff(r) >= -1e-12)
+        assert np.all(np.diff(l) <= 1e-20)
+
+    def test_dc_inductance_defined(self, ladder):
+        assert ladder.inductance([0.0])[0] == pytest.approx(0.4e-9)
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ValueError):
+            LadderModel(r0=-1.0, l0=1e-9, r1=1.0, l1=1e-9)
+
+    def test_circuit_realization_matches_formula(self, ladder):
+        circuit = Circuit("lad")
+        ladder.add_to_circuit(circuit, "p", GROUND)
+        freqs = np.logspace(7, 11, 9)
+        z_circuit = ac_impedance(circuit, freqs, ("p", GROUND), gmin=1e-12)
+        z_formula = ladder.impedance(freqs)
+        assert np.allclose(z_circuit, z_formula, rtol=1e-6)
+
+
+class TestFit:
+    def test_fit_recovers_known_ladder(self, ladder):
+        f1, f2 = 1e7, 2e11
+        z1 = complex(ladder.impedance([f1])[0])
+        z2 = complex(ladder.impedance([f2])[0])
+        fitted = fit_ladder(f1, z1, f2, z2)
+        assert fitted.r0 == pytest.approx(ladder.r0, rel=0.02)
+        assert fitted.l0 == pytest.approx(ladder.l0, rel=0.02)
+        assert fitted.r1 == pytest.approx(ladder.r1, rel=0.05)
+        assert fitted.l1 == pytest.approx(ladder.l1, rel=0.05)
+
+    def test_fit_interpolates_samples_exactly(self, ladder):
+        f1, f2 = 1e9, 5e10
+        z1 = complex(ladder.impedance([f1])[0])
+        z2 = complex(ladder.impedance([f2])[0])
+        fitted = fit_ladder(f1, z1, f2, z2)
+        z1_fit = fitted.impedance([f1])[0]
+        z2_fit = fitted.impedance([f2])[0]
+        assert abs(z1_fit - z1) / abs(z1) < 1e-6
+        assert abs(z2_fit - z2) / abs(z2) < 1e-6
+
+    def test_fit_from_real_extraction(self, signal_grid_structure):
+        from repro.loop.extractor import LoopPort, extract_loop_impedance
+
+        layout, ports = signal_grid_structure
+        port = LoopPort(
+            signal=ports["driver"],
+            reference=ports["gnd_driver"],
+            short_signal=ports["receiver"],
+            short_reference=ports["gnd_receiver"],
+        )
+        freqs = np.logspace(7, 11, 9)
+        res = extract_loop_impedance(layout, port, freqs,
+                                     max_segment_length=150e-6)
+        fitted = fit_ladder(
+            float(freqs[0]), complex(res.impedance[0]),
+            float(freqs[-1]), complex(res.impedance[-1]),
+        )
+        # Ladder should track the extraction at intermediate points.
+        mid = len(freqs) // 2
+        z_mid = fitted.impedance([freqs[mid]])[0]
+        assert abs(z_mid - res.impedance[mid]) / abs(res.impedance[mid]) < 0.1
+
+    def test_fit_rejects_wrong_trends(self):
+        with pytest.raises(ValueError):
+            # R falling with frequency is unphysical for this model.
+            fit_ladder(1e8, complex(10, 1), 1e10, complex(5, 50))
+
+    def test_fit_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            fit_ladder(1e10, complex(1, 1), 1e8, complex(2, 2))
+
+    def test_unrefined_fit_uses_asymptotes(self, ladder):
+        f1, f2 = 1e6, 1e12
+        z1 = complex(ladder.impedance([f1])[0])
+        z2 = complex(ladder.impedance([f2])[0])
+        fitted = fit_ladder(f1, z1, f2, z2, refine=False)
+        assert fitted.r0 == pytest.approx(z1.real, rel=1e-9)

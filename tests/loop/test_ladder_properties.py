@@ -1,0 +1,64 @@
+"""Property-based tests of the ladder model and its two-point fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loop.ladder import LadderModel, fit_ladder
+
+ladder_params = st.builds(
+    LadderModel,
+    r0=st.floats(0.5, 100.0),
+    l0=st.floats(1e-11, 5e-9),
+    r1=st.floats(0.1, 50.0),
+    l1=st.floats(1e-12, 1e-9),
+)
+
+
+class TestLadderProperties:
+    @given(ladder=ladder_params)
+    @settings(max_examples=50, deadline=None)
+    def test_resistance_monotone_nondecreasing(self, ladder):
+        freqs = np.logspace(5, 13, 40)
+        r = ladder.resistance(freqs)
+        assert np.all(np.diff(r) >= -1e-9 * r[0])
+
+    @given(ladder=ladder_params)
+    @settings(max_examples=50, deadline=None)
+    def test_inductance_monotone_nonincreasing(self, ladder):
+        freqs = np.logspace(5, 13, 40)
+        l = ladder.inductance(freqs)
+        assert np.all(np.diff(l) <= 1e-9 * l[0])
+
+    @given(ladder=ladder_params)
+    @settings(max_examples=50, deadline=None)
+    def test_asymptotes_bound_the_curves(self, ladder):
+        freqs = np.logspace(5, 13, 20)
+        r = ladder.resistance(freqs)
+        l = ladder.inductance(freqs)
+        assert np.all(r >= ladder.r0 * (1 - 1e-9))
+        assert np.all(r <= (ladder.r0 + ladder.r1) * (1 + 1e-9))
+        assert np.all(l <= (ladder.l0 + ladder.l1) * (1 + 1e-9))
+        assert np.all(l >= ladder.l0 * (1 - 1e-9))
+
+    @given(ladder=ladder_params, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_two_point_fit_round_trips(self, ladder, seed):
+        # Sample near the ladder's own transition corner so both points
+        # carry information about all four parameters.
+        f_corner = ladder.r1 / (2 * np.pi * ladder.l1)
+        f1 = f_corner / 300.0
+        f2 = f_corner * 300.0
+        z1 = complex(ladder.impedance([f1])[0])
+        z2 = complex(ladder.impedance([f2])[0])
+        fitted = fit_ladder(f1, z1, f2, z2)
+        # The fit must interpolate its two samples...
+        for f, z in ((f1, z1), (f2, z2)):
+            z_fit = fitted.impedance([f])[0]
+            assert abs(z_fit - z) / abs(z) < 1e-4
+        # ...and track the generator in between.
+        f_mid = np.sqrt(f1 * f2)
+        z_mid = ladder.impedance([f_mid])[0]
+        z_fit_mid = fitted.impedance([f_mid])[0]
+        assert abs(z_fit_mid - z_mid) / abs(z_mid) < 0.05

@@ -1,0 +1,76 @@
+"""Loop-model netlist construction (Figure 3c)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+from repro.loop.extractor import LoopExtractionResult
+from repro.loop.ladder import LadderModel
+from repro.loop.model import LoopModelSpec, build_loop_circuit
+
+
+@pytest.fixture
+def extraction():
+    freqs = np.array([1e8, 1e9, 1e10])
+    omega = 2 * np.pi * freqs
+    z = 12.0 + np.array([0.0, 0.5, 4.0]) + 1j * omega * np.array(
+        [0.5e-9, 0.45e-9, 0.4e-9]
+    )
+    return LoopExtractionResult(frequencies=freqs, impedance=z,
+                                num_filaments=10)
+
+
+class TestSingleFrequencyLump:
+    def test_single_section_structure(self, extraction):
+        circuit = build_loop_circuit(extraction, 50e-15,
+                                     LoopModelSpec(frequency=1e9))
+        # One R, one L, one C at the receiver.
+        assert len(circuit.resistors) == 1
+        assert len(circuit.inductors) == 1
+        assert len(circuit.capacitors) == 1
+        cap = circuit.capacitors[0]
+        assert cap.n1 == "rcv"
+        assert cap.n2 == GROUND
+
+    def test_extracted_values_used(self, extraction):
+        circuit = build_loop_circuit(extraction, 50e-15,
+                                     LoopModelSpec(frequency=1e9))
+        assert circuit.resistors[0].resistance == pytest.approx(12.5)
+        assert circuit.inductors[0].inductance == pytest.approx(0.45e-9)
+
+    def test_multi_section_splits_values(self, extraction):
+        circuit = build_loop_circuit(
+            extraction, 60e-15, LoopModelSpec(frequency=1e9, num_sections=3)
+        )
+        assert len(circuit.resistors) == 3
+        assert len(circuit.capacitors) == 3
+        total_r = sum(r.resistance for r in circuit.resistors)
+        total_c = sum(c.capacitance for c in circuit.capacitors)
+        assert total_r == pytest.approx(12.5)
+        assert total_c == pytest.approx(60e-15)
+
+    def test_ladder_option(self, extraction):
+        ladder = LadderModel(r0=10.0, l0=0.4e-9, r1=4.0, l1=0.1e-9)
+        circuit = build_loop_circuit(
+            extraction, 50e-15, LoopModelSpec(ladder=ladder)
+        )
+        assert len(circuit.inductors) == 2  # L0 and L1
+
+    def test_validation(self, extraction):
+        with pytest.raises(ValueError):
+            build_loop_circuit(extraction, 0.0)
+        with pytest.raises(ValueError):
+            LoopModelSpec(num_sections=0)
+        with pytest.raises(ValueError):
+            LoopModelSpec(frequency=-1e9)
+
+    def test_simulates_as_rlc(self, extraction):
+        circuit = build_loop_circuit(extraction, 50e-15,
+                                     LoopModelSpec(frequency=1e9))
+        circuit.add_vsource("vin", "src", GROUND, Ramp(0, 1, 0, 30e-12))
+        circuit.add_resistor("rdrv", "src", "drv", 30.0)
+        res = transient_analysis(circuit, 1e-9, 1e-12, record=["rcv"])
+        v = res.voltage("rcv")
+        assert v[-1] == pytest.approx(1.0, abs=0.02)

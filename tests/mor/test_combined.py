@@ -1,0 +1,97 @@
+"""Combined block-diagonal + PRIMA flow with macromodel embedding."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+from repro.geometry import build_signal_over_grid
+from repro.mor.combined import combined_reduction
+from repro.mor.ports import NodePort
+from repro.peec.model import PEECOptions, build_peec_model
+from repro.sparsify import BlockDiagonalSparsifier
+
+
+@pytest.fixture(scope="module")
+def peec_pair():
+    """(full dense model, block-diagonal model) over the same structure."""
+    layout, ports = build_signal_over_grid(
+        length=300e-6, returns_per_side=2, pitch=8e-6
+    )
+
+    def build(sparsifier):
+        model = build_peec_model(
+            layout,
+            PEECOptions(max_segment_length=100e-6, sparsifier=sparsifier),
+        )
+        rcv = model.node_at(ports["receiver"])
+        model.circuit.add_capacitor("Cload", rcv, GROUND, 20e-15)
+        gnd = model.node_at(ports["gnd_driver"])
+        model.circuit.add_resistor("Rgnd", gnd, GROUND, 0.05)
+        gnd_r = model.node_at(ports["gnd_receiver"])
+        model.circuit.add_resistor("Rgnd2", gnd_r, GROUND, 0.05)
+        return model, model.node_at(ports["driver"]), rcv
+
+    return build(None), build(BlockDiagonalSparsifier(num_sections=2))
+
+
+class TestCombinedFlow:
+    def test_rejects_circuits_with_sources(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            combined_reduction(c, ["a"], [], order=2)
+
+    def test_requires_active_ports(self):
+        c = Circuit("t")
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(ValueError):
+            combined_reduction(c, [], [], order=2)
+
+    def test_compression_reported(self, peec_pair):
+        (_, _, _), (model, drv, rcv) = peec_pair
+        result = combined_reduction(model.circuit, [drv], [rcv], order=12)
+        assert result.model.order <= 12
+        assert result.compression > 3.0
+        assert result.reduction_seconds >= 0.0
+
+    def test_rom_transient_matches_full_model(self, peec_pair):
+        (full_model, full_drv, full_rcv), (bd_model, drv, rcv) = peec_pair
+
+        # Reference: full dense PEEC with a Thevenin driver.
+        ref = full_model.circuit
+        ref.add_vsource("Vin", "vin", GROUND, Ramp(0.0, 1.0, 20e-12, 40e-12))
+        ref.add_resistor("Rdrv", "vin", full_drv, 50.0)
+        res_ref = transient_analysis(ref, 0.8e-9, 2e-12, record=[full_rcv])
+
+        # ROM of the block-diagonal model, same driver in a host circuit.
+        comb = combined_reduction(bd_model.circuit, [drv], [rcv], order=20)
+        host = Circuit("host")
+        host.add_vsource("Vin", "vin", GROUND, Ramp(0.0, 1.0, 20e-12, 40e-12))
+        host.add_resistor("Rdrv", "vin", "port", 50.0)
+        mm = comb.model.to_macromodel("rom", [NodePort("port")])
+        host.add_macromodel("rom", mm.ports, mm.g_red, mm.c_red, mm.b_red)
+        res_rom = transient_analysis(host, 0.8e-9, 2e-12)
+        wave_rom = comb.model.observe(res_rom, "rom", rcv)
+
+        err = np.max(np.abs(wave_rom - res_ref.voltage(full_rcv)))
+        assert err < 0.05  # block-diag + order-20 ROM within 50 mV
+
+    def test_macromodel_port_count_checked(self, peec_pair):
+        _, (model, drv, rcv) = peec_pair
+        comb = combined_reduction(model.circuit, [drv], [rcv], order=8)
+        with pytest.raises(ValueError):
+            comb.model.to_macromodel("rom", [NodePort("a"), NodePort("b")])
+
+    def test_observe_unknown_output_rejected(self, peec_pair):
+        _, (model, drv, rcv) = peec_pair
+        comb = combined_reduction(model.circuit, [drv], [rcv], order=8)
+        host = Circuit("host")
+        host.add_isource("inj", GROUND, "port", 0.0)
+        mm = comb.model.to_macromodel("rom", [NodePort("port")])
+        host.add_macromodel("rom", mm.ports, mm.g_red, mm.c_red, mm.b_red)
+        res = transient_analysis(host, 0.1e-9, 2e-12)
+        with pytest.raises(KeyError):
+            comb.model.observe(res, "rom", "not_an_output")

@@ -1,0 +1,115 @@
+"""Hierarchical interconnect models (paper ref [16])."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+from repro.mor.hierarchical import hierarchical_reduction
+
+
+def two_block_line(sections_per_block=10, r=5.0, c=15e-15):
+    """Two RC-ladder blocks joined by a global link resistor."""
+    circuit = Circuit("line")
+    prev = "in"
+    for k in range(sections_per_block):
+        nxt = f"a{k}"
+        circuit.add_resistor(f"ra{k}", prev, nxt, r)
+        circuit.add_capacitor(f"ca{k}", nxt, GROUND, c)
+        prev = nxt
+    circuit.add_resistor("rlink", prev, "mid", r)
+    prev = "mid"
+    for k in range(sections_per_block):
+        nxt = f"b{k}"
+        circuit.add_resistor(f"rb{k}", prev, nxt, r)
+        circuit.add_capacitor(f"cb{k}", nxt, GROUND, c)
+        prev = nxt
+    circuit.add_resistor("rterm", prev, GROUND, 100.0)
+    blocks = [
+        {f"a{k}" for k in range(sections_per_block)},
+        {f"b{k}" for k in range(sections_per_block - 1)},
+    ]
+    return circuit, blocks, prev
+
+
+class TestPartitioning:
+    def test_overlapping_blocks_rejected(self):
+        circuit, _, _ = two_block_line(3)
+        with pytest.raises(ValueError):
+            hierarchical_reduction(circuit, [{"a0"}, {"a0"}])
+
+    def test_ground_in_block_rejected(self):
+        circuit, _, _ = two_block_line(3)
+        with pytest.raises(ValueError):
+            hierarchical_reduction(circuit, [{GROUND}])
+
+    def test_devices_rejected(self):
+        from repro.circuit.devices import CMOSInverter
+
+        circuit, blocks, _ = two_block_line(3)
+        circuit.add_vsource("vdd", "vdd", GROUND, 1.2)
+        circuit.add_device(CMOSInverter("u", "in", "a0", "vdd", GROUND))
+        with pytest.raises(ValueError):
+            hierarchical_reduction(circuit, blocks)
+
+    def test_cross_block_mutual_rejected(self):
+        circuit = Circuit("t")
+        circuit.add_inductor("l1", "a", GROUND, 1e-9)
+        circuit.add_inductor("l2", "b", GROUND, 1e-9)
+        circuit.add_mutual("m", "l1", "l2", 0.2e-9)
+        circuit.add_resistor("r1", "in", "a", 1.0)
+        circuit.add_resistor("r2", "in", "b", 1.0)
+        with pytest.raises(ValueError):
+            hierarchical_reduction(circuit, [{"a"}, {"b"}])
+
+
+class TestAccuracy:
+    def test_hierarchical_matches_flat(self):
+        flat, blocks, out_node = two_block_line(10)
+        flat.add_vsource("vin", "src", GROUND, Ramp(0, 1, 10e-12, 40e-12))
+        flat.add_resistor("rdrv", "src", "in", 30.0)
+
+        hier_src, _, _ = two_block_line(10)
+        hier_src.add_vsource("vin", "src", GROUND,
+                             Ramp(0, 1, 10e-12, 40e-12))
+        hier_src.add_resistor("rdrv", "src", "in", 30.0)
+        model = hierarchical_reduction(
+            hier_src, blocks, order_per_block=10
+        )
+
+        res_flat = transient_analysis(flat, 2e-9, 4e-12, record=[out_node])
+        res_hier = transient_analysis(model.circuit, 2e-9, 4e-12,
+                                      record=[out_node])
+        err = np.max(np.abs(res_flat.voltage(out_node)
+                            - res_hier.voltage(out_node)))
+        assert err < 0.01
+
+    def test_reduction_shrinks_unknowns(self):
+        circuit, blocks, _ = two_block_line(15)
+        model = hierarchical_reduction(circuit, blocks, order_per_block=8)
+        from repro.circuit.mna import MNASystem
+
+        reduced_size = MNASystem(model.circuit).size
+        assert reduced_size < model.full_unknowns
+        assert set(model.block_orders) == {0, 1}
+
+    def test_keep_nodes_stay_observable(self):
+        observed = "a4"
+
+        flat, blocks, _ = two_block_line(8)
+        flat.add_vsource("vin", "src", GROUND, Ramp(0, 1, 0, 40e-12))
+        flat.add_resistor("rdrv", "src", "in", 30.0)
+        res_flat = transient_analysis(flat, 1e-9, 4e-12, record=[observed])
+
+        circuit, blocks, _ = two_block_line(8)
+        circuit.add_vsource("vin", "src", GROUND, Ramp(0, 1, 0, 40e-12))
+        circuit.add_resistor("rdrv", "src", "in", 30.0)
+        model = hierarchical_reduction(
+            circuit, blocks, order_per_block=10, keep_nodes={observed}
+        )
+        res = transient_analysis(model.circuit, 1e-9, 4e-12,
+                                 record=[observed])
+        err = np.max(np.abs(res.voltage(observed)
+                            - res_flat.voltage(observed)))
+        assert err < 0.01

@@ -1,0 +1,165 @@
+"""PRIMA reduction: moment matching, passivity, accuracy vs order."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_impedance
+from repro.circuit.mna import MNASystem
+from repro.circuit.netlist import GROUND, Circuit
+from repro.mor.ports import NodePort, SourcePort, input_matrix, output_matrix
+from repro.mor.prima import prima_reduce
+
+
+def rc_ladder(sections=20, r=10.0, c=20e-15, r_term=100.0):
+    """A terminated RC ladder: the canonical MOR benchmark.
+
+    The termination gives the port a DC path, so transfer functions have
+    finite DC values (an open ladder is a pure integrator at DC).
+    """
+    circuit = Circuit("ladder")
+    prev = "p"
+    for k in range(sections):
+        nxt = f"n{k}"
+        circuit.add_resistor(f"r{k}", prev, nxt, r)
+        circuit.add_capacitor(f"c{k}", nxt, GROUND, c)
+        prev = nxt
+    circuit.add_resistor("r_term", prev, GROUND, r_term)
+    return circuit
+
+
+def rlc_line(sections=15, r=2.0, l=0.2e-9, c=10e-15):
+    circuit = Circuit("line")
+    prev = "p"
+    for k in range(sections):
+        nxt = f"n{k}"
+        circuit.add_series_rl(f"s{k}", prev, nxt, r, l)
+        circuit.add_capacitor(f"c{k}", nxt, GROUND, c)
+        prev = nxt
+    return circuit
+
+
+class TestPortMatrices:
+    def test_node_port_column(self):
+        circuit = rc_ladder(3)
+        system = MNASystem(circuit)
+        b = input_matrix(system, [NodePort("p")])
+        assert b[system.node_index("p"), 0] == 1.0
+        assert np.count_nonzero(b) == 1
+
+    def test_source_port_isource(self):
+        circuit = rc_ladder(3)
+        circuit.add_isource("inj", GROUND, "p", 0.0)
+        system = MNASystem(circuit)
+        b = input_matrix(system, [SourcePort("inj")])
+        assert b[system.node_index("p"), 0] == 1.0
+
+    def test_source_port_vsource(self):
+        circuit = rc_ladder(3)
+        circuit.add_vsource("vs", "p", GROUND, 0.0)
+        system = MNASystem(circuit)
+        b = input_matrix(system, [SourcePort("vs")])
+        assert b[system.branch_index("vs"), 0] == -1.0
+
+    def test_unknown_source_rejected(self):
+        system = MNASystem(rc_ladder(3))
+        with pytest.raises(KeyError):
+            input_matrix(system, [SourcePort("nope")])
+
+    def test_output_matrix_selects_nodes(self):
+        circuit = rc_ladder(3)
+        system = MNASystem(circuit)
+        l_matrix = output_matrix(system, ["n1", "n2"])
+        assert l_matrix[system.node_index("n1"), 0] == 1.0
+        assert l_matrix[system.node_index("n2"), 1] == 1.0
+
+
+class TestReduction:
+    def test_impedance_matches_full_model(self):
+        circuit = rc_ladder(25)
+        rom = prima_reduce(circuit, [NodePort("p")], order=10, s0_hz=2e9)
+        freqs = np.logspace(8, 10, 7)
+        h = rom.transfer(freqs)[:, 0, 0]
+        z_full = ac_impedance(rc_ladder(25), freqs, ("p", GROUND), gmin=1e-12)
+        assert np.max(np.abs(h - z_full) / np.abs(z_full)) < 1e-3
+
+    def test_rlc_impedance_matches(self):
+        circuit = rlc_line(12)
+        rom = prima_reduce(circuit, [NodePort("p")], order=24, s0_hz=3e9)
+        freqs = np.logspace(8.5, 10, 6)
+        h = rom.transfer(freqs)[:, 0, 0]
+        z_full = ac_impedance(rlc_line(12), freqs, ("p", GROUND), gmin=1e-12)
+        assert np.max(np.abs(h - z_full) / np.abs(z_full)) < 1e-2
+
+    def test_error_decreases_with_order(self):
+        freqs = np.logspace(8, 10.3, 9)
+        z_full = ac_impedance(rc_ladder(30), freqs, ("p", GROUND), gmin=1e-12)
+        errors = []
+        for order in (2, 4, 8):
+            rom = prima_reduce(rc_ladder(30), [NodePort("p")], order=order,
+                               s0_hz=2e9)
+            h = rom.transfer(freqs)[:, 0, 0]
+            errors.append(float(np.max(np.abs(h - z_full) / np.abs(z_full))))
+        assert errors[2] < errors[0]
+
+    def test_reduced_model_is_passive_structured(self):
+        rom = prima_reduce(rlc_line(10), [NodePort("p")], order=12, s0_hz=2e9)
+        # Congruence must preserve G+G^T >= 0 and C >= 0.
+        sym_g = np.linalg.eigvalsh(rom.g_red + rom.g_red.T)
+        sym_c = np.linalg.eigvalsh((rom.c_red + rom.c_red.T) / 2)
+        assert sym_g.min() > -1e-9 * abs(sym_g).max()
+        assert sym_c.min() > -1e-9 * abs(sym_c).max()
+
+    def test_projection_orthonormal(self):
+        rom = prima_reduce(rc_ladder(20), [NodePort("p")], order=8, s0_hz=2e9)
+        v = rom.projection
+        assert np.allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-9)
+
+    def test_outputs_observed_through_l(self):
+        circuit = rc_ladder(20)
+        rom = prima_reduce(circuit, [NodePort("p")], order=10,
+                           outputs=["n19"], s0_hz=1e9)
+        assert rom.output_names == ["n19"]
+        # At DC all port current flows through the ladder into the
+        # termination, so the far-end voltage is i * r_term = 100 ohm * i.
+        h0 = rom.transfer([1e3])[0, 0, 0]
+        assert h0.real == pytest.approx(100.0, rel=0.01)
+
+    def test_simulate_reduced_transient(self):
+        from repro.circuit.waveforms import Ramp
+
+        rom = prima_reduce(rc_ladder(20), [NodePort("p")], order=10,
+                           outputs=["n19"], s0_hz=1e9)
+        times, out = rom.simulate(
+            {"port0": Ramp(0.0, 1e-3, 0.0, 0.1e-9)}, 40e-9, 20e-12
+        )
+        wave = out["n19"]
+        # 1 mA through the ladder into the 100-ohm termination -> 0.1 V.
+        assert wave[-1] == pytest.approx(0.1, rel=0.02)
+
+    def test_simulate_rejects_unknown_input(self):
+        rom = prima_reduce(rc_ladder(5), [NodePort("p")], order=4)
+        with pytest.raises(KeyError):
+            rom.simulate({"bogus": lambda t: 0.0}, 1e-9, 1e-11)
+
+    def test_rejects_nonlinear_circuit(self):
+        from repro.circuit.devices import CMOSInverter
+
+        circuit = rc_ladder(3)
+        circuit.add_device(CMOSInverter("u", "p", "n0", "n1", GROUND))
+        with pytest.raises(ValueError):
+            prima_reduce(circuit, [NodePort("p")], order=4)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            prima_reduce(rc_ladder(3), [NodePort("p")], order=0)
+
+    def test_active_port_block_smaller_than_all_ports(self):
+        # One active port -> Krylov block width 1; 3 ports -> width 3.
+        rom1 = prima_reduce(rc_ladder(20), [NodePort("p")], order=6)
+        rom3 = prima_reduce(
+            rc_ladder(20),
+            [NodePort("p"), NodePort("n10"), NodePort("n19")],
+            order=6,
+        )
+        assert rom1.b_red.shape[1] == 1
+        assert rom3.b_red.shape[1] == 3

@@ -1,0 +1,136 @@
+"""Package, decap, and switching-activity attachment passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.transient import transient_analysis
+from repro.peec.activity import attach_switching_activity, triangular_pulse
+from repro.peec.decap import attach_decaps, estimate_decoupling_capacitance
+from repro.peec.model import PEECOptions, build_peec_model
+from repro.peec.package import PackageSpec, attach_package
+
+
+@pytest.fixture
+def grid_model(small_grid_layout):
+    return build_peec_model(
+        small_grid_layout, PEECOptions(include_inductance=False)
+    )
+
+
+class TestPackage:
+    def test_one_source_per_pad(self, grid_model):
+        sources = attach_package(grid_model, PackageSpec())
+        assert len(sources) == len(grid_model.layout.pads)
+
+    def test_rail_voltages_respected(self, grid_model):
+        attach_package(grid_model, PackageSpec(rail_voltages={"VDD": 1.5,
+                                                              "GND": 0.0}))
+        vdd_srcs = [s for s in grid_model.circuit.vsources
+                    if "VDD" in s.name]
+        assert vdd_srcs
+        assert all(s.waveform(0.0) == 1.5 for s in vdd_srcs)
+
+    def test_unknown_rail_rejected(self, grid_model):
+        with pytest.raises(KeyError):
+            attach_package(
+                grid_model, PackageSpec(rail_voltages={"VCC": 1.0})
+            )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PackageSpec(resistance=0.0)
+
+    def test_grid_reaches_rail_voltage_at_dc(self, grid_model):
+        from repro.circuit.dc import dc_operating_point
+
+        attach_package(grid_model, PackageSpec())
+        x = dc_operating_point(grid_model.circuit)
+        vdd_nodes = grid_model.nodes_of_net("VDD")
+        for node in vdd_nodes[:5]:
+            assert x[grid_model.circuit.node_index(node)] == pytest.approx(
+                1.2, abs=1e-6
+            )
+
+    def test_pad_nodes_lookup(self, grid_model):
+        pads = grid_model.pad_nodes()
+        assert len(pads) == len(grid_model.layout.pads)
+        for node, net in pads.values():
+            assert net in ("VDD", "GND")
+            assert grid_model.node_info[node][0] == net
+
+
+class TestDecap:
+    def test_estimate_scales_with_width(self):
+        a = estimate_decoupling_capacitance(1e-3, 0.15)
+        b = estimate_decoupling_capacitance(2e-3, 0.15)
+        assert b == pytest.approx(2 * a)
+
+    def test_estimate_switching_fraction(self):
+        quiet = estimate_decoupling_capacitance(1e-3, 0.0)
+        busy = estimate_decoupling_capacitance(1e-3, 0.5)
+        assert busy == pytest.approx(quiet / 2)
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            estimate_decoupling_capacitance(1e-3, 1.5)
+        with pytest.raises(ValueError):
+            estimate_decoupling_capacitance(-1.0, 0.1)
+
+    def test_attach_count_and_total(self, grid_model):
+        names = attach_decaps(grid_model, 10e-12, count=5)
+        assert len(names) == 5
+        caps = [c for c in grid_model.circuit.capacitors
+                if c.name.startswith("Cdecap")]
+        assert sum(c.capacitance for c in caps) == pytest.approx(10e-12)
+
+    def test_attach_is_reproducible(self, small_grid_layout):
+        m1 = build_peec_model(small_grid_layout,
+                              PEECOptions(include_inductance=False))
+        m2 = build_peec_model(small_grid_layout,
+                              PEECOptions(include_inductance=False))
+        attach_decaps(m1, 1e-12, count=3, rng=np.random.default_rng(5))
+        attach_decaps(m2, 1e-12, count=3, rng=np.random.default_rng(5))
+        r1 = [(r.n1, r.n2) for r in m1.circuit.resistors if "decap" in r.name]
+        r2 = [(r.n1, r.n2) for r in m2.circuit.resistors if "decap" in r.name]
+        assert r1 == r2
+
+    def test_attach_validation(self, grid_model):
+        with pytest.raises(ValueError):
+            attach_decaps(grid_model, -1e-12)
+        with pytest.raises(ValueError):
+            attach_decaps(grid_model, 1e-12, count=0)
+
+
+class TestActivity:
+    def test_triangular_pulse_shape(self):
+        w = triangular_pulse(1e-9, 2e-3, 0.1e-9, 0.2e-9)
+        assert w(0.9e-9) == 0.0
+        assert w(1.1e-9) == pytest.approx(2e-3)
+        assert w(1.2e-9) == pytest.approx(1e-3)
+        assert w(2e-9) == 0.0
+
+    def test_attach_creates_sources(self, grid_model):
+        names = attach_switching_activity(grid_model, num_sources=4)
+        assert len(names) == 4
+        assert len(grid_model.circuit.isources) == 4
+
+    def test_activity_causes_grid_noise(self, small_grid_layout):
+        model = build_peec_model(
+            small_grid_layout, PEECOptions(include_inductance=False)
+        )
+        attach_package(model, PackageSpec())
+        attach_switching_activity(
+            model, num_sources=4, peak_current=2e-3,
+            window=(0.05e-9, 0.2e-9),
+        )
+        vdd_node = model.nodes_of_net("VDD", "M5")[0]
+        res = transient_analysis(model.circuit, 0.6e-9, 2e-12,
+                                 record=[vdd_node])
+        v = res.voltage(vdd_node)
+        assert np.max(np.abs(v - 1.2)) > 1e-4  # visible supply noise
+
+    def test_attach_validation(self, grid_model):
+        with pytest.raises(ValueError):
+            attach_switching_activity(grid_model, num_sources=0)
+        with pytest.raises(ValueError):
+            attach_switching_activity(grid_model, peak_current=-1.0)

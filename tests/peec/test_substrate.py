@@ -1,0 +1,117 @@
+"""Substrate mesh and N-well capacitance extensions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.transient import transient_analysis
+from repro.peec.model import PEECOptions, build_peec_model
+from repro.peec.package import attach_package
+from repro.peec.activity import attach_switching_activity
+from repro.peec.substrate import (
+    SubstrateSpec,
+    attach_nwell_capacitance,
+    attach_substrate,
+)
+
+
+@pytest.fixture
+def grid_model(small_grid_layout):
+    return build_peec_model(
+        small_grid_layout, PEECOptions(include_inductance=False)
+    )
+
+
+class TestSubstrate:
+    def test_mesh_node_count(self, grid_model):
+        nodes = attach_substrate(grid_model, SubstrateSpec(mesh=3))
+        assert len(nodes) == 9
+
+    def test_mesh_resistor_count(self, grid_model):
+        attach_substrate(grid_model, SubstrateSpec(mesh=3))
+        mesh_rs = [r for r in grid_model.circuit.resistors
+                   if r.name.startswith(("Rsub_h_", "Rsub_v_"))]
+        # 2 * n * (n-1) internal mesh edges.
+        assert len(mesh_rs) == 12
+
+    def test_couplings_and_taps_created(self, grid_model):
+        attach_substrate(grid_model, SubstrateSpec(mesh=2, tap_fraction=0.5))
+        caps = [c for c in grid_model.circuit.capacitors
+                if c.name.startswith("Csub_")]
+        taps = [r for r in grid_model.circuit.resistors
+                if r.name.startswith("Rtap_")]
+        assert caps
+        assert taps
+        assert len(taps) == max(1, round(0.5 * len(caps)))
+
+    def test_circuit_stays_solvable(self, grid_model):
+        attach_substrate(grid_model)
+        attach_package(grid_model)
+        x = dc_operating_point(grid_model.circuit)
+        assert np.all(np.isfinite(x))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SubstrateSpec(mesh=1)
+        with pytest.raises(ValueError):
+            SubstrateSpec(tap_fraction=0.0)
+        with pytest.raises(ValueError):
+            SubstrateSpec(sheet_resistance=-1.0)
+
+    def test_low_impedance_substrate_parallels_the_ground_grid(
+        self, small_grid_layout
+    ):
+        """The substrate return path must actually participate: the
+        impedance between distant ground nodes drops when a heavily
+        tapped, low-impedance substrate is attached."""
+        from repro.circuit.ac import ac_impedance
+
+        def z_between(with_substrate: bool) -> float:
+            model = build_peec_model(
+                small_grid_layout, PEECOptions(include_inductance=False)
+            )
+            if with_substrate:
+                attach_substrate(
+                    model,
+                    SubstrateSpec(mesh=3, sheet_resistance=1.0,
+                                  coupling_cap_per_node=50e-15,
+                                  tap_fraction=1.0),
+                )
+            nodes = model.nodes_of_net("GND", "M5")
+            z = ac_impedance(model.circuit, [1e9],
+                             (nodes[0], nodes[-1]), gmin=1e-12)
+            return float(np.abs(z[0]))
+
+        assert z_between(True) < z_between(False)
+
+
+class TestNWell:
+    def test_total_capacitance_distributed(self, grid_model):
+        names = attach_nwell_capacitance(grid_model, total_well_area=1e-8,
+                                         count=4)
+        caps = [c for c in grid_model.circuit.capacitors
+                if c.name in names]
+        total = sum(c.capacitance for c in caps)
+        assert total == pytest.approx(1e-8 * 1e-4)  # area * density
+
+    def test_validation(self, grid_model):
+        with pytest.raises(ValueError):
+            attach_nwell_capacitance(grid_model, total_well_area=0.0)
+        with pytest.raises(ValueError):
+            attach_nwell_capacitance(grid_model, 1e-8, count=0)
+        with pytest.raises(ValueError):
+            attach_nwell_capacitance(grid_model, 1e-8, power_net="nope")
+
+    def test_reproducible_placement(self, small_grid_layout):
+        def build():
+            model = build_peec_model(
+                small_grid_layout, PEECOptions(include_inductance=False)
+            )
+            attach_nwell_capacitance(model, 1e-8, count=3,
+                                     rng=np.random.default_rng(9))
+            return [
+                r.n1 for r in model.circuit.resistors
+                if r.name.startswith("Rnwell")
+            ]
+
+        assert build() == build()

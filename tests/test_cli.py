@@ -1,0 +1,35 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+class TestCLI:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--die", "250", "--branches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "PEEC (RLC)" in out
+
+    def test_loop_runs(self, capsys):
+        assert main(["loop", "--length", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(b)" in out
+        assert "ladder" in out
+
+    def test_export_writes_deck(self, tmp_path, capsys):
+        out_file = tmp_path / "net.sp"
+        assert main(["export", "--out", str(out_file)]) == 0
+        deck = out_file.read_text()
+        assert deck.rstrip().endswith(".end")
+        assert ".tran" in deck
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,45 @@
+"""Unit helpers and physical constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_mu0_value():
+    assert constants.MU0 == pytest.approx(1.25663706e-6, rel=1e-6)
+
+
+def test_unit_round_trips():
+    assert constants.to_um(constants.um(3.5)) == pytest.approx(3.5)
+    assert constants.to_nh(constants.nh(0.7)) == pytest.approx(0.7)
+    assert constants.to_ff(constants.ff(12.0)) == pytest.approx(12.0)
+    assert constants.to_ps(constants.ps(86.0)) == pytest.approx(86.0)
+
+
+def test_unit_scales():
+    assert constants.um(1.0) == 1e-6
+    assert constants.nh(1.0) == 1e-9
+    assert constants.ff(1.0) == 1e-15
+    assert constants.ps(1.0) == 1e-12
+    assert constants.GHZ == 1e9
+
+
+def test_skin_depth_copper_1ghz():
+    # Classic value: ~2.1 um for copper at 1 GHz.
+    delta = constants.skin_depth(1e9, constants.RHO_COPPER)
+    assert delta == pytest.approx(2.09e-6, rel=0.02)
+
+
+def test_skin_depth_scales_inverse_sqrt_frequency():
+    d1 = constants.skin_depth(1e9)
+    d4 = constants.skin_depth(4e9)
+    assert d1 / d4 == pytest.approx(2.0, rel=1e-9)
+
+
+def test_skin_depth_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError):
+        constants.skin_depth(0.0)
+    with pytest.raises(ValueError):
+        constants.skin_depth(-1e9)

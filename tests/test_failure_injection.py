@@ -1,0 +1,153 @@
+"""Failure injection: diagnostics stay informative when inputs are broken.
+
+A production tool's error paths are part of its contract; these tests
+lock in the messages and exception types users will hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import ConvergenceError, dc_operating_point
+from repro.circuit.linalg import Factorization, SingularCircuitError, add_gmin
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+
+
+class TestSingularCircuits:
+    def test_parallel_ideal_inductors_are_singular_at_dc(self):
+        # Two ideal inductors directly in parallel: identical branch rows.
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_inductor("l1", "a", GROUND, 1e-9)
+        c.add_inductor("l2", "a", GROUND, 1e-9)
+        with pytest.raises(SingularCircuitError):
+            dc_operating_point(c)
+
+    def test_voltage_source_loop_is_singular(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "a", GROUND, 2.0)  # conflicting loop
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(SingularCircuitError):
+            dc_operating_point(c)
+
+    def test_factorization_error_message_is_actionable(self):
+        singular = np.zeros((2, 2))
+        with pytest.raises(SingularCircuitError) as err:
+            Factorization(singular).solve(np.ones(2))
+        assert "factorization failed" in str(err.value) or \
+            "singular" in str(err.value).lower()
+
+    def test_nonfinite_solution_detected(self):
+        # A matrix that factors but produces inf/nan on solve.
+        nearly = np.array([[1e-320, 0.0], [0.0, 1.0]])
+        try:
+            Factorization(nearly).solve(np.array([1.0, 1.0]))
+        except SingularCircuitError:
+            pass  # either outcome (raise at factor or at solve) is fine
+
+
+class TestGmin:
+    def test_add_gmin_dense_and_sparse_agree(self):
+        import scipy.sparse as sp
+
+        g = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        dense = add_gmin(g, 2, 1e-9)
+        sparse = add_gmin(sp.csr_matrix(g), 2, 1e-9)
+        assert np.allclose(dense, sparse.toarray())
+
+    def test_zero_gmin_is_identity_op(self):
+        g = np.eye(3)
+        assert add_gmin(g, 3, 0.0) is g
+
+    def test_gmin_applies_to_node_rows_only(self):
+        g = np.zeros((4, 4))
+        out = add_gmin(g, 2, 1e-6)
+        assert out[0, 0] == 1e-6
+        assert out[1, 1] == 1e-6
+        assert out[2, 2] == 0.0
+
+
+class TestBadTopologies:
+    def test_peec_rejects_via_off_metal(self):
+        from repro.geometry.layout import Layout, NetKind
+        from repro.geometry.segment import Direction, default_layer_stack
+        from repro.peec.model import build_peec_model
+
+        layout = Layout(default_layer_stack(6))
+        layout.add_net("a", NetKind.SIGNAL)
+        layout.add_wire("a", "M5", Direction.X, (0.0, 0.0), 50e-6, 1e-6)
+        layout.add_wire("a", "M6", Direction.Y, (0.0, 0.0), 50e-6, 1e-6)
+        layout.add_via("a", 400e-6, 400e-6, "M5", "M6", 1e-6)  # floating
+        with pytest.raises(ValueError) as err:
+            build_peec_model(layout)
+        assert "via" in str(err.value)
+
+    def test_loop_port_far_from_net_rejected(self, signal_grid_structure):
+        from repro.geometry.clocktree import TapPoint
+        from repro.loop.extractor import LoopPort, extract_loop_impedance
+
+        layout, ports = signal_grid_structure
+        bad_port = LoopPort(
+            signal=TapPoint("sig", 9e-3, 9e-3, "M6", "far"),
+            reference=ports["gnd_driver"],
+            short_signal=ports["receiver"],
+            short_reference=ports["gnd_receiver"],
+        )
+        with pytest.raises(ValueError):
+            extract_loop_impedance(layout, bad_port, [1e9])
+
+    def test_shell_gives_up_gracefully_on_hopeless_layouts(self):
+        # A single isolated pair cannot be fixed by any shell radius if we
+        # forbid growth.
+        from repro.extraction.partial_matrix import extract_partial_inductance
+        from repro.geometry.segment import Direction, Segment
+        from repro.sparsify.shell import ShellSparsifier
+
+        segs = [
+            Segment(net="s", layer="M6", direction=Direction.X,
+                    origin=(0.0, k * 2e-6, 7e-6), length=5000e-6,
+                    width=1e-6, thickness=0.5e-6, name=f"l{k}")
+            for k in range(6)
+        ]
+        extraction = extract_partial_inductance(segs)
+        sparsifier = ShellSparsifier(radius=1.5e-6, max_grow=0)
+        # Either it recovers PD at this radius or it raises the documented
+        # error -- never returns an indefinite matrix silently.
+        try:
+            blocks = sparsifier.apply(extraction)
+        except RuntimeError as err:
+            assert "indefinite" in str(err)
+        else:
+            from repro.sparsify.stability import is_positive_definite
+
+            assert is_positive_definite(blocks.to_dense(extraction.size))
+
+
+class TestTransientDiagnostics:
+    def test_transient_on_singular_circuit_raises(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "a", GROUND, 2.0)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        with pytest.raises(SingularCircuitError):
+            transient_analysis(c, 1e-9, 1e-12, x0="zero")
+
+    def test_dc_convergence_error_names_the_residual(self):
+        # An absurdly strong positive-feedback-like device via a Python
+        # class that never balances.
+        class Diverging:
+            name = "d"
+            nodes = ("a",)
+
+            def evaluate(self, v):
+                i = np.array([np.exp(40.0 * (float(v[0]) + 10.0))])
+                jac = np.array([[40.0 * i[0]]])
+                return i, jac
+
+        c = Circuit("t")
+        c.add_isource("bias", GROUND, "a", 1e3)  # demands huge voltage
+        c.add_resistor("r", "a", GROUND, 1e9)
+        c.add_device(Diverging())
+        with pytest.raises((ConvergenceError, SingularCircuitError)):
+            dc_operating_point(c, max_iter=8)

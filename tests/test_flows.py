@@ -1,0 +1,126 @@
+"""High-level flows: the Table-1 / Figure-4 / Figure-1 experiment API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_clock_testcase,
+    run_current_decomposition,
+    run_loop_flow,
+    run_peec_flow,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    # Shared topology: large enough that inductance visibly moves delay
+    # (at very small die sizes the wires are purely resistive and the
+    # RC-vs-RLC ordering is noise).
+    return build_clock_testcase(
+        die=400e-6, stripe_pitch=60e-6, num_branches=3,
+        branch_length=120e-6, t_stop=0.8e-9, dt=2e-12,
+    )
+
+
+@pytest.fixture(scope="module")
+def rc_result(case):
+    return run_peec_flow(case, include_inductance=False)
+
+
+@pytest.fixture(scope="module")
+def rlc_result(case):
+    return run_peec_flow(case)
+
+
+@pytest.fixture(scope="module")
+def loop_result(case):
+    return run_loop_flow(case)
+
+
+@pytest.mark.slow
+class TestTableOneShape:
+    def test_all_sinks_measured(self, case, rlc_result):
+        assert len(rlc_result.delays) == len(case.ports.sinks)
+
+    def test_inductance_increases_delay(self, rc_result, rlc_result):
+        # Paper Table 1: PEEC(RLC) delay > PEEC(RC) delay.
+        assert rlc_result.worst_delay > rc_result.worst_delay
+
+    def test_inductance_increases_skew(self, rc_result, rlc_result):
+        # Paper Table 1: skew 9 ps -> 19 ps with inductance.
+        assert rlc_result.worst_skew > rc_result.worst_skew * 0.8
+
+    def test_loop_model_much_smaller(self, rlc_result, loop_result):
+        assert loop_result.stats["resistors"] < \
+            rlc_result.stats["resistors"] / 5
+        assert loop_result.stats["mutuals"] == 0
+        assert rlc_result.stats["mutuals"] > 100
+
+    def test_loop_model_faster(self, rlc_result, loop_result):
+        assert loop_result.solve_seconds < rlc_result.solve_seconds
+
+    def test_loop_delay_shows_inductance_effect(self, rc_result, loop_result):
+        # The loop model also predicts extra delay over RC (paper: it
+        # overestimates the inductance effect).
+        assert loop_result.worst_delay > rc_result.worst_delay * 0.9
+
+    def test_rc_model_has_no_inductors(self, rc_result):
+        assert rc_result.stats["inductors"] == 0
+
+    def test_waveforms_settle_to_vdd(self, case, rlc_result):
+        for wave in rlc_result.waveforms.values():
+            assert wave[-1] == pytest.approx(case.vdd, abs=0.05)
+
+
+@pytest.mark.slow
+class TestReducedFlow:
+    def test_rom_matches_full_peec(self, case, rlc_result):
+        rom = run_peec_flow(case, use_reduction=True, reduction_order=40)
+        assert rom.worst_delay == pytest.approx(
+            rlc_result.worst_delay, rel=0.15
+        )
+
+    def test_rom_solve_is_faster(self, case, rlc_result):
+        rom = run_peec_flow(case, use_reduction=True, reduction_order=30)
+        assert rom.solve_seconds < rlc_result.solve_seconds * 2
+
+
+@pytest.mark.slow
+class TestHTreeTopology:
+    def test_htree_case_builds_and_runs(self):
+        case = build_clock_testcase(
+            topology="htree", die=250e-6, htree_levels=1, t_stop=0.6e-9,
+        )
+        assert len(case.ports.sinks) == 4
+        res = run_peec_flow(case)
+        assert res.worst_delay > 0
+
+    def test_balanced_tree_has_tiny_relative_skew(self):
+        case = build_clock_testcase(
+            topology="htree", die=250e-6, htree_levels=2, t_stop=0.6e-9,
+        )
+        res = run_peec_flow(case)
+        assert res.worst_skew < 0.05 * res.worst_delay
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_clock_testcase(topology="star")
+
+
+@pytest.mark.slow
+class TestCurrentDecomposition:
+    def test_figure1_currents_present(self, case):
+        decomp = run_current_decomposition(case)
+        # All three populations flow during the edge.
+        assert decomp.peak["I1_short_circuit"] > 0
+        assert decomp.peak["I2_charge"] > 0 or decomp.peak["I3_discharge"] > 0
+        assert decomp.peak["package"] > 0
+
+    def test_falling_input_charges_line(self, case):
+        # Input falling -> output rising -> PMOS charging current dominates.
+        decomp = run_current_decomposition(case, falling_input=True)
+        assert decomp.peak["I2_charge"] > decomp.peak["I3_discharge"]
+
+    def test_rising_input_discharges_line(self, case):
+        decomp = run_current_decomposition(case, falling_input=False)
+        assert decomp.peak["I3_discharge"] > decomp.peak["I2_charge"]

@@ -1,0 +1,105 @@
+"""Flow-layer internals and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    ClockNetTestCase,
+    _gnd_tap_near,
+    _measure,
+    _rc_package,
+    build_clock_testcase,
+)
+
+
+class TestTestcaseBuilder:
+    def test_clock_never_overlaps_grid(self):
+        for die in (250e-6, 400e-6, 550e-6):
+            case = build_clock_testcase(die=die)
+            assert case.layout.find_overlaps(net="clk") == []
+
+    def test_htree_never_overlaps_grid(self):
+        for die in (250e-6, 400e-6):
+            case = build_clock_testcase(topology="htree", die=die)
+            assert case.layout.find_overlaps(net="clk") == []
+
+    def test_input_ramp_spans_rails(self):
+        case = build_clock_testcase(die=250e-6, vdd=1.5)
+        ramp = case.input_ramp
+        assert ramp(0.0) == 0.0
+        assert ramp(1.0) == 1.5
+
+    def test_kwargs_forwarded(self):
+        case = build_clock_testcase(die=250e-6, t_stop=0.5e-9, dt=1e-12,
+                                    load_capacitance=50e-15)
+        assert case.t_stop == 0.5e-9
+        assert case.load_capacitance == 50e-15
+
+
+class TestHelpers:
+    def test_gnd_tap_near_finds_nearest_terminal(self):
+        case = build_clock_testcase(die=250e-6)
+        tap = _gnd_tap_near(case.layout, 0.0, 0.0)
+        assert tap.net == "GND"
+        # The nearest ground terminal to the die corner is near it.
+        assert abs(tap.x) < 50e-6 and abs(tap.y) < 50e-6
+
+    def test_gnd_tap_near_rejects_missing_net(self):
+        case = build_clock_testcase(die=250e-6)
+        with pytest.raises(ValueError):
+            _gnd_tap_near(case.layout, 0.0, 0.0, ground_net="nope")
+
+    def test_rc_package_has_negligible_inductance(self):
+        spec = _rc_package()
+        assert spec.inductance < 1e-12
+
+    def test_measure_delay_and_skew(self):
+        case = build_clock_testcase(die=250e-6)
+        times = np.linspace(0, 1e-9, 501)
+        ramp = case.input_ramp
+        # Two synthetic sink waveforms: shifted copies of the input.
+        def shifted(delta):
+            return np.array([ramp(t - delta) for t in times])
+
+        delays, worst, sk = _measure(
+            case, times, {"s0": shifted(10e-12), "s1": shifted(25e-12)}
+        )
+        assert delays["s0"] == pytest.approx(10e-12, abs=1e-12)
+        assert delays["s1"] == pytest.approx(25e-12, abs=1e-12)
+        assert worst == pytest.approx(25e-12, abs=1e-12)
+        assert sk == pytest.approx(15e-12, abs=1e-12)
+
+
+class TestOverlapDetector:
+    def test_detects_injected_overlap(self):
+        from repro.geometry.layout import Layout, NetKind
+        from repro.geometry.segment import Direction, default_layer_stack
+
+        layout = Layout(default_layer_stack(6))
+        layout.add_net("a", NetKind.SIGNAL)
+        layout.add_net("b", NetKind.SIGNAL)
+        layout.add_wire("a", "M6", Direction.X, (0.0, 0.0), 100e-6, 4e-6)
+        layout.add_wire("b", "M6", Direction.X, (50e-6, 2e-6), 100e-6, 4e-6)
+        overlaps = layout.find_overlaps()
+        assert overlaps
+
+    def test_same_net_overlap_ignored(self):
+        from repro.geometry.layout import Layout, NetKind
+        from repro.geometry.segment import Direction, default_layer_stack
+
+        layout = Layout(default_layer_stack(6))
+        layout.add_net("a", NetKind.SIGNAL)
+        layout.add_wire("a", "M6", Direction.X, (0.0, 0.0), 100e-6, 4e-6)
+        layout.add_wire("a", "M6", Direction.X, (50e-6, 2e-6), 100e-6, 4e-6)
+        assert layout.find_overlaps() == []
+
+    def test_different_layers_do_not_overlap(self):
+        from repro.geometry.layout import Layout, NetKind
+        from repro.geometry.segment import Direction, default_layer_stack
+
+        layout = Layout(default_layer_stack(6))
+        layout.add_net("a", NetKind.SIGNAL)
+        layout.add_net("b", NetKind.SIGNAL)
+        layout.add_wire("a", "M5", Direction.X, (0.0, 0.0), 100e-6, 4e-6)
+        layout.add_wire("b", "M6", Direction.X, (0.0, 0.0), 100e-6, 4e-6)
+        assert layout.find_overlaps() == []
