@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: unit tests, the repo-specific AST lint, and the electrical
+# rule check over every shipped example.  Everything must be green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+echo
+echo "== repro.qa.astlint over src =="
+python -m repro.qa.astlint src
+
+echo
+echo "== repro check over the examples =="
+python -m repro.cli check examples/*.py
+
+echo
+echo "ci_checks: all green"

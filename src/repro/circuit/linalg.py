@@ -7,6 +7,8 @@ matrix format :meth:`MNASystem.build_matrices` chose.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
@@ -28,11 +30,17 @@ class Factorization:
     def __init__(self, matrix) -> None:
         self._sparse = sp.issparse(matrix)
         try:
-            if self._sparse:
-                self._lu = spla.splu(matrix.tocsc())
-            else:
-                self._lu = sla.lu_factor(np.asarray(matrix))
-        except (RuntimeError, ValueError, np.linalg.LinAlgError) as exc:
+            # scipy only *warns* (LinAlgWarning) on an exactly-singular
+            # diagonal and hands back a factorization that produces inf on
+            # solve; escalate it to the actionable error right away.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", sla.LinAlgWarning)
+                if self._sparse:
+                    self._lu = spla.splu(matrix.tocsc())
+                else:
+                    self._lu = sla.lu_factor(np.asarray(matrix))
+        except (RuntimeError, ValueError, np.linalg.LinAlgError,
+                sla.LinAlgWarning) as exc:
             raise SingularCircuitError(
                 f"MNA matrix factorization failed: {exc}"
             ) from exc

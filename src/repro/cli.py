@@ -6,10 +6,15 @@ Usage::
     python -m repro.cli loop [--length 1000]
     python -m repro.cli design
     python -m repro.cli export --out clocknet.sp
+    python -m repro.cli check deck.sp script.py [--strict] [--sanitize]
+    python -m repro.cli lint src [--suppress QA104]
 
 ``table1`` runs the Section-6 model comparison, ``loop`` the Figure-3
 extraction sweep, ``design`` the Figure 5-9 studies, and ``export``
 writes the detailed PEEC model of the clock topology as a SPICE deck.
+``check`` runs the :mod:`repro.qa` electrical rule check over SPICE
+decks and/or the circuits built by Python scripts, and ``lint`` runs the
+repo-specific AST lint -- both exit non-zero on error-severity findings.
 """
 
 from __future__ import annotations
@@ -115,6 +120,81 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.io.parser import read_spice
+    from repro.qa import check_circuit
+    from repro.qa.collect import collect_circuits_from_script
+
+    exit_code = 0
+    for path in args.paths:
+        p = Path(path)
+        targets = []  # (label, circuit)
+        runtime = None
+        if p.suffix == ".py":
+            try:
+                circuits, runtime = collect_circuits_from_script(
+                    p, run_sanitized=args.sanitize
+                )
+            except OSError as exc:
+                print(f"{p}: {exc}")
+                exit_code = max(exit_code, 2)
+                continue
+            except SystemExit as exc:
+                print(f"{p}: script exited with status {exc.code}")
+                exit_code = max(exit_code, 1)
+                continue
+            except Exception as exc:
+                print(f"{p}: script raised {type(exc).__name__}: {exc}")
+                exit_code = max(exit_code, 1)
+                continue
+            targets = [(f"{p}::{c.name}", c) for c in circuits]
+            if not circuits:
+                print(f"{p}: no circuits constructed")
+        elif p.suffix in (".sp", ".cir", ".spice", ".net"):
+            try:
+                with open(p, encoding="ascii", errors="replace") as f:
+                    deck = read_spice(f)
+            except OSError as exc:
+                print(f"{p}: {exc}")
+                exit_code = max(exit_code, 2)
+                continue
+            targets = [(f"{p}::{deck.circuit.name}", deck.circuit)]
+        else:
+            parser_error = (
+                f"{p}: unsupported input (expected .sp/.cir/.spice/.net "
+                "deck or .py script)"
+            )
+            print(parser_error)
+            exit_code = 2
+            continue
+        for label, circuit in targets:
+            report = check_circuit(circuit, suppress=args.suppress)
+            print(f"-- {label}: {report!r}")
+            for diag in report:
+                print(f"   {diag.format()}")
+            exit_code = max(exit_code, report.exit_code(strict=args.strict))
+        if runtime is not None and len(runtime):
+            print(f"-- {p}: sanitizer findings")
+            for diag in runtime:
+                print(f"   {diag.format()}")
+            exit_code = max(
+                exit_code, runtime.exit_code(strict=args.strict)
+            )
+    print("check:", "FAIL" if exit_code else "ok")
+    return exit_code
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.qa import astlint
+
+    argv = list(args.paths)
+    for rule in args.suppress:
+        argv += ["--suppress", rule]
+    return astlint.main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -140,6 +220,26 @@ def main(argv: list[str] | None = None) -> int:
     p_export = sub.add_parser("export", help="export PEEC model as SPICE")
     p_export.add_argument("--out", default="clocknet.sp")
     p_export.set_defaults(func=_cmd_export)
+
+    p_check = sub.add_parser(
+        "check", help="electrical rule check over decks / script circuits"
+    )
+    p_check.add_argument("paths", nargs="+",
+                         help="SPICE decks (.sp) and/or Python scripts (.py)")
+    p_check.add_argument("--suppress", action="append", default=[],
+                         metavar="RULE", help="drop findings of this rule id")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit non-zero on warnings too")
+    p_check.add_argument("--sanitize", action="store_true",
+                         help="run .py scripts under the numerics sanitizer "
+                              "and include its findings")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_lint = sub.add_parser("lint", help="repo-specific AST lint")
+    p_lint.add_argument("paths", nargs="*", default=["src"])
+    p_lint.add_argument("--suppress", action="append", default=[],
+                        metavar="RULE")
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

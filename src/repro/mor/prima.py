@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.linalg as sla
 import scipy.sparse as sp
 
 from repro.circuit.linalg import Factorization
@@ -108,19 +109,21 @@ class ReducedOrderModel:
         y = np.zeros((num_steps + 1, self.l_red.shape[1]))
         y[0] = self.l_red.T @ z
         u_prev = u_of(0.0)
-        lu_be = np.linalg.inv(self.c_red / dt + self.g_red)
-        lu_tr = np.linalg.inv(2.0 * self.c_red / dt + self.g_red)
+        # Factor the two companion matrices once and back-substitute per
+        # step (explicit inverses are both slower and less accurate).
+        lu_be = sla.lu_factor(self.c_red / dt + self.g_red)
+        lu_tr = sla.lu_factor(2.0 * self.c_red / dt + self.g_red)
         for k in range(num_steps):
             u_next = u_of(times[k + 1])
             if k < 2:
-                z = lu_be @ (self.c_red @ z / dt + self.b_red @ u_next)
+                z = sla.lu_solve(lu_be, self.c_red @ z / dt + self.b_red @ u_next)
             else:
                 rhs = (
                     2.0 / dt * (self.c_red @ z)
                     - self.g_red @ z
                     + self.b_red @ (u_next + u_prev)
                 )
-                z = lu_tr @ rhs
+                z = sla.lu_solve(lu_tr, rhs)
             y[k + 1] = self.l_red.T @ z
             u_prev = u_next
         return times, {

@@ -1,0 +1,54 @@
+"""Static analysis and runtime sanity checks (``repro.qa``).
+
+Three layers of defense against the paper's failure mode (sparsified
+inductance going non-passive) and against malformed inputs generally:
+
+* :mod:`~repro.qa.erc` -- electrical rule check over a
+  :class:`~repro.circuit.netlist.Circuit` before any simulation
+  (``repro check`` on the command line).
+* :mod:`~repro.qa.sanitize` -- opt-in runtime instrumentation of the MNA
+  compiler, the transient engine, and every sparsifier strategy.
+* :mod:`~repro.qa.astlint` -- repo-specific source lint
+  (``python -m repro.qa.astlint src``).
+
+All layers report :class:`~repro.qa.diagnostics.Diagnostic` records.
+"""
+
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.qa.erc import ERC_RULES, check_circuit
+from repro.qa.sanitize import (
+    PassivityError,
+    SanitizePolicy,
+    Sanitizer,
+    sanitize,
+)
+from repro.qa.collect import capture_circuits, collect_circuits_from_script
+
+_ASTLINT_EXPORTS = ("LINT_RULES", "lint_file", "lint_paths")
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.qa.astlint` doesn't import the module twice
+    # (runpy warns when the target is already in sys.modules).
+    if name in _ASTLINT_EXPORTS:
+        from repro.qa import astlint
+
+        return getattr(astlint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "ERC_RULES",
+    "check_circuit",
+    "PassivityError",
+    "SanitizePolicy",
+    "Sanitizer",
+    "sanitize",
+    "LINT_RULES",
+    "lint_file",
+    "lint_paths",
+    "capture_circuits",
+    "collect_circuits_from_script",
+]

@@ -1,0 +1,293 @@
+"""Repo-specific AST lint: ``python -m repro.qa.astlint src``.
+
+Generic linters don't know this codebase's numerics discipline; these
+rules encode it:
+
+====== ========================================================================
+rule   what it flags
+====== ========================================================================
+QA101  ``np.linalg.inv`` / ``scipy.linalg.inv`` calls -- explicitly forming an
+       inverse of a potentially dense matrix; prefer a cached factor-and-solve
+       (``scipy.linalg.lu_factor`` + ``lu_solve``, or ``cho_factor`` for SPD).
+QA102  mutable default arguments (list/dict/set literals or constructors).
+QA103  a package ``__init__.py`` that re-exports names but defines no
+       ``__all__`` (the public surface must be explicit).
+QA104  ``float(...)`` applied to a complex-valued AC result (attribute named
+       ``impedance``/``admittance``/``transfer``): silently meaningless --
+       take ``.real``, ``abs()``, or ``.imag`` deliberately.
+====== ========================================================================
+
+Suppress a single line with a trailing ``# qa: ignore`` (all rules) or
+``# qa: ignore[QA101]`` (one rule) comment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+#: rule id -> one-line description (printed by ``--list-rules``).
+LINT_RULES: dict[str, str] = {
+    "QA101": "explicit dense-matrix inverse; prefer factor-and-solve",
+    "QA102": "mutable default argument",
+    "QA103": "package __init__.py re-exports names without __all__",
+    "QA104": "float() of a complex AC result (impedance/admittance/transfer)",
+}
+
+#: Attribute names that carry complex AC results in this codebase.
+_COMPLEX_ATTRS = frozenset({"impedance", "admittance", "transfer"})
+
+#: Modules whose ``inv`` is an explicit dense inverse.
+_LINALG_MODULES = frozenset({"numpy.linalg", "scipy.linalg"})
+
+_IGNORE_RE = re.compile(r"#\s*qa:\s*ignore(?:\[([A-Za-z0-9, ]+)\])?")
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+def _suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rules silenced on this source line; None = no suppression comment.
+
+    An empty frozenset means a blanket ``# qa: ignore`` (all rules).
+    """
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return None
+    if match.group(1) is None:
+        return frozenset()
+    return frozenset(r.strip() for r in match.group(1).split(","))
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.findings: list[Diagnostic] = []
+        # Names bound to numpy.linalg / scipy.linalg modules, and names
+        # bound directly to their `inv` function.
+        self._linalg_aliases: set[str] = set()
+        self._inv_aliases: set[str] = set()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
+        line_no = getattr(node, "lineno", 1)
+        line = self.lines[line_no - 1] if line_no - 1 < len(self.lines) else ""
+        suppressed = _suppressed_rules(line)
+        if suppressed is not None and (not suppressed or rule in suppressed):
+            return
+        self.findings.append(Diagnostic(
+            rule=rule,
+            severity=Severity.ERROR,
+            message=message,
+            location=f"{self.path}:{line_no}:{getattr(node, 'col_offset', 0)}",
+            hint=hint,
+        ))
+
+    # -- import tracking ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _LINALG_MODULES:
+                self._linalg_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _LINALG_MODULES:
+            for alias in node.names:
+                if alias.name == "inv":
+                    self._inv_aliases.add(alias.asname or "inv")
+        elif node.module in ("numpy", "scipy"):
+            for alias in node.names:
+                if alias.name == "linalg":
+                    self._linalg_aliases.add(alias.asname or "linalg")
+        self.generic_visit(node)
+
+    # -- QA101 / QA104 -----------------------------------------------------
+
+    def _is_linalg_inv(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in self._inv_aliases
+        if not (isinstance(func, ast.Attribute) and func.attr == "inv"):
+            return False
+        value = func.value
+        # np.linalg.inv / numpy.linalg.inv / <anything>.linalg.inv
+        if isinstance(value, ast.Attribute) and value.attr == "linalg":
+            return True
+        # sla.inv where sla = scipy.linalg (or `from numpy import linalg`)
+        if isinstance(value, ast.Name):
+            return value.id in self._linalg_aliases or value.id == "linalg"
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_linalg_inv(node.func):
+            self._report(
+                "QA101", node,
+                "explicit matrix inverse on a potentially dense matrix",
+                "factor once and solve (scipy.linalg.lu_factor/lu_solve, or "
+                "cho_factor for SPD); silence a deliberate full inverse with "
+                "'# qa: ignore[QA101]'",
+            )
+        if (isinstance(node.func, ast.Name) and node.func.id == "float"
+                and node.args):
+            for sub in ast.walk(node.args[0]):
+                if (isinstance(sub, ast.Attribute)
+                        and sub.attr in _COMPLEX_ATTRS):
+                    self._report(
+                        "QA104", node,
+                        f"float() of complex-valued '.{sub.attr}' discards "
+                        "the imaginary part (or raises on numpy complex)",
+                        "use .real, .imag, or abs() explicitly",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- QA102 -------------------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set,
+                 ast.ListComp, ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                self._report(
+                    "QA102", default,
+                    f"mutable default argument in {node.name}() is shared "
+                    "across calls",
+                    "default to None and create the object in the body "
+                    "(or use dataclasses.field(default_factory=...))",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def _check_init_all(path: Path, tree: ast.Module, lines: Sequence[str],
+                    findings: list[Diagnostic]) -> None:
+    """QA103: __init__.py with imports at module level needs __all__."""
+    has_imports = any(
+        isinstance(stmt, (ast.Import, ast.ImportFrom)) for stmt in tree.body
+    )
+    if not has_imports:
+        return
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return
+    first = lines[0] if lines else ""
+    if _suppressed_rules(first) is not None:
+        return
+    findings.append(Diagnostic(
+        rule="QA103",
+        severity=Severity.ERROR,
+        message="package __init__.py re-exports names but defines no "
+                "__all__",
+        location=f"{path}:1:0",
+        hint="list the public surface explicitly in __all__",
+    ))
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """Lint one Python source file; returns its findings."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Diagnostic(
+            rule="QA000",
+            severity=Severity.ERROR,
+            message=f"file does not parse: {exc.msg}",
+            location=f"{path}:{exc.lineno or 1}:{exc.offset or 0}",
+            hint="fix the syntax error",
+        )]
+    visitor = _Visitor(str(path), lines)
+    visitor.visit(tree)
+    findings = visitor.findings
+    if path.name == "__init__.py":
+        _check_init_all(path, tree, lines, findings)
+    findings.sort(key=lambda d: d.location)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], suppress: Iterable[str] = ()
+) -> DiagnosticReport:
+    """Lint every ``*.py`` under the given files/directories."""
+    report = DiagnosticReport(suppress=suppress)
+    for path in iter_python_files(paths):
+        report.extend(lint_file(path))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.qa.astlint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.qa.astlint",
+        description="repo-specific AST lint (QA101-QA104)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--suppress", action="append", default=[],
+                        metavar="RULE", help="drop findings of this rule id")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, text in sorted(LINT_RULES.items()):
+            print(f"{rule}  {text}")
+        return 0
+    try:
+        report = lint_paths(args.paths, suppress=args.suppress)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 1 if report.diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["LINT_RULES", "lint_file", "lint_paths", "iter_python_files", "main"]

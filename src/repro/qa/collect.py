@@ -1,0 +1,77 @@
+"""Collect circuits from a running script so the ERC can inspect them.
+
+``repro check examples/foo.py`` needs the :class:`Circuit` objects a
+script builds, without the script cooperating.  :func:`capture_circuits`
+patches ``Circuit.__init__`` to record every instance created inside the
+``with`` block; :func:`collect_circuits_from_script` runs a file under
+that capture (stdout swallowed) and optionally under the
+:mod:`repro.qa.sanitize` instrumentation as well.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import runpy
+from pathlib import Path
+from typing import Iterator
+
+from repro.circuit.netlist import Circuit
+from repro.qa.diagnostics import DiagnosticReport
+from repro.qa.sanitize import SanitizePolicy, sanitize
+
+
+@contextlib.contextmanager
+def capture_circuits() -> Iterator[list[Circuit]]:
+    """Record every Circuit constructed inside the block, in order."""
+    created: list[Circuit] = []
+    original = Circuit.__init__
+
+    def patched(self, *args, **kwargs) -> None:
+        original(self, *args, **kwargs)
+        created.append(self)
+
+    Circuit.__init__ = patched
+    try:
+        yield created
+    finally:
+        Circuit.__init__ = original
+
+
+def collect_circuits_from_script(
+    path: str | Path,
+    run_sanitized: bool = False,
+) -> tuple[list[Circuit], DiagnosticReport]:
+    """Execute a Python script, returning the circuits it built.
+
+    Args:
+        path: Script path, run as ``__main__`` (so examples execute).
+        run_sanitized: Also wrap execution in ``qa.sanitize`` with the
+            ``"collect"`` policy, gathering runtime numerics diagnostics.
+
+    Returns:
+        (circuits, runtime_diagnostics); the latter is empty unless
+        ``run_sanitized`` is set.
+    """
+    path = Path(path)
+    stack = contextlib.ExitStack()
+    with stack:
+        circuits = stack.enter_context(capture_circuits())
+        runtime = DiagnosticReport()
+        if run_sanitized:
+            guard = stack.enter_context(
+                sanitize(SanitizePolicy(on_violation="collect"))
+            )
+            runtime = guard.diagnostics
+        stack.enter_context(contextlib.redirect_stdout(io.StringIO()))
+        try:
+            runpy.run_path(str(path), run_name="__main__")
+        except SystemExit as exc:
+            # A script ending in sys.exit(0) finished fine; anything else
+            # is a real failure the caller should see.
+            if exc.code not in (0, None):
+                raise
+    return list(circuits), runtime
+
+
+__all__ = ["capture_circuits", "collect_circuits_from_script"]

@@ -1,0 +1,131 @@
+"""Structured diagnostics shared by the ERC, sanitizer, and AST lint.
+
+Every static-analysis layer in :mod:`repro.qa` reports findings as
+:class:`Diagnostic` records -- a rule id, a severity, a human-readable
+message, a location (element/node name for circuit checks, ``file:line``
+for lint), and a fix hint.  :class:`DiagnosticReport` aggregates them and
+knows how rule suppression and exit codes work, so the CLI, CI script,
+and test suite all consume one representation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is by badness."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a QA pass.
+
+    Attributes:
+        rule: Stable rule identifier (e.g. ``"erc.vsource-loop"``,
+            ``"QA101"``); the unit of suppression.
+        severity: How bad it is; only :attr:`Severity.ERROR` findings make
+            ``repro check`` exit non-zero (without ``--strict``).
+        message: What was found, with the offending values inlined.
+        location: Where -- an element/node name, or ``file:line:col``.
+        hint: How to fix or silence it.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def format(self) -> str:
+        """One-line rendering: ``location: severity [rule] message``."""
+        prefix = f"{self.location}: " if self.location else ""
+        text = f"{prefix}{self.severity} [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with suppression bookkeeping."""
+
+    def __init__(
+        self,
+        diagnostics: Iterable[Diagnostic] = (),
+        suppress: Iterable[str] = (),
+    ) -> None:
+        self.suppressed_rules = frozenset(suppress)
+        self.diagnostics: list[Diagnostic] = []
+        self.num_suppressed = 0
+        for diag in diagnostics:
+            self.add(diag)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Record a finding (dropped and counted if its rule is suppressed)."""
+        if diagnostic.rule in self.suppressed_rules:
+            self.num_suppressed += 1
+            return
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diag in diagnostics:
+            self.add(diag)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity was found."""
+        return not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: 1 on errors (or any finding when strict)."""
+        if self.errors:
+            return 1
+        if strict and self.diagnostics:
+            return 1
+        return 0
+
+    def format(self) -> str:
+        """Multi-line rendering: one line per diagnostic plus a summary."""
+        lines = [d.format() for d in self.diagnostics]
+        summary = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        if self.num_suppressed:
+            summary += f", {self.num_suppressed} suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiagnosticReport({len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings, {len(self)} total)"
+        )
+
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport"]

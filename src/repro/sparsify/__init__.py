@@ -29,6 +29,7 @@ from repro.sparsify.stability import (
     is_positive_definite,
     min_eigenvalue,
     sparsity_ratio,
+    spd_margin,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "is_positive_definite",
     "min_eigenvalue",
     "sparsity_ratio",
+    "spd_margin",
 ]

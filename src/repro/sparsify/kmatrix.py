@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.linalg as sla
 
 from repro.extraction.partial_matrix import PartialInductanceResult
 from repro.sparsify.base import InductanceBlocks, Sparsifier
@@ -43,13 +44,17 @@ class KMatrixSparsifier(Sparsifier):
             raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
 
     def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        # K is the *full* inverse by definition, but computing it through a
+        # Cholesky factor is faster and only succeeds on the SPD input the
+        # method requires -- singular/indefinite L fails right here.
         try:
-            kmatrix = np.linalg.inv(result.matrix)
+            chol = sla.cho_factor(result.matrix)
         except np.linalg.LinAlgError as exc:
             raise RuntimeError(
-                "partial-inductance matrix is singular; K extraction needs a "
-                "positive definite L"
+                "partial-inductance matrix is singular or indefinite; K "
+                "extraction needs a positive definite L"
             ) from exc
+        kmatrix = sla.cho_solve(chol, np.eye(result.size))
         kmatrix = (kmatrix + kmatrix.T) / 2.0
         if self.threshold > 0.0:
             diag = np.sqrt(np.diagonal(kmatrix))

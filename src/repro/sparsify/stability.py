@@ -4,30 +4,78 @@ An RLC circuit built from a partial-inductance matrix is passive iff the
 matrix is symmetric positive definite.  "The resulting matrix can become
 non-positive definite, and the sparsified system becomes active and can
 generate energy" -- the paper's core warning about naive truncation.
-These helpers are how every strategy (and the test suite) verifies itself.
+These helpers are how every strategy (and the test suite, and the
+:mod:`repro.qa` sanitizer) verifies itself.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+#: Default relative asymmetry tolerance: ``max|M - M^T|`` up to this
+#: fraction of ``max|M|`` is treated as round-off (e.g. from K-matrix
+#: inversion round trips) and symmetrized away rather than failing.
+DEFAULT_SYM_TOL = 1e-8
 
-def is_positive_definite(matrix: np.ndarray, tol: float = 0.0) -> bool:
-    """True when the symmetric matrix is positive definite.
+
+def _asymmetry(matrix: np.ndarray) -> float:
+    """Relative asymmetry ``max|M - M^T| / max|M|`` (0 for empty/zero M)."""
+    scale = float(np.abs(matrix).max(initial=0.0))
+    if scale == 0.0:
+        return 0.0
+    return float(np.abs(matrix - matrix.T).max()) / scale
+
+
+def _as_square(matrix: np.ndarray) -> np.ndarray:
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    return m
+
+
+def is_positive_definite(
+    matrix: np.ndarray, tol: float = 0.0, sym_tol: float = DEFAULT_SYM_TOL
+) -> bool:
+    """True when the (nearly) symmetric matrix is positive definite.
 
     Uses Cholesky (fast, numerically meaningful).  ``tol`` shifts the
     diagonal down first, so ``tol > 0`` demands strict margin.
+
+    Asymmetry up to ``sym_tol`` (relative to the largest entry) is
+    round-off -- K-matrix inversion round trips produce it -- and is
+    symmetrized away; anything larger means the matrix is genuinely
+    asymmetric and the answer is False.
     """
-    m = np.asarray(matrix, dtype=float)
-    if m.shape[0] != m.shape[1]:
-        raise ValueError(f"matrix must be square, got {m.shape}")
-    if not np.allclose(m, m.T, rtol=1e-9, atol=0.0):
+    m = _as_square(matrix)
+    if m.size == 0:
+        return True
+    if _asymmetry(m) > sym_tol:
         return False
+    sym = (m + m.T) / 2.0
     try:
-        np.linalg.cholesky(m - tol * np.eye(m.shape[0]))
+        np.linalg.cholesky(sym - tol * np.eye(m.shape[0]))
         return True
     except np.linalg.LinAlgError:
         return False
+
+
+def spd_margin(matrix: np.ndarray, sym_tol: float = DEFAULT_SYM_TOL) -> float:
+    """Smallest eigenvalue of the symmetrized matrix: the SPD margin.
+
+    Positive: the matrix is SPD with that much headroom.  Negative: it is
+    indefinite by that much (how *active* a truncated system is).  A
+    matrix whose asymmetry exceeds ``sym_tol`` is not meaningfully SPD at
+    all and returns ``-inf``.
+
+    This is the single number the :mod:`repro.qa` sanitizer and the ERC
+    passivity rule threshold against.
+    """
+    m = _as_square(matrix)
+    if m.size == 0:
+        return np.inf
+    if _asymmetry(m) > sym_tol:
+        return -np.inf
+    return float(np.linalg.eigvalsh((m + m.T) / 2.0)[0])
 
 
 def min_eigenvalue(matrix: np.ndarray) -> float:
@@ -35,6 +83,8 @@ def min_eigenvalue(matrix: np.ndarray) -> float:
 
     Negative values quantify *how* non-passive a truncated matrix is; the
     ablation benchmark reports this alongside the transient blow-up.
+    Unlike :func:`spd_margin` this never checks symmetry -- the caller
+    asserts it.
     """
     m = np.asarray(matrix, dtype=float)
     return float(np.linalg.eigvalsh((m + m.T) / 2.0)[0])

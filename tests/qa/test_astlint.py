@@ -1,0 +1,182 @@
+"""Repo-specific AST lint: one fixture file per rule, plus the real tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.astlint import LINT_RULES, lint_file, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return lint_file(path)
+
+
+def rules_fired(findings):
+    return {d.rule for d in findings}
+
+
+class TestQA101ExplicitInverse:
+    def test_np_linalg_inv(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "x = np.linalg.inv(m)\n"
+        ))
+        assert rules_fired(findings) == {"QA101"}
+        assert ":2:" in findings[0].location
+
+    def test_from_import_alias(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "from numpy.linalg import inv as matinv\n"
+            "x = matinv(m)\n"
+        ))
+        assert rules_fired(findings) == {"QA101"}
+
+    def test_scipy_linalg_module_alias(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import scipy.linalg as sla\n"
+            "x = sla.inv(m)\n"
+        ))
+        assert rules_fired(findings) == {"QA101"}
+
+    def test_factor_and_solve_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import scipy.linalg as sla\n"
+            "lu = sla.lu_factor(m)\n"
+            "x = sla.lu_solve(lu, b)\n"
+        ))
+        assert findings == []
+
+    def test_unrelated_inv_name_is_clean(self, tmp_path):
+        # A method merely *called* inv on an unknown object is not flagged.
+        findings = lint_source(tmp_path, "x = transform.inv(m)\n")
+        assert findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "x = np.linalg.inv(m)  # qa: ignore[QA101]\n"
+        ))
+        assert findings == []
+
+    def test_blanket_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "x = np.linalg.inv(m)  # qa: ignore\n"
+        ))
+        assert findings == []
+
+    def test_suppressing_a_different_rule_does_not_silence(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "x = np.linalg.inv(m)  # qa: ignore[QA104]\n"
+        ))
+        assert rules_fired(findings) == {"QA101"}
+
+
+class TestQA102MutableDefault:
+    def test_list_literal_default(self, tmp_path):
+        findings = lint_source(tmp_path, "def f(x=[]):\n    return x\n")
+        assert rules_fired(findings) == {"QA102"}
+
+    def test_dict_constructor_default(self, tmp_path):
+        findings = lint_source(tmp_path, "def f(*, x=dict()):\n    return x\n")
+        assert rules_fired(findings) == {"QA102"}
+
+    def test_none_default_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "def f(x=None):\n"
+            "    return [] if x is None else x\n"
+        ))
+        assert findings == []
+
+    def test_tuple_default_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, "def f(x=()):\n    return x\n")
+        assert findings == []
+
+
+class TestQA103InitAll:
+    def test_init_with_imports_and_no_all(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "from pkg.mod import thing\n", name="__init__.py"
+        )
+        assert rules_fired(findings) == {"QA103"}
+
+    def test_init_with_all_is_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from pkg.mod import thing\n__all__ = ['thing']\n",
+            name="__init__.py",
+        )
+        assert findings == []
+
+    def test_empty_init_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, "", name="__init__.py")
+        assert findings == []
+
+    def test_non_init_module_needs_no_all(self, tmp_path):
+        findings = lint_source(tmp_path, "from pkg.mod import thing\n")
+        assert findings == []
+
+
+class TestQA104FloatOfComplex:
+    def test_float_of_impedance(self, tmp_path):
+        findings = lint_source(tmp_path, "x = float(res.impedance[0])\n")
+        assert rules_fired(findings) == {"QA104"}
+
+    def test_real_part_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, "x = float(res.impedance[0].real)\n")
+        # .real is also an Attribute walk hit on .impedance -- the rule
+        # still fires so the author writes `res.impedance[0].real` without
+        # the redundant float(), or suppresses deliberately.
+        assert rules_fired(findings) <= {"QA104"}
+
+    def test_plain_float_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, "x = float(res.delay)\n")
+        assert findings == []
+
+
+class TestDriver:
+    def test_syntax_error_reports_qa000(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert rules_fired(findings) == {"QA000"}
+
+    def test_lint_paths_aggregates_and_suppresses(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "import numpy as np\nx = np.linalg.inv(m)\n"
+        )
+        (tmp_path / "b.py").write_text("def f(x=[]):\n    return x\n")
+        report = lint_paths([tmp_path])
+        assert rules_fired(report) == {"QA101", "QA102"}
+        report = lint_paths([tmp_path], suppress=("QA102",))
+        assert rules_fired(report) == {"QA101"}
+        assert report.num_suppressed == 1
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.linalg.inv(m)\n")
+        assert main([str(bad)]) == 1
+        assert "QA101" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+
+    def test_missing_path_is_a_clean_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nowhere")]) == 2
+        assert "nowhere" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in LINT_RULES:
+            assert rule in out
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_passes_the_lint(self):
+        # The PR's own acceptance bar: the shipped tree has no findings.
+        report = lint_paths([REPO_ROOT / "src"])
+        assert list(report) == [], report.format()

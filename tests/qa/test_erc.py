@@ -1,0 +1,270 @@
+"""Electrical rule check: one fixture circuit per rule, plus clean models."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import MutualInductor
+from repro.circuit.netlist import GROUND, Circuit
+from repro.qa import ERC_RULES, Severity, check_circuit
+
+
+def rules_fired(report):
+    return {d.rule for d in report}
+
+
+def make_clean_rlc() -> Circuit:
+    c = Circuit("clean")
+    c.add_vsource("Vin", "a", GROUND, 1.0)
+    c.add_resistor("Rdrv", "a", "b", 10.0)
+    c.add_series_rl("line", "b", "c", 5.0, 1e-9)
+    c.add_capacitor("Cload", "c", GROUND, 1e-14)
+    return c
+
+
+class TestCleanCircuits:
+    def test_clean_rlc_has_zero_diagnostics(self):
+        report = check_circuit(make_clean_rlc())
+        assert len(report) == 0
+        assert report.ok
+        assert report.exit_code() == 0
+
+    def test_clean_peec_model_has_zero_diagnostics(self, small_grid_layout):
+        from repro.peec.model import PEECOptions, build_peec_model
+
+        model = build_peec_model(
+            small_grid_layout, PEECOptions(max_segment_length=60e-6)
+        )
+        report = check_circuit(model.circuit)
+        assert list(report) == []
+
+    def test_coupled_but_physical_mutual_is_clean(self):
+        c = make_clean_rlc()
+        c.add_inductor("l1", "c", "d", 1e-9)
+        c.add_inductor("l2", "d", GROUND, 1e-9)
+        c.add_mutual("m", "l1", "l2", 0.5e-9)
+        assert list(check_circuit(c)) == []
+
+
+class TestDanglingNodes:
+    def test_registered_but_unconnected_node(self):
+        c = make_clean_rlc()
+        c.node("orphan")
+        report = check_circuit(c)
+        assert "erc.dangling-node" in rules_fired(report)
+        # Unconnected node is also unreachable from ground.
+        assert "erc.unreachable" in rules_fired(report)
+
+    def test_single_terminal_node(self):
+        c = make_clean_rlc()
+        c.add_resistor("Rstub", "c", "stub", 1.0)
+        report = check_circuit(c)
+        dangling = [d for d in report if d.rule == "erc.dangling-node"]
+        assert len(dangling) == 1
+        assert "stub" in dangling[0].location
+        assert dangling[0].severity == Severity.WARNING
+        # A warning alone never fails the check (without --strict).
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestUnreachable:
+    def test_floating_island_is_error(self):
+        c = make_clean_rlc()
+        c.add_resistor("Risland", "p", "q", 1.0)
+        c.add_capacitor("Cisland", "p", "q", 1e-15)
+        report = check_circuit(c)
+        island = [d for d in report if d.rule == "erc.unreachable"]
+        assert len(island) == 1
+        assert "p" in island[0].message and "q" in island[0].message
+        assert not report.ok
+
+
+class TestFloatingReference:
+    def test_fully_floating_circuit_is_info_not_error(self):
+        # Loop-extraction circuits are driven through external ports and
+        # never touch ground; that's one informational note, not an error
+        # per island.
+        c = Circuit("floating")
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_inductor("l1", "b", "c", 1e-9)
+        c.add_resistor("r2", "p", "q", 1.0)  # second conductive component
+        report = check_circuit(c)
+        floating = [d for d in report if d.rule == "erc.floating-reference"]
+        assert len(floating) == 1
+        assert floating[0].severity == Severity.INFO
+        assert "erc.unreachable" not in rules_fired(report)
+        assert report.exit_code() == 0
+
+    def test_grounded_circuit_still_reports_islands(self):
+        c = make_clean_rlc()
+        c.add_resistor("Risland", "p", "q", 1.0)
+        report = check_circuit(c)
+        assert "erc.unreachable" in rules_fired(report)
+        assert "erc.floating-reference" not in rules_fired(report)
+
+
+class TestValueRules:
+    def test_negative_resistance_smuggled_past_the_constructor(self):
+        # Element constructors validate; ERC is the defense in depth for
+        # programmatic mutation and foreign netlist importers.
+        c = make_clean_rlc()
+        object.__setattr__(c.resistors[0], "resistance", -5.0)
+        report = check_circuit(c)
+        bad = [d for d in report if d.rule == "erc.nonpositive-value"]
+        assert len(bad) == 1
+        assert "Rdrv" in bad[0].location
+
+    def test_nan_inductor_set_entry(self):
+        c = make_clean_rlc()
+        matrix = np.eye(2) * 1e-9
+        c.add_inductor_set("Lblk", [("c", "x0"), ("c", "x1")], matrix)
+        c.add_resistor("rx0", "x0", GROUND, 1.0)
+        c.add_resistor("rx1", "x1", GROUND, 1.0)
+        object.__setattr__(
+            c.inductor_sets[0], "matrix",
+            np.array([[1e-9, np.nan], [np.nan, 1e-9]]),
+        )
+        report = check_circuit(c)
+        assert "erc.nonpositive-value" in rules_fired(report)
+
+
+class TestVsourceLoop:
+    def test_parallel_sources_form_loop(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "a", GROUND, 2.0)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        report = check_circuit(c)
+        loop = [d for d in report if d.rule == "erc.vsource-loop"]
+        assert len(loop) == 1
+        assert loop[0].severity == Severity.ERROR
+
+    def test_chain_of_sources_closing_through_ground(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "b", "a", 1.0)
+        c.add_vsource("v3", "b", GROUND, 1.0)  # closes the loop
+        c.add_resistor("r", "b", GROUND, 1.0)
+        report = check_circuit(c)
+        assert "erc.vsource-loop" in rules_fired(report)
+
+    def test_series_sources_are_fine(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "b", "a", 1.0)
+        c.add_resistor("r", "b", GROUND, 1.0)
+        assert "erc.vsource-loop" not in rules_fired(check_circuit(c))
+
+
+class TestInductorCutset:
+    def test_parallel_ideal_inductors(self):
+        # The L-cutset fixture: the DC matrix has two identical branch rows.
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_inductor("l1", "b", GROUND, 1e-9)
+        c.add_inductor("l2", "b", GROUND, 1e-9)
+        report = check_circuit(c)
+        loop = [d for d in report if d.rule == "erc.inductor-loop"]
+        assert len(loop) == 1
+
+    def test_series_rl_everywhere_is_fine(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_series_rl("s1", "a", "b", 1.0, 1e-9)
+        c.add_series_rl("s2", "a", "b", 1.0, 1e-9)  # parallel *RL*, not L
+        c.add_resistor("r", "b", GROUND, 1.0)
+        assert "erc.inductor-loop" not in rules_fired(check_circuit(c))
+
+    def test_inductor_set_branch_closing_scalar_loop(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_inductor("l1", "b", "c", 1e-9)
+        c.add_inductor_set("blk", [("b", "c")], np.array([[1e-9]]))
+        c.add_resistor("rl", "c", GROUND, 1.0)
+        report = check_circuit(c)
+        assert "erc.inductor-loop" in rules_fired(report)
+
+
+class TestMutualRules:
+    def test_mutual_referencing_missing_inductor(self):
+        c = make_clean_rlc()
+        c.add_inductor("l1", "c", "d", 1e-9)
+        c.add_resistor("rd", "d", GROUND, 1.0)
+        # add_mutual validates, so inject directly (importer scenario).
+        c.mutuals.append(MutualInductor("m", "l1", "ghost", 0.1e-9))
+        report = check_circuit(c)
+        bad = [d for d in report if d.rule == "erc.unknown-inductor"]
+        assert len(bad) == 1
+        assert "ghost" in bad[0].message
+
+    def test_coupling_coefficient_of_one_or_more(self):
+        c = make_clean_rlc()
+        c.add_inductor("l1", "c", "d", 1e-9)
+        c.add_inductor("l2", "d", GROUND, 4e-9)
+        c.add_mutual("m", "l1", "l2", 2e-9)  # k = 2/sqrt(4) = 1.0
+        report = check_circuit(c)
+        bad = [d for d in report if d.rule == "erc.coupling-unphysical"]
+        assert len(bad) == 1
+        assert not report.ok
+
+
+class TestPassivity:
+    def test_truncation_corrupted_inductor_set(self):
+        # Symmetric, positive diagonal, each |k| < 1 -- yet indefinite:
+        # exactly the matrix naive truncation produces.
+        matrix = np.array([
+            [1.0, -0.6, -0.6],
+            [-0.6, 1.0, -0.6],
+            [-0.6, -0.6, 1.0],
+        ]) * 1e-9
+        assert np.linalg.eigvalsh(matrix)[0] < 0
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_resistor("r0", "a", "x0", 1.0)
+        branches = [("x0", "y0"), ("x1", "y1"), ("x2", "y2")]
+        c.add_inductor_set("Lblk", branches, matrix)
+        for i in range(3):
+            c.add_resistor(f"ry{i}", f"y{i}", GROUND, 1.0)
+            if i:
+                c.add_resistor(f"rx{i}", f"x{i}", GROUND, 1.0)
+        report = check_circuit(c)
+        bad = [d for d in report if d.rule == "erc.non-passive-inductance"]
+        assert len(bad) == 1
+        assert "Lblk" in bad[0].message
+        assert not report.ok
+
+    def test_scalar_mutuals_forming_indefinite_block(self):
+        c = Circuit("t")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        nodes = ["a", "b", "c", "d"]
+        for i in range(3):
+            c.add_resistor(f"r{i}", nodes[i], f"m{i}", 1.0)
+            c.add_inductor(f"l{i}", f"m{i}", nodes[i + 1], 1e-9)
+        c.add_resistor("rl", "d", GROUND, 1.0)
+        for i, j in ((0, 1), (0, 2), (1, 2)):
+            c.add_mutual(f"k{i}{j}", f"l{i}", f"l{j}", -0.6e-9)
+        report = check_circuit(c)
+        assert "erc.non-passive-inductance" in rules_fired(report)
+        # Every pairwise coupling alone is physical.
+        assert "erc.coupling-unphysical" not in rules_fired(report)
+
+    def test_suppression_drops_but_counts(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "a", GROUND, 2.0)
+        c.add_resistor("r", "a", GROUND, 1.0)
+        report = check_circuit(c, suppress=("erc.vsource-loop",))
+        assert "erc.vsource-loop" not in rules_fired(report)
+        assert report.num_suppressed == 1
+        assert report.ok
+
+
+class TestRuleCatalog:
+    def test_every_fired_rule_is_documented(self):
+        c = Circuit("t")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_vsource("v2", "a", GROUND, 2.0)
+        report = check_circuit(c)
+        assert rules_fired(report) <= set(ERC_RULES)

@@ -1,0 +1,206 @@
+"""Runtime numerics sanitizer: SPD, finiteness, and energy checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import MNASystem
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import TransientResult, transient_analysis
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.qa import PassivityError, SanitizePolicy, sanitize
+from repro.sparsify.base import DenseInductance, Sparsifier
+from repro.sparsify.truncation import TruncationSparsifier
+
+INDEFINITE = np.array([
+    [1.0, -0.6, -0.6],
+    [-0.6, 1.0, -0.6],
+    [-0.6, -0.6, 1.0],
+]) * 1e-9
+
+
+def make_indefinite_circuit() -> Circuit:
+    c = Circuit("corrupted")
+    c.add_vsource("v", "a", GROUND, 1.0)
+    c.add_resistor("r0", "a", "x0", 1.0)
+    c.add_inductor_set(
+        "Lblk", [("x0", "y0"), ("x1", "y1"), ("x2", "y2")], INDEFINITE
+    )
+    for i in range(3):
+        c.add_resistor(f"ry{i}", f"y{i}", GROUND, 1.0)
+        if i:
+            c.add_resistor(f"rx{i}", f"x{i}", GROUND, 1.0)
+    return c
+
+
+def kms_extraction(n=4, r=0.7) -> PartialInductanceResult:
+    """SPD partial-L matrix whose naive truncation goes indefinite.
+
+    The Kac-Murdock-Szego matrix ``0.7^|i-j|`` is positive definite, but
+    thresholding at 0.5 leaves a tridiagonal whose smallest eigenvalue is
+    ``1 - 1.4 cos(pi/5) < 0`` -- exactly the paper's truncation failure.
+    """
+    idx = np.arange(n)
+    matrix = r ** np.abs(idx[:, None] - idx[None, :]) * 1e-9
+    assert np.linalg.eigvalsh(matrix)[0] > 0
+    return PartialInductanceResult(segments=[], matrix=matrix)
+
+
+class TestPolicy:
+    def test_rejects_unknown_violation_mode(self):
+        with pytest.raises(ValueError, match="on_violation"):
+            SanitizePolicy(on_violation="explode")
+
+    def test_policy_or_kwargs_not_both(self):
+        with pytest.raises(ValueError):
+            sanitize(SanitizePolicy(), check_energy=False)
+
+
+class TestSPDAtMNACompile:
+    def test_non_spd_inductor_set_raises_before_solving(self):
+        c = make_indefinite_circuit()
+        with sanitize() as guard:
+            with pytest.raises(PassivityError, match="generate energy"):
+                MNASystem(c).build_matrices()
+        assert {d.rule for d in guard.diagnostics} == {"qa.non-spd"}
+
+    def test_transient_on_corrupted_circuit_is_stopped(self):
+        c = make_indefinite_circuit()
+        with sanitize():
+            with pytest.raises(PassivityError):
+                transient_analysis(c, 1e-10, 1e-12)
+
+    def test_clean_circuit_passes_untouched(self):
+        c = Circuit("ok")
+        c.add_vsource("v", "a", GROUND, 1.0)
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_inductor_set(
+            "L", [("b", "c")], np.array([[1e-9]])
+        )
+        c.add_resistor("rl", "c", GROUND, 1.0)
+        with sanitize() as guard:
+            MNASystem(c).build_matrices()
+        assert list(guard.diagnostics) == []
+
+
+class TestSparsifierInstrumentation:
+    def test_truncation_losing_spd_is_caught(self):
+        extraction = kms_extraction()
+        with sanitize():
+            with pytest.raises(PassivityError, match="not positive definite"):
+                TruncationSparsifier(threshold=0.5).apply(extraction)
+
+    def test_dense_strategy_is_clean(self):
+        extraction = kms_extraction()
+        with sanitize() as guard:
+            DenseInductance().apply(extraction)
+        assert list(guard.diagnostics) == []
+
+    def test_collect_policy_records_instead_of_raising(self):
+        extraction = kms_extraction()
+        with sanitize(on_violation="collect") as guard:
+            TruncationSparsifier(threshold=0.5).apply(extraction)
+        bad = list(guard.diagnostics)
+        assert len(bad) == 1
+        assert bad[0].rule == "qa.non-spd"
+        assert "TruncationSparsifier" in bad[0].location
+
+    def test_warn_policy_emits_runtime_warning(self):
+        extraction = kms_extraction()
+        with sanitize(on_violation="warn") as guard:
+            with pytest.warns(RuntimeWarning, match="generate energy"):
+                TruncationSparsifier(threshold=0.5).apply(extraction)
+        assert not guard.diagnostics.ok
+
+
+def run_source_free_rc():
+    """A real RC discharge (no sources): reference clean trajectory."""
+    c = Circuit("discharge")
+    c.add_resistor("r", "a", GROUND, 1.0)
+    c.add_capacitor("c", "a", GROUND, 1e-12)
+    return transient_analysis(c, 1e-9, 5e-11, x0=np.array([1.0]))
+
+
+class TestTransientChecks:
+    def test_clean_decay_has_no_findings(self):
+        with sanitize() as guard:
+            run_source_free_rc()
+        assert list(guard.diagnostics) == []
+
+    def test_nan_state_is_reported(self):
+        ref = run_source_free_rc()
+        bad = ref.data.copy()
+        bad[7, 0] = np.nan
+        with sanitize() as guard:
+            with pytest.raises(PassivityError, match="NaN/Inf"):
+                TransientResult(times=ref.times, data=bad,
+                                columns=ref.columns, system=ref.system)
+        assert {d.rule for d in guard.diagnostics} == {"qa.nonfinite-state"}
+
+    def test_energy_growth_in_source_free_interval(self):
+        ref = run_source_free_rc()
+        growing = np.exp(np.linspace(0.0, 1.0, len(ref.times)))[:, None]
+        with sanitize() as guard:
+            with pytest.raises(PassivityError, match="source-free"):
+                TransientResult(times=ref.times, data=growing,
+                                columns=ref.columns, system=ref.system)
+        assert {d.rule for d in guard.diagnostics} == {"qa.energy-growth"}
+
+    def test_energy_check_skipped_on_partial_state(self):
+        # Growing data, but only part of the state was recorded: the
+        # quadratic form is not the stored energy, so no verdict.
+        c = Circuit("two")
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_capacitor("ca", "a", GROUND, 1e-12)
+        c.add_capacitor("cb", "b", GROUND, 1e-12)
+        system = MNASystem(c)
+        assert system.size == 2
+        times = np.arange(21) * 5e-11
+        growing = np.exp(np.linspace(0.0, 1.0, len(times)))[:, None]
+        with sanitize() as guard:
+            TransientResult(times=times, data=growing,
+                            columns=["a"], system=system)
+        assert list(guard.diagnostics) == []
+
+    def test_energy_check_can_be_disabled(self):
+        ref = run_source_free_rc()
+        growing = np.exp(np.linspace(0.0, 1.0, len(ref.times)))[:, None]
+        with sanitize(check_energy=False) as guard:
+            TransientResult(times=ref.times, data=growing,
+                            columns=ref.columns, system=ref.system)
+        assert list(guard.diagnostics) == []
+
+
+class TestPatchHygiene:
+    def test_instrumentation_is_removed_on_exit(self):
+        saved = (
+            MNASystem.__dict__["build_matrices"],
+            TransientResult.__dict__["__post_init__"],
+            TruncationSparsifier.__dict__["apply"],
+        )
+        with sanitize():
+            assert MNASystem.__dict__["build_matrices"] is not saved[0]
+            assert TransientResult.__dict__["__post_init__"] is not saved[1]
+            assert TruncationSparsifier.__dict__["apply"] is not saved[2]
+        assert MNASystem.__dict__["build_matrices"] is saved[0]
+        assert TransientResult.__dict__["__post_init__"] is saved[1]
+        assert TruncationSparsifier.__dict__["apply"] is saved[2]
+
+    def test_restored_even_when_the_body_raises(self):
+        saved = MNASystem.__dict__["build_matrices"]
+        with pytest.raises(RuntimeError, match="boom"):
+            with sanitize():
+                raise RuntimeError("boom")
+        assert MNASystem.__dict__["build_matrices"] is saved
+
+    def test_every_concrete_sparsifier_is_instrumented(self):
+        def concrete(base):
+            for sub in base.__subclasses__():
+                if "apply" in sub.__dict__:
+                    yield sub
+                yield from concrete(sub)
+
+        targets = set(concrete(Sparsifier))
+        assert TruncationSparsifier in targets
+        with sanitize():
+            for cls in targets:
+                assert "qa/sanitize" in cls.__dict__["apply"].__code__.co_filename
