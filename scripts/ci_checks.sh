@@ -10,6 +10,10 @@ echo "== tier-1 pytest =="
 python -m pytest -x -q
 
 echo
+echo "== fault-injection chaos pytest (REPRO_FAULTS=chaos-1234) =="
+REPRO_FAULTS=chaos-1234 python -m pytest -x -q
+
+echo
 echo "== repro.qa.astlint over src =="
 python -m repro.qa.astlint src
 

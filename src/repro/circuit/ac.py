@@ -17,7 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.circuit.linalg import Factorization, add_gmin
+from repro.circuit.linalg import ResilientFactorization, add_gmin
+from repro.resilience.policy import ResiliencePolicy, default_policy
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 
@@ -86,6 +87,7 @@ def ac_analysis(
     frequencies,
     stimulus: dict[str, complex],
     gmin: float = 0.0,
+    policy: ResiliencePolicy | None = None,
 ) -> ACResult:
     """Sweep ``(G + j omega C) x = b_ac`` over ``frequencies``.
 
@@ -95,11 +97,14 @@ def ac_analysis(
         stimulus: Map of source name -> complex AC amplitude; sources not
             listed are switched off for the small-signal solve.
         gmin: Optional node-diagonal leak for near-singular topologies.
+        policy: Resilience policy for the escalation chain; default from
+            ``REPRO_RESILIENCE``.
 
     Returns:
         The sweep result.
     """
     system = _as_system(circuit_or_system)
+    policy = policy or default_policy()
     if system.has_devices:
         raise ValueError(
             "AC analysis requires a linear circuit; linearize or remove the "
@@ -117,7 +122,9 @@ def ac_analysis(
             a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
         else:
             a_matrix = g_matrix + 1j * omega * c_matrix
-        out[i] = Factorization(a_matrix).solve(b)
+        out[i] = ResilientFactorization(
+            a_matrix, site="ac", policy=policy
+        ).solve(b)
     return ACResult(frequencies=freqs, x=out, system=system)
 
 
@@ -126,6 +133,7 @@ def ac_impedance(
     frequencies,
     port: tuple[str, str],
     gmin: float = 0.0,
+    policy: ResiliencePolicy | None = None,
 ) -> np.ndarray:
     """Complex driving-point impedance Z(f) seen into ``port``.
 
@@ -133,6 +141,7 @@ def ac_impedance(
     ``port[1]``; the returned impedance is their voltage difference.
     """
     system = _as_system(circuit_or_system)
+    policy = policy or default_policy()
     if system.has_devices:
         raise ValueError("impedance extraction requires a linear circuit")
     freqs = np.asarray(list(frequencies), dtype=float)
@@ -153,7 +162,9 @@ def ac_impedance(
             a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
         else:
             a_matrix = g_matrix + 1j * omega * c_matrix
-        x = Factorization(a_matrix).solve(b)
+        x = ResilientFactorization(
+            a_matrix, site="ac", policy=policy
+        ).solve(b)
         vp = x[i_plus] if i_plus >= 0 else 0.0
         vm = x[i_minus] if i_minus >= 0 else 0.0
         z[i] = vp - vm

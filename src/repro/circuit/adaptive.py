@@ -24,9 +24,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.circuit.dc import dc_operating_point
-from repro.circuit.linalg import Factorization
+from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.resilience import faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import RunReport, activate, current_run_report
 
 
 @dataclass
@@ -39,6 +43,7 @@ class AdaptiveResult:
         columns: Recorded column names.
         num_rejected: Steps rejected by the LTE controller.
         num_factorizations: Matrix factorizations performed.
+        report: Resilience log (solve faults absorbed by halving the step).
     """
 
     times: np.ndarray
@@ -46,6 +51,7 @@ class AdaptiveResult:
     columns: list[str]
     num_rejected: int
     num_factorizations: int
+    report: RunReport | None = None
 
     def __post_init__(self) -> None:
         self._col_index = {name: i for i, name in enumerate(self.columns)}
@@ -69,6 +75,7 @@ class AdaptiveResult:
             times=t, data=data, columns=self.columns,
             num_rejected=self.num_rejected,
             num_factorizations=self.num_factorizations,
+            report=self.report,
         )
 
 
@@ -82,6 +89,7 @@ def adaptive_transient(
     abstol: float = 1e-6,
     record=None,
     x0=None,
+    policy: ResiliencePolicy | None = None,
 ) -> AdaptiveResult:
     """Run an LTE-controlled trapezoidal transient over [0, t_stop].
 
@@ -95,6 +103,9 @@ def adaptive_transient(
         abstol: Absolute LTE floor (volts/amps).
         record: Node/branch names to record; ``None`` records all.
         x0: Initial state (``None`` = DC operating point, ``"zero"`` = 0).
+        policy: Resilience policy governing solver escalation and how
+            many times a faulted step may be halved; default from
+            ``REPRO_RESILIENCE``.
 
     Returns:
         The accepted trajectory.
@@ -117,8 +128,12 @@ def adaptive_transient(
     g_matrix, c_matrix = system.build_matrices()
     sparse = sp.issparse(g_matrix)
 
+    policy = policy or default_policy()
+    report = current_run_report() or RunReport()
+
     if x0 is None:
-        x = dc_operating_point(system, t=0.0)
+        with activate(report):
+            x = dc_operating_point(system, t=0.0, policy=policy)
     elif isinstance(x0, str) and x0 == "zero":
         x = np.zeros(system.size)
     else:
@@ -134,16 +149,19 @@ def adaptive_transient(
     num_rejected = 0
     num_factor = 0
 
-    factor_cache: dict[float, Factorization] = {}
+    factor_cache: dict[float, ResilientFactorization] = {}
 
     def solve_step(x_now, t_now, h):
         nonlocal num_factor
+        faults.maybe_fail("adaptive.step")
         alpha = 2.0 / h
         if alpha not in factor_cache:
             a_matrix = alpha * c_matrix + g_matrix
             if sparse:
                 a_matrix = a_matrix.tocsc()
-            factor_cache[alpha] = Factorization(a_matrix)
+            factor_cache[alpha] = ResilientFactorization(
+                a_matrix, site="adaptive", policy=policy
+            )
             num_factor += 1
         rhs = (
             alpha * (c_matrix @ x_now)
@@ -156,9 +174,36 @@ def adaptive_transient(
     t = 0.0
     h = dt_initial
     scale_limit = 2.0
+    retries = 0
+    halvings = 0
     while t < t_stop - 1e-21:
         h = min(h, t_stop - t, dt_max)
-        x_new = solve_step(x, t, h)
+        try:
+            with activate(report):
+                x_new = solve_step(x, t, h)
+        except (SingularCircuitError, InjectedFault) as exc:
+            # Solve faults are handled like LTE rejections: retry the
+            # identical step, then halve it -- both budgets bounded.
+            if retries < policy.max_retries:
+                retries += 1
+                report.record_retry(
+                    "adaptive",
+                    f"t = {t:.6g}: retry {retries}/{policy.max_retries}: {exc}",
+                )
+                continue
+            if halvings < policy.max_step_halvings and h > dt_min * 1.0001:
+                halvings += 1
+                retries = 0
+                num_rejected += 1
+                h = max(h * 0.5, dt_min)
+                report.record_step_halving(
+                    "adaptive",
+                    f"t = {t:.6g}: solve failed, h -> {h:.3e}: {exc}",
+                )
+                continue
+            raise
+        retries = 0
+        halvings = 0
 
         # LTE estimate needs two history points for the third difference;
         # warm up with conservative acceptance.
@@ -191,6 +236,7 @@ def adaptive_transient(
         columns=names,
         num_rejected=num_rejected,
         num_factorizations=num_factor,
+        report=report,
     )
 
 

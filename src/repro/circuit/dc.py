@@ -3,20 +3,61 @@
 Solves ``G x + f(x) = b(t)`` with inductors as shorts and capacitors open.
 Nonlinear circuits use damped Newton iteration with a gmin-stepping
 fallback (progressively removing an artificial leak conductance), the
-standard SPICE convergence aid.
+standard SPICE convergence aid.  Under the ``full`` resilience policy a
+source-stepping ramp (scaling all independent sources up from a fraction
+of their value, warm-starting each stage) is tried when gmin stepping
+alone fails.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.circuit.linalg import Factorization, SingularCircuitError, add_gmin
+from repro.circuit.linalg import (
+    Factorization,
+    ResilientFactorization,
+    SingularCircuitError,
+    add_gmin,
+)
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import current_run_report
 
 
 class ConvergenceError(RuntimeError):
-    """Newton iteration failed to converge."""
+    """Newton iteration failed to converge.
+
+    Carries the iteration trace so a failure is diagnosable without
+    rerunning: :attr:`residual_history` is the max-norm residual after
+    each Newton iteration and :attr:`last_step` the max-norm of the last
+    (damped) Newton update applied.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        residual_history: tuple[float, ...] = (),
+        last_step: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.residual_history = tuple(residual_history)
+        self.last_step = last_step
+
+    def __str__(self) -> str:
+        text = super().__str__()
+        if self.residual_history:
+            tail = self.residual_history[-5:]
+            trace = ", ".join(f"{r:.3e}" for r in tail)
+            prefix = "..., " if len(self.residual_history) > len(tail) else ""
+            text += (
+                f" [{len(self.residual_history)} iterations, "
+                f"residuals: {prefix}{trace}"
+            )
+            if self.last_step is not None:
+                text += f"; last step {self.last_step:.3e}"
+            text += "]"
+        return text
 
 
 def _as_system(circuit_or_system) -> MNASystem:
@@ -35,13 +76,17 @@ def _newton(
     tol: float,
     max_iter: int,
     damping_limit: float,
+    policy: ResiliencePolicy | None = None,
 ) -> np.ndarray:
     x = x0.copy()
     dense = not hasattr(g_matrix, "tocsc")
+    residual_history: list[float] = []
+    last_step: float | None = None
     for _ in range(max_iter):
         f, jac_dev = system.eval_devices(x)
         residual = g_matrix @ x + f - b
         norm = float(np.max(np.abs(residual)))
+        residual_history.append(norm)
         if norm < tol:
             return x
         if dense:
@@ -49,18 +94,26 @@ def _newton(
         else:
             jacobian = (g_matrix + jac_dev) if jac_dev is not None else g_matrix
             jacobian = np.asarray(jacobian)
-        delta = Factorization(jacobian).solve(-residual)
+        delta = ResilientFactorization(
+            jacobian, site="dc.newton", policy=policy
+        ).solve(-residual)
         step = float(np.max(np.abs(delta)))
         if step > damping_limit:
             delta = delta * (damping_limit / step)
+            step = damping_limit
+        last_step = step
         x = x + delta
     f, _ = system.eval_devices(x)
     residual = g_matrix @ x + f - b
-    if float(np.max(np.abs(residual))) < tol * 100:
+    norm = float(np.max(np.abs(residual)))
+    residual_history.append(norm)
+    if norm < tol * 100:
         return x  # close enough; final refinement left to the caller
     raise ConvergenceError(
         f"DC Newton did not converge in {max_iter} iterations "
-        f"(residual {float(np.max(np.abs(residual))):.3e})"
+        f"(residual {norm:.3e})",
+        residual_history=tuple(residual_history),
+        last_step=last_step,
     )
 
 
@@ -71,6 +124,7 @@ def dc_operating_point(
     tol: float = 1e-9,
     max_iter: int = 100,
     x0: np.ndarray | None = None,
+    policy: ResiliencePolicy | None = None,
 ) -> np.ndarray:
     """Compute the DC operating point at source time ``t``.
 
@@ -82,22 +136,26 @@ def dc_operating_point(
         tol: Newton residual tolerance (max-norm, amps).
         max_iter: Newton iteration cap per gmin stage.
         x0: Optional initial guess.
+        policy: Resilience policy governing solver escalation and source
+            stepping; default from ``REPRO_RESILIENCE``.
 
     Returns:
         The full MNA unknown vector x (node voltages then branch currents).
 
     Raises:
-        ConvergenceError: Newton failed even with gmin stepping.
+        ConvergenceError: Newton failed even with gmin (and, under the
+            ``full`` policy, source) stepping.
         SingularCircuitError: The topology itself is singular.
     """
     system = _as_system(circuit_or_system)
+    policy = policy or default_policy()
     g_matrix, _ = system.build_matrices()
     b = system.rhs(t)
     guess = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float)
 
     if not system.has_devices:
         g_dc = add_gmin(g_matrix, system.n, gmin)
-        return Factorization(g_dc).solve(b)
+        return ResilientFactorization(g_dc, site="dc", policy=policy).solve(b)
 
     # Gmin stepping: converge with a strong leak first, then tighten.
     stages = [1e-3, 1e-6, gmin] if gmin < 1e-6 else [1e-3, gmin]
@@ -106,12 +164,49 @@ def dc_operating_point(
     for stage_gmin in stages:
         g_dc = add_gmin(g_matrix, system.n, stage_gmin)
         try:
-            x = _newton(system, g_dc, b, x, tol, max_iter, damping_limit=1.0)
+            x = _newton(
+                system, g_dc, b, x, tol, max_iter, damping_limit=1.0,
+                policy=policy,
+            )
             last_error = None
         except (ConvergenceError, SingularCircuitError) as exc:
             last_error = exc
+
+    if last_error is not None and policy.source_stepping_enabled:
+        # Source stepping: ramp every independent source up from a
+        # fraction of its value, warm-starting each stage from the last.
+        # The final stage solves the true system, so an accepted answer
+        # is exact; intermediate failures just shrink the warm start.
+        report = current_run_report()
+        g_dc = add_gmin(g_matrix, system.n, stages[-1])
+        x = guess
+        for fraction in policy.source_steps:
+            try:
+                x = _newton(
+                    system, g_dc, fraction * b, x, tol, max_iter,
+                    damping_limit=1.0, policy=policy,
+                )
+                stage_ok = True
+                if fraction == policy.source_steps[-1]:
+                    last_error = None
+            except (ConvergenceError, SingularCircuitError) as exc:
+                stage_ok = False
+                last_error = exc
+            if report is not None:
+                report.record(
+                    "source-stepping", "dc",
+                    f"source fraction {fraction:g}: "
+                    f"{'ok' if stage_ok else 'failed'}",
+                )
+
     if last_error is not None:
+        if isinstance(last_error, ConvergenceError):
+            raise ConvergenceError(
+                f"DC operating point failed after gmin stepping: {last_error}",
+                residual_history=last_error.residual_history,
+                last_step=last_error.last_step,
+            ) from last_error
         raise ConvergenceError(
             f"DC operating point failed after gmin stepping: {last_error}"
-        )
+        ) from last_error
     return x

@@ -3,6 +3,18 @@
 Wraps dense LU (scipy.linalg) and sparse LU (SuperLU via scipy.sparse)
 behind one interface so the DC/AC/transient engines don't care which
 matrix format :meth:`MNASystem.build_matrices` chose.
+
+On top of the raw :class:`Factorization` sits the solver **escalation
+chain** (:class:`ResilientFactorization`): direct LU, then equilibrated
+(row/column-rescaled) LU, then a gmin-shifted solve with iterative
+refinement, then Tikhonov-regularized least squares as the last resort.
+Which rungs are available is governed by a
+:class:`~repro.resilience.policy.ResiliencePolicy`; every attempt --
+failure reason, condition estimate, accepted residual -- is recorded in
+a :class:`~repro.resilience.report.SolveReport`.  The rescue rungs only
+accept a solution whose residual against the *original* matrix passes
+the policy tolerance, so a genuinely singular, inconsistent system still
+raises :class:`SingularCircuitError` no matter how far the chain runs.
 """
 
 from __future__ import annotations
@@ -13,6 +25,11 @@ import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+
+from repro.resilience import faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import SolveAttempt, SolveReport, attach_solve_report
 
 
 class SingularCircuitError(RuntimeError):
@@ -44,6 +61,20 @@ class Factorization:
             raise SingularCircuitError(
                 f"MNA matrix factorization failed: {exc}"
             ) from exc
+
+    @property
+    def condition_estimate(self) -> float:
+        """Cheap conditioning proxy: ``max|diag(U)| / min|diag(U)|``."""
+        if self._sparse:
+            u_diag = np.abs(self._lu.U.diagonal())
+        else:
+            u_diag = np.abs(np.diagonal(self._lu[0]))
+        if u_diag.size == 0:
+            return 1.0
+        smallest = float(u_diag.min())
+        if smallest == 0.0:
+            return np.inf
+        return float(u_diag.max()) / smallest
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve A x = b."""
@@ -77,3 +108,259 @@ def add_gmin(g_matrix, num_nodes: int, gmin: float):
     idx = np.arange(num_nodes)
     g[idx, idx] += gmin
     return g
+
+
+def _max_abs(matrix) -> float:
+    if sp.issparse(matrix):
+        data = matrix.tocoo().data
+        return float(np.abs(data).max(initial=0.0))
+    return float(np.abs(matrix).max(initial=0.0))
+
+
+def _relative_residual(matrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``max|Ax - b|`` scaled by ``max|b|``.
+
+    Deliberately NOT the normwise backward error ``/ (|A||x| + |b|)``: a
+    shifted pseudo-solution of an inconsistent system has a huge ``|x|``
+    that deflates the backward error below any tolerance.  Scaling by the
+    right-hand side alone rejects such fabricated answers no matter how
+    large the solution grew.
+    """
+    r = matrix @ x - b
+    return float(np.abs(r).max(initial=0.0)) / max(
+        float(np.abs(b).max(initial=0.0)), 1e-300
+    )
+
+
+def _identity_like(matrix, scale: float):
+    n = matrix.shape[0]
+    if sp.issparse(matrix):
+        return sp.identity(n, format="csc", dtype=matrix.dtype) * scale
+    return np.eye(n, dtype=np.asarray(matrix).dtype) * scale
+
+
+class ResilientFactorization:
+    """The escalation chain: LU -> equilibrated LU -> gmin -> lstsq.
+
+    Drop-in replacement for :class:`Factorization` at the engines' solve
+    sites.  Factorization is lazy and per-rung; a rung that fails (at
+    factor time or at solve time, e.g. a non-finite solution) is recorded
+    in :attr:`report` and the next enabled rung takes over -- also for
+    every subsequent :meth:`solve` call, so a cached factorization that
+    went bad once does not get re-tried every time step.
+
+    Args:
+        matrix: The system matrix (dense ndarray or scipy sparse).
+        site: Dotted solve-site name for fault injection and reporting;
+            rung sub-sites are ``"<site>.lu"``, ``"<site>.equilibrated"``,
+            ``"<site>.gmin"``, ``"<site>.lstsq"``.
+        policy: Escalation policy; default from ``REPRO_RESILIENCE``.
+        report: Optional existing :class:`SolveReport` to append to.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        site: str = "linalg",
+        policy: ResiliencePolicy | None = None,
+        report: SolveReport | None = None,
+    ) -> None:
+        self._matrix = matrix
+        self.site = site
+        self.policy = policy or default_policy()
+        self.report = report if report is not None else SolveReport(site=site)
+        self._rungs = self.policy.rungs
+        self._rung_index = 0
+        self._solver = None
+        self._cond: float | None = None
+        self._ok_recorded = False
+        self._attached = False
+
+    # -- rung preparation --------------------------------------------------
+
+    def _prepare(self, rung: str):
+        """Factor the matrix for ``rung``; returns a solve closure."""
+        site_r = f"{self.site}.{rung}"
+        faults.maybe_fail(site_r)
+        matrix = faults.corrupt_matrix(site_r, self._matrix)
+        if rung == "lu":
+            return self._prepare_lu(site_r, matrix)
+        if rung == "equilibrated":
+            return self._prepare_equilibrated(site_r, matrix)
+        if rung == "gmin":
+            return self._prepare_gmin(site_r, matrix)
+        if rung == "lstsq":
+            return self._prepare_lstsq(site_r, matrix)
+        raise ValueError(f"unknown escalation rung {rung!r}")
+
+    def _finish(self, site_r: str, x: np.ndarray) -> np.ndarray:
+        x = faults.corrupt_solution(site_r, x)
+        if not np.all(np.isfinite(x)):
+            raise SingularCircuitError(
+                f"solve at {site_r} produced non-finite values"
+            )
+        return x
+
+    def _prepare_lu(self, site_r: str, matrix):
+        factor = Factorization(matrix)
+        self._cond = factor.condition_estimate
+
+        def run(b: np.ndarray):
+            return self._finish(site_r, factor.solve(b)), None
+
+        return run
+
+    def _prepare_equilibrated(self, site_r: str, matrix):
+        """Row/column-rescaled LU: cures badly scaled (e.g. mixed-unit)
+        systems that defeat plain partial pivoting."""
+        if sp.issparse(matrix):
+            a = matrix.tocsr()
+            row = np.abs(a).max(axis=1).toarray().ravel()
+            row[row == 0.0] = 1.0
+            r_inv = sp.diags(1.0 / row)
+            scaled = r_inv @ a
+            col = np.abs(scaled).max(axis=0).toarray().ravel()
+            col[col == 0.0] = 1.0
+            c_inv = sp.diags(1.0 / col)
+            scaled = (scaled @ c_inv).tocsc()
+        else:
+            a = np.asarray(matrix)
+            row = np.abs(a).max(axis=1)
+            row[row == 0.0] = 1.0
+            scaled = a / row[:, None]
+            col = np.abs(scaled).max(axis=0)
+            col[col == 0.0] = 1.0
+            scaled = scaled / col[None, :]
+        factor = Factorization(scaled)
+        self._cond = factor.condition_estimate
+
+        def run(b: np.ndarray):
+            y = factor.solve(np.asarray(b) / row)
+            return self._finish(site_r, y / col), None
+
+        return run
+
+    def _prepare_gmin(self, site_r: str, matrix):
+        """Diagonal-shifted factorization with iterative refinement
+        against the original matrix; accepted only below the policy's
+        residual tolerance, so the shift cannot smuggle in a wrong
+        answer."""
+        diag = matrix.diagonal()
+        scale = float(np.abs(diag).max(initial=0.0)) or _max_abs(matrix) or 1.0
+        factor = None
+        for shift in self.policy.gmin_shifts:
+            shifted = matrix + _identity_like(matrix, shift * scale)
+            try:
+                factor = Factorization(shifted)
+                break
+            except SingularCircuitError:
+                continue
+        if factor is None:
+            raise SingularCircuitError(
+                f"gmin rung: no diagonal shift in {self.policy.gmin_shifts} "
+                "produced a factorable matrix"
+            )
+        self._cond = factor.condition_estimate
+        original = self._matrix
+
+        def run(b: np.ndarray):
+            x = factor.solve(b)
+            for _ in range(self.policy.refine_iters):
+                x = x + factor.solve(b - original @ x)
+            x = self._finish(site_r, x)
+            residual = _relative_residual(original, x, b)
+            if residual > self.policy.residual_tol:
+                raise SingularCircuitError(
+                    f"gmin rung residual {residual:.3e} exceeds tolerance "
+                    f"{self.policy.residual_tol:.1e}; the system is "
+                    "inconsistent, not merely ill-conditioned"
+                )
+            return x, residual
+
+        return run
+
+    def _prepare_lstsq(self, site_r: str, matrix):
+        """Tikhonov-regularized normal equations -- the last resort.
+
+        Produces the minimum-norm least-squares solution; only accepted
+        when the system is (numerically) consistent, because for an
+        inconsistent system "a" solution is worse than an error."""
+        a = np.asarray(matrix.todense()) if sp.issparse(matrix) else np.asarray(matrix)
+        gram = a.conj().T @ a
+        lam = 1e-12 * max(float(np.abs(np.diagonal(gram)).max(initial=0.0)), 1e-300)
+        factor = Factorization(gram + lam * np.eye(a.shape[0], dtype=gram.dtype))
+        self._cond = factor.condition_estimate
+
+        def run(b: np.ndarray):
+            x = factor.solve(a.conj().T @ np.asarray(b))
+            x = self._finish(site_r, x)
+            residual = _relative_residual(a, x, b)
+            if residual > self.policy.lstsq_tol:
+                raise SingularCircuitError(
+                    f"regularized-lstsq residual {residual:.3e} exceeds "
+                    f"tolerance {self.policy.lstsq_tol:.1e}; refusing the "
+                    "least-squares pseudo-solution of an inconsistent system"
+                )
+            return x, residual
+
+        return run
+
+    # -- the chain ---------------------------------------------------------
+
+    @property
+    def rung(self) -> str:
+        """The rung currently in charge."""
+        return self._rungs[min(self._rung_index, len(self._rungs) - 1)]
+
+    def _attach_once(self) -> None:
+        if not self._attached:
+            self._attached = True
+            attach_solve_report(self.report)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve A x = b, escalating through the enabled rungs."""
+        last_exc: Exception | None = None
+        while self._rung_index < len(self._rungs):
+            rung = self._rungs[self._rung_index]
+            try:
+                if self._solver is None:
+                    self._solver = self._prepare(rung)
+                x, residual = self._solver(b)
+            except (SingularCircuitError, InjectedFault) as exc:
+                self.report.record(SolveAttempt(
+                    rung=rung, ok=False, error=str(exc),
+                    condition_estimate=self._cond,
+                ))
+                self._attach_once()
+                last_exc = exc
+                self._rung_index += 1
+                self._solver = None
+                self._cond = None
+                self._ok_recorded = False
+                continue
+            if not self._ok_recorded:
+                self._ok_recorded = True
+                self.report.record(SolveAttempt(
+                    rung=rung, ok=True,
+                    condition_estimate=self._cond, residual=residual,
+                ))
+                if self._rung_index > 0:
+                    self._attach_once()
+            return x
+        raise SingularCircuitError(
+            f"all {len(self._rungs)} escalation rung(s) failed at solve site "
+            f"{self.site!r} -- {self.report.format()}"
+        ) from last_exc
+
+
+def resilient_solve(
+    matrix,
+    b: np.ndarray,
+    site: str = "linalg",
+    policy: ResiliencePolicy | None = None,
+    report: SolveReport | None = None,
+) -> np.ndarray:
+    """One-shot ``A x = b`` through the escalation chain."""
+    return ResilientFactorization(
+        matrix, site=site, policy=policy, report=report
+    ).solve(b)

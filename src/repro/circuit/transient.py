@@ -7,6 +7,14 @@ couple of steps always use backward Euler to damp the startup transient
 of inconsistent initial conditions (standard practice; trapezoidal rule
 would ring forever on them).
 
+A failing step is retried (transient faults), then halved into ``2^k``
+backward-Euler substeps (hard nonlinear steps), per the
+:class:`~repro.resilience.policy.ResiliencePolicy`; every rescue is
+logged in the result's :class:`~repro.resilience.report.RunReport`.
+Long runs can checkpoint themselves periodically and resume after a
+crash (see :class:`~repro.resilience.checkpoint.CheckpointConfig` and
+the ``repro resume`` CLI command).
+
 The K-matrix element (inverse inductance, Section 4 of the paper) needs no
 special handling here: :class:`MNASystem` already expresses it in the
 ``G``/``C`` matrices, which is exactly the "special circuit simulator that
@@ -15,15 +23,27 @@ can handle the K matrix" the paper calls for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import io
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.circuit.dc import ConvergenceError, dc_operating_point
-from repro.circuit.linalg import Factorization
+from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    CheckpointConfig,
+    finish_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_fingerprint,
+)
+from repro.resilience.faults import InjectedFault
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import RunReport, activate, current_run_report
 
 
 @dataclass
@@ -35,12 +55,14 @@ class TransientResult:
         data: Unknown trajectories, shape (num_steps + 1, recorded columns).
         columns: Names of recorded columns (node or branch names).
         system: The compiled MNA system.
+        report: Resilience log of the run (retries, halvings, checkpoints).
     """
 
     times: np.ndarray
     data: np.ndarray
     columns: list[str]
     system: MNASystem
+    report: RunReport | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self._col_index = {name: i for i, name in enumerate(self.columns)}
@@ -90,6 +112,33 @@ def _recorded_columns(system: MNASystem, record) -> tuple[list[int], list[str]]:
     return indices, names
 
 
+def _unknown_names(system: MNASystem) -> list[str]:
+    """Name of every MNA unknown, in state-vector order."""
+    names = [""] * system.size
+    for node in system.circuit.node_names:
+        idx = system.node_index(node)
+        if idx >= 0:
+            names[idx] = node
+    for name, idx in system._branch_index.items():
+        names[idx] = name
+    return names
+
+
+def _embedded_deck(system: MNASystem, t_stop: float) -> str | None:
+    """The circuit as SPICE text, or None if it has no SPICE form."""
+    from repro.io.spice import write_spice
+
+    out = io.StringIO()
+    try:
+        write_spice(system.circuit, out, t_stop=t_stop)
+    except ValueError:
+        return None
+    text = out.getvalue()
+    if len(text) > 8_000_000:  # don't balloon checkpoints of huge meshes
+        return None
+    return text
+
+
 def transient_analysis(
     circuit_or_system,
     t_stop: float,
@@ -99,6 +148,8 @@ def transient_analysis(
     record=None,
     newton_tol: float = 1e-6,
     max_newton: int = 50,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> TransientResult:
     """Run a fixed-step transient simulation over [0, t_stop].
 
@@ -115,9 +166,17 @@ def transient_analysis(
         record: Node/branch names to record; ``None`` records everything.
         newton_tol: Per-step Newton residual tolerance (max-norm).
         max_newton: Newton iteration cap per step.
+        policy: Resilience policy (escalation rungs, retry budget, step
+            halvings); default from ``REPRO_RESILIENCE``.
+        checkpoint: Periodic snapshotting / resume configuration.  When
+            given and the file exists (and matches this run), the
+            simulation resumes from the last completed step; an
+            unrecoverable failure writes an emergency snapshot before
+            the exception propagates.
 
     Returns:
-        The recorded trajectories.
+        The recorded trajectories, with :attr:`TransientResult.report`
+        describing every resilience action taken.
     """
     if method not in ("trap", "be"):
         raise ValueError(f"unknown method {method!r}")
@@ -128,60 +187,188 @@ def transient_analysis(
         if isinstance(circuit_or_system, MNASystem)
         else MNASystem(circuit_or_system)
     )
+    policy = policy or default_policy()
+    report = current_run_report() or RunReport()
     g_matrix, c_matrix = system.build_matrices()
     sparse = sp.issparse(g_matrix)
-
-    if x0 is None:
-        x = dc_operating_point(system, t=0.0)
-    elif isinstance(x0, str) and x0 == "zero":
-        x = np.zeros(system.size)
-    else:
-        x = np.asarray(x0, dtype=float).copy()
-        if x.shape != (system.size,):
-            raise ValueError(
-                f"x0 has shape {x.shape}, expected ({system.size},)"
-            )
 
     num_steps = int(round(t_stop / dt))
     times = np.arange(num_steps + 1) * dt
     indices, names = _recorded_columns(system, record)
     data = np.zeros((num_steps + 1, len(indices)))
-    data[0] = x[indices]
 
-    factor_cache: dict[float, Factorization] = {}
+    fingerprint = {
+        "size": int(system.size),
+        "num_steps": num_steps,
+        "dt": float(dt),
+        "t_stop": float(t_stop),
+        "method": method,
+        "columns": list(names),
+    }
+    start_step = 0
+    x = None
+    if checkpoint is not None and checkpoint.resume and checkpoint.path.exists():
+        snap = load_checkpoint(checkpoint.path)
+        verify_fingerprint(snap, "transient", fingerprint, checkpoint.path)
+        start_step = int(snap.meta["step"])
+        x = np.asarray(snap.arrays["x"], dtype=float)
+        data[: start_step + 1] = snap.arrays["data"]
+        report.record_resume(
+            "transient",
+            f"resumed from {checkpoint.path} at step {start_step}/{num_steps} "
+            f"(t = {times[start_step]:.6g} s)",
+        )
 
-    def companion(alpha: float):
+    if x is None:
+        if x0 is None:
+            with activate(report):
+                x = dc_operating_point(system, t=0.0, policy=policy)
+        elif isinstance(x0, str) and x0 == "zero":
+            x = np.zeros(system.size)
+        else:
+            x = np.asarray(x0, dtype=float).copy()
+            if x.shape != (system.size,):
+                raise ValueError(
+                    f"x0 has shape {x.shape}, expected ({system.size},)"
+                )
+        data[0] = x[indices]
+
+    def save(step: int, reason: str) -> None:
+        meta = {
+            "fingerprint": fingerprint,
+            "step": step,
+            "reason": reason,
+            "num_nodes": int(system.n),
+            "unknowns": _unknown_names(system),
+            "args": {
+                "t_stop": float(t_stop),
+                "dt": float(dt),
+                "method": method,
+                "record": None if record is None else list(record),
+                "newton_tol": float(newton_tol),
+                "max_newton": int(max_newton),
+            },
+        }
+        deck = _embedded_deck(system, t_stop)
+        if deck is not None:
+            meta["deck"] = deck
+        save_checkpoint(
+            checkpoint.path, "transient", meta,
+            {"x": x, "data": data[: step + 1]},
+        )
+        report.record_checkpoint(
+            "transient", f"step {step}/{num_steps} -> {checkpoint.path} ({reason})"
+        )
+
+    factor_cache: dict[float, ResilientFactorization] = {}
+
+    def companion(alpha: float) -> ResilientFactorization:
         if alpha not in factor_cache:
             a_matrix = alpha * c_matrix + g_matrix
             if sparse:
                 a_matrix = a_matrix.tocsc()
-            factor_cache[alpha] = Factorization(a_matrix)
+            factor_cache[alpha] = ResilientFactorization(
+                a_matrix, site="transient", policy=policy
+            )
         return factor_cache[alpha]
 
-    b_prev = system.rhs(0.0)
-    f_prev, _ = system.eval_devices(x)
-    for k in range(num_steps):
-        t_next = times[k + 1]
-        b_next = system.rhs(t_next)
-        use_be = method == "be" or k < 2
-        alpha = (1.0 / dt) if use_be else (2.0 / dt)
-
-        if not system.has_devices:
-            if use_be:
-                rhs = c_matrix @ x * alpha + b_next
-            else:
-                rhs = (alpha * (c_matrix @ x) - g_matrix @ x) + b_next + b_prev
-            x = companion(alpha).solve(rhs)
+    def linear_step(x_old, b_old, b_new, alpha, use_be):
+        if use_be:
+            rhs = c_matrix @ x_old * alpha + b_new
         else:
-            x = _newton_step(
-                system, g_matrix, c_matrix, x, f_prev, b_prev, b_next,
-                alpha, use_be, newton_tol, max_newton, sparse,
+            rhs = (
+                (alpha * (c_matrix @ x_old) - g_matrix @ x_old) + b_new + b_old
             )
-            f_prev, _ = system.eval_devices(x)
-        data[k + 1] = x[indices]
-        b_prev = b_next
+        return companion(alpha).solve(rhs)
 
-    return TransientResult(times=times, data=data, columns=names, system=system)
+    def one_step(x_old, f_old, b_old, b_new, alpha, use_be):
+        faults.maybe_fail("transient.step")
+        if not system.has_devices:
+            return linear_step(x_old, b_old, b_new, alpha, use_be)
+        return _newton_step(
+            system, g_matrix, c_matrix, x_old, f_old, b_old, b_new,
+            alpha, use_be, newton_tol, max_newton, sparse, policy,
+        )
+
+    def halved_step(x_old, t_now, halvings):
+        """Integrate [t_now, t_now + dt] as ``2^halvings`` BE substeps."""
+        substeps = 2 ** halvings
+        h = dt / substeps
+        alpha_sub = 1.0 / h
+        x_sub = x_old
+        b_sub = system.rhs(t_now)
+        f_sub, _ = (
+            system.eval_devices(x_sub) if system.has_devices else (None, None)
+        )
+        for j in range(substeps):
+            b_next_sub = system.rhs(t_now + (j + 1) * h)
+            x_sub = one_step(x_sub, f_sub, b_sub, b_next_sub, alpha_sub, True)
+            if system.has_devices:
+                f_sub, _ = system.eval_devices(x_sub)
+            b_sub = b_next_sub
+        return x_sub
+
+    with activate(report):
+        b_prev = system.rhs(times[start_step])
+        f_prev, _ = (
+            system.eval_devices(x) if system.has_devices else (None, None)
+        )
+        since_checkpoint = 0
+        for k in range(start_step, num_steps):
+            t_next = times[k + 1]
+            b_next = system.rhs(t_next)
+            use_be = method == "be" or k < 2
+            alpha = (1.0 / dt) if use_be else (2.0 / dt)
+
+            retries = 0
+            halvings = 0
+            while True:
+                try:
+                    if halvings == 0:
+                        x_new = one_step(x, f_prev, b_prev, b_next, alpha, use_be)
+                    else:
+                        x_new = halved_step(x, times[k], halvings)
+                    break
+                except (SingularCircuitError, ConvergenceError,
+                        InjectedFault) as exc:
+                    if retries < policy.max_retries:
+                        retries += 1
+                        report.record_retry(
+                            "transient",
+                            f"step {k + 1} retry {retries}/"
+                            f"{policy.max_retries}: {exc}",
+                        )
+                        continue
+                    if halvings < policy.max_step_halvings:
+                        halvings += 1
+                        retries = 0
+                        report.record_step_halving(
+                            "transient",
+                            f"step {k + 1} -> {2 ** halvings} BE substeps "
+                            f"(h = {dt / 2 ** halvings:.3e}): {exc}",
+                        )
+                        continue
+                    if checkpoint is not None:
+                        save(k, f"emergency: step {k + 1} failed")
+                    raise
+            x = x_new
+            if system.has_devices:
+                f_prev, _ = system.eval_devices(x)
+            data[k + 1] = x[indices]
+            b_prev = b_next
+            since_checkpoint += 1
+            if (
+                checkpoint is not None
+                and since_checkpoint >= checkpoint.interval
+                and k + 1 < num_steps
+            ):
+                save(k + 1, "periodic")
+                since_checkpoint = 0
+
+    finish_checkpoint(checkpoint)
+    return TransientResult(
+        times=times, data=data, columns=names, system=system, report=report
+    )
 
 
 def _newton_step(
@@ -197,10 +384,13 @@ def _newton_step(
     tol: float,
     max_iter: int,
     sparse: bool,
+    policy: ResiliencePolicy | None = None,
 ) -> np.ndarray:
     """One implicit time step with damped Newton iteration."""
     x = x_old.copy()
     cx_old = c_matrix @ x_old
+    residual_history: list[float] = []
+    last_step: float | None = None
     for _ in range(max_iter):
         f, jac_dev = system.eval_devices(x)
         if use_be:
@@ -212,19 +402,27 @@ def _newton_step(
                 + g_matrix @ x_old + f_old
                 - b_new - b_old
             )
-        if float(np.max(np.abs(residual))) < tol:
+        norm = float(np.max(np.abs(residual)))
+        residual_history.append(norm)
+        if norm < tol:
             return x
         jacobian = alpha * c_matrix + g_matrix
         if sparse:
             jacobian = np.asarray(jacobian.todense())
         if jac_dev is not None:
             jacobian = jacobian + jac_dev
-        delta = Factorization(jacobian).solve(-np.asarray(residual).ravel())
+        delta = ResilientFactorization(
+            jacobian, site="transient.newton", policy=policy
+        ).solve(-np.asarray(residual).ravel())
         step = float(np.max(np.abs(delta)))
         if step > 2.0:
             delta = delta * (2.0 / step)
+            step = 2.0
+        last_step = step
         x = x + delta
     raise ConvergenceError(
         f"transient Newton failed to converge at alpha={alpha:.3e} "
-        f"(residual {float(np.max(np.abs(residual))):.3e})"
+        f"(residual {residual_history[-1]:.3e})",
+        residual_history=tuple(residual_history),
+        last_step=last_step,
     )

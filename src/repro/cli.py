@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli export --out clocknet.sp
     python -m repro.cli check deck.sp script.py [--strict] [--sanitize]
     python -m repro.cli lint src [--suppress QA104]
+    python -m repro.cli resume run.ckpt [--info] [--out waves.csv]
 
 ``table1`` runs the Section-6 model comparison, ``loop`` the Figure-3
 extraction sweep, ``design`` the Figure 5-9 studies, and ``export``
@@ -15,6 +16,8 @@ writes the detailed PEEC model of the clock topology as a SPICE deck.
 ``check`` runs the :mod:`repro.qa` electrical rule check over SPICE
 decks and/or the circuits built by Python scripts, and ``lint`` runs the
 repo-specific AST lint -- both exit non-zero on error-severity findings.
+``resume`` picks a crashed transient or loop sweep back up from its
+checkpoint file (see :mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -186,6 +189,63 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.resilience.checkpoint import CheckpointError, load_checkpoint
+    from repro.resilience import resume as rz
+
+    try:
+        if args.info:
+            print(rz.describe(args.path))
+            return 0
+        kind = load_checkpoint(args.path).kind
+        if kind == "transient":
+            result = rz.resume_transient(args.path, keep=args.keep)
+            print(
+                f"resumed transient: {len(result.times)} time points, "
+                f"t_end = {result.times[-1]:.4g} s, "
+                f"{len(result.columns)} recorded columns"
+            )
+            if result.report is not None and not result.report.clean:
+                print(result.report.format())
+            if args.out:
+                header = "time," + ",".join(result.columns)
+                np.savetxt(
+                    args.out,
+                    np.column_stack([result.times, result.data]),
+                    delimiter=",", header=header, comments="",
+                )
+                print(f"wrote {args.out}")
+        elif kind == "loop-sweep":
+            freqs, z = rz.resume_loop(args.path, keep=args.keep)
+            from repro.analysis.report import format_table
+
+            omega = 2.0 * np.pi * freqs
+            with np.errstate(divide="ignore", invalid="ignore"):
+                l = np.where(omega > 0.0, z.imag / omega, np.nan)
+            rows = [
+                [f"{f:.2e}", f"{zv.real:.4f}", f"{lv * 1e9:.4f}"]
+                for f, zv, lv in zip(freqs, z, l)
+            ]
+            print(format_table(
+                ["frequency [Hz]", "R [ohm]", "L [nH]"], rows,
+                title="resumed loop sweep",
+            ))
+            if args.out:
+                np.savetxt(
+                    args.out,
+                    np.column_stack([freqs, z.real, z.imag]),
+                    delimiter=",", header="frequency,re_z,im_z", comments="",
+                )
+                print(f"wrote {args.out}")
+        else:
+            print(f"{args.path}: unknown checkpoint kind {kind!r}")
+            return 2
+    except CheckpointError as exc:
+        print(f"resume failed: {exc}")
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.qa import astlint
 
@@ -234,6 +294,18 @@ def main(argv: list[str] | None = None) -> int:
                          help="run .py scripts under the numerics sanitizer "
                               "and include its findings")
     p_check.set_defaults(func=_cmd_check)
+
+    p_resume = sub.add_parser(
+        "resume", help="finish a checkpointed run from its .ckpt file"
+    )
+    p_resume.add_argument("path", help="checkpoint file (*.ckpt)")
+    p_resume.add_argument("--info", action="store_true",
+                          help="describe the checkpoint without resuming")
+    p_resume.add_argument("--keep", action="store_true",
+                          help="keep the checkpoint after the run completes")
+    p_resume.add_argument("--out", default=None,
+                          help="write the completed result as CSV")
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint")
     p_lint.add_argument("paths", nargs="*", default=["src"])

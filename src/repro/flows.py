@@ -46,6 +46,7 @@ from repro.mor.combined import combined_reduction
 from repro.mor.ports import NodePort
 from repro.peec.model import PEECOptions, build_peec_model
 from repro.peec.package import PackageSpec, attach_package, attach_package_to_nodes
+from repro.resilience.report import RunReport, activate
 from repro.sparsify.base import Sparsifier
 
 
@@ -179,6 +180,9 @@ class FlowResult:
         solve_seconds: Transient (+ reduction) time.
         times: Simulation time points [s].
         waveforms: sink tap name -> voltage waveform.
+        report: Resilience log of the run (sparsifier/ROM downgrades,
+            solver escalations, retries); ``report.clean`` is True for an
+            undisturbed run.
     """
 
     kind: str
@@ -190,6 +194,7 @@ class FlowResult:
     solve_seconds: float
     times: np.ndarray
     waveforms: dict[str, np.ndarray]
+    report: RunReport | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -246,13 +251,15 @@ def run_peec_flow(
         record_extra: Additional node names to record (advanced use).
     """
     kind = "peec_rlc" if include_inductance else "peec_rc"
+    report = RunReport()
     t0 = time.perf_counter()
     options = PEECOptions(
         include_inductance=include_inductance,
         sparsifier=sparsifier,
         max_segment_length=80e-6,
     )
-    model = build_peec_model(case.layout, options)
+    with activate(report):
+        model = build_peec_model(case.layout, options)
     circuit = model.circuit
     sink_nodes: dict[str, str] = {}
     for k, sink in enumerate(case.ports.sinks):
@@ -264,41 +271,57 @@ def run_peec_flow(
     build_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()
+    used_rom = False
     if use_reduction:
-        pads = model.pad_nodes()
-        pad_items = sorted(pads.items())
-        active = [drv_node] + [node for _, (node, _) in pad_items]
-        comb = combined_reduction(
-            circuit, active, list(sink_nodes.values()),
-            order=reduction_order,
-        )
-        host = Circuit("host")
-        host.add_vsource("Vin", "vin", GROUND, case.input_ramp)
-        port_names = ["p_drv"] + [f"p_{name}" for name, _ in pad_items]
-        mm = comb.model.to_macromodel(
-            "rom", [NodePort(n) for n in port_names]
-        )
-        host.add_macromodel("rom", mm.ports, mm.g_red, mm.c_red, mm.b_red)
-        host.add_resistor("Rdrv", "vin", "p_drv", case.driver_resistance)
-        attach_package_to_nodes(
-            host,
-            {name: (f"p_{name}", net) for name, (_, net) in pad_items},
-            PackageSpec() if include_inductance else _rc_package(),
-        )
-        result = transient_analysis(host, case.t_stop, case.dt)
-        times = result.times
-        waveforms = {
-            name: comb.model.observe(result, "rom", node)
-            for name, node in sink_nodes.items()
-        }
-    else:
+        # A failed reduction (breakdown in the Krylov iteration, an
+        # indefinite reduced system) downgrades to simulating the full
+        # circuit rather than killing the flow.
+        try:
+            pads = model.pad_nodes()
+            pad_items = sorted(pads.items())
+            active = [drv_node] + [node for _, (node, _) in pad_items]
+            with activate(report):
+                comb = combined_reduction(
+                    circuit, active, list(sink_nodes.values()),
+                    order=reduction_order,
+                )
+            host = Circuit("host")
+            host.add_vsource("Vin", "vin", GROUND, case.input_ramp)
+            port_names = ["p_drv"] + [f"p_{name}" for name, _ in pad_items]
+            mm = comb.model.to_macromodel(
+                "rom", [NodePort(n) for n in port_names]
+            )
+            host.add_macromodel("rom", mm.ports, mm.g_red, mm.c_red, mm.b_red)
+            host.add_resistor("Rdrv", "vin", "p_drv", case.driver_resistance)
+            attach_package_to_nodes(
+                host,
+                {name: (f"p_{name}", net) for name, (_, net) in pad_items},
+                PackageSpec() if include_inductance else _rc_package(),
+            )
+        except (RuntimeError, np.linalg.LinAlgError) as exc:
+            report.record_downgrade(
+                "mor", "rom", "full circuit", str(exc)
+            )
+        else:
+            used_rom = True
+            with activate(report):
+                result = transient_analysis(host, case.t_stop, case.dt)
+            times = result.times
+            waveforms = {
+                name: comb.model.observe(result, "rom", node)
+                for name, node in sink_nodes.items()
+            }
+    if not used_rom:
         attach_package(
             model, PackageSpec() if include_inductance else _rc_package()
         )
         circuit.add_vsource("Vin", "vin", GROUND, case.input_ramp)
         circuit.add_resistor("Rdrv", "vin", drv_node, case.driver_resistance)
         record = list(sink_nodes.values()) + list(record_extra)
-        result = transient_analysis(circuit, case.t_stop, case.dt, record=record)
+        with activate(report):
+            result = transient_analysis(
+                circuit, case.t_stop, case.dt, record=record
+            )
         times = result.times
         waveforms = {
             name: result.voltage(node) for name, node in sink_nodes.items()
@@ -307,7 +330,7 @@ def run_peec_flow(
 
     delays, worst, sk = _measure(case, times, waveforms)
     return FlowResult(
-        kind=kind + ("+rom" if use_reduction else ""),
+        kind=kind + ("+rom" if used_rom else ""),
         stats=stats,
         delays=delays,
         worst_delay=worst,
@@ -316,6 +339,7 @@ def run_peec_flow(
         solve_seconds=solve_seconds,
         times=times,
         waveforms=waveforms,
+        report=report,
     )
 
 
@@ -340,6 +364,7 @@ def run_loop_flow(
     models as the PEEC flow; loads sit at the sink taps.  This preserves
     the paper's element-count profile: ~100x fewer elements, no mutuals.
     """
+    report = RunReport()
     t0 = time.perf_counter()
     layout = case.layout
     ports = case.ports
@@ -354,9 +379,10 @@ def run_loop_flow(
         short_signal=far_sink,
         short_reference=_gnd_tap_near(layout, far_sink.x, far_sink.y),
     )
-    extraction = extract_loop_impedance(
-        layout, port, [extraction_frequency], max_segment_length=120e-6
-    )
+    with activate(report):
+        extraction = extract_loop_impedance(
+            layout, port, [extraction_frequency], max_segment_length=120e-6
+        )
     z = extraction.at(extraction_frequency)
     omega = 2.0 * math.pi * extraction_frequency
     path_length = (
@@ -424,9 +450,10 @@ def run_loop_flow(
     build_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    result = transient_analysis(
-        circuit, case.t_stop, case.dt, record=list(sink_nodes.values())
-    )
+    with activate(report):
+        result = transient_analysis(
+            circuit, case.t_stop, case.dt, record=list(sink_nodes.values())
+        )
     solve_seconds = time.perf_counter() - t1
     waveforms = {
         name: result.voltage(node) for name, node in sink_nodes.items()
@@ -442,6 +469,7 @@ def run_loop_flow(
         solve_seconds=solve_seconds,
         times=result.times,
         waveforms=waveforms,
+        report=report,
     )
 
 

@@ -27,8 +27,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.ac import ac_impedance
+from repro.circuit.linalg import SingularCircuitError
 from repro.circuit.netlist import Circuit
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    CheckpointConfig,
+    finish_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_fingerprint,
+)
+from repro.resilience.faults import InjectedFault
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import RunReport, activate, current_run_report
 from repro.extraction.filaments import FilamentGrid, filaments_for_skin_depth
 from repro.extraction.partial_matrix import extract_partial_inductance
 from repro.extraction.resistance import resistivity_of, segment_resistance
@@ -63,11 +74,14 @@ class LoopExtractionResult:
         frequencies: Sweep frequencies [Hz].
         impedance: Complex loop impedance Z(f) [ohm].
         num_filaments: Total filament branches in the solve.
+        report: Resilience log (retries, checkpoints) when the sweep ran
+            through the checkpointed path.
     """
 
     frequencies: np.ndarray
     impedance: np.ndarray
     num_filaments: int
+    report: RunReport | None = None
 
     @property
     def resistance(self) -> np.ndarray:
@@ -177,6 +191,150 @@ def _node_at_tap(
     return node_by_point[best]
 
 
+def _sweep_impedance(
+    circuit: Circuit,
+    freqs: np.ndarray,
+    port_nodes: tuple[str, str],
+    gmin: float,
+    policy: ResiliencePolicy,
+    checkpoint: CheckpointConfig | None,
+    report: RunReport,
+) -> np.ndarray:
+    """Per-frequency impedance sweep with retries and checkpointing.
+
+    Functionally identical to :func:`repro.circuit.ac.ac_impedance`, but
+    each frequency point is an individually retried unit of work
+    (``"loop.freq"`` fault site) and completed points are periodically
+    snapshotted, so a killed sweep resumes instead of restarting.
+    """
+    from repro.circuit.linalg import ResilientFactorization, add_gmin
+    from repro.circuit.mna import MNASystem
+
+    import scipy.sparse as sp
+
+    system = MNASystem(circuit)
+    g_matrix, c_matrix = system.build_matrices()
+    g_matrix = add_gmin(g_matrix, system.n, gmin)
+    sparse = sp.issparse(g_matrix)
+    b = np.zeros(system.size, dtype=complex)
+    i_plus = system.node_index(port_nodes[0])
+    i_minus = system.node_index(port_nodes[1])
+    if i_plus >= 0:
+        b[i_plus] += 1.0
+    if i_minus >= 0:
+        b[i_minus] -= 1.0
+
+    z = np.zeros(len(freqs), dtype=complex)
+    done = np.zeros(len(freqs), dtype=bool)
+
+    fingerprint = {
+        "size": int(system.size),
+        "num_freqs": int(len(freqs)),
+        "f_min": float(freqs.min()),
+        "f_max": float(freqs.max()),
+        "gmin": float(gmin),
+        "port": list(port_nodes),
+    }
+    if checkpoint is not None and checkpoint.resume and checkpoint.path.exists():
+        snap = load_checkpoint(checkpoint.path)
+        verify_fingerprint(snap, "loop-sweep", fingerprint, checkpoint.path)
+        if not np.allclose(snap.arrays["frequencies"], freqs):
+            from repro.resilience.checkpoint import CheckpointMismatch
+
+            raise CheckpointMismatch(
+                f"{checkpoint.path}: checkpointed frequency grid differs"
+            )
+        z = np.asarray(snap.arrays["z"], dtype=complex)
+        done = np.asarray(snap.arrays["done"], dtype=bool)
+        report.record_resume(
+            "loop",
+            f"resumed from {checkpoint.path}: "
+            f"{int(done.sum())}/{len(freqs)} frequencies already solved",
+        )
+
+    def save(reason: str) -> None:
+        meta = {
+            "fingerprint": fingerprint,
+            "reason": reason,
+            "args": {"gmin": float(gmin), "port": list(port_nodes)},
+        }
+        deck = _loop_deck(circuit)
+        if deck is not None:
+            meta["deck"] = deck
+        save_checkpoint(
+            checkpoint.path, "loop-sweep", meta,
+            {"frequencies": freqs, "z": z, "done": done},
+        )
+        report.record_checkpoint(
+            "loop",
+            f"{int(done.sum())}/{len(freqs)} frequencies -> "
+            f"{checkpoint.path} ({reason})",
+        )
+
+    since_checkpoint = 0
+    with activate(report):
+        for i, f in enumerate(freqs):
+            if done[i]:
+                continue
+            omega = 2.0 * np.pi * f
+            if sparse:
+                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
+            else:
+                a_matrix = g_matrix + 1j * omega * c_matrix
+            retries = 0
+            while True:
+                try:
+                    faults.maybe_fail("loop.freq")
+                    x = ResilientFactorization(
+                        a_matrix, site="loop", policy=policy
+                    ).solve(b)
+                    break
+                except (SingularCircuitError, InjectedFault) as exc:
+                    if retries < policy.max_retries:
+                        retries += 1
+                        report.record_retry(
+                            "loop",
+                            f"f = {f:.4g} Hz: retry "
+                            f"{retries}/{policy.max_retries}: {exc}",
+                        )
+                        continue
+                    if checkpoint is not None:
+                        save(f"emergency: f = {f:.4g} Hz failed")
+                    raise
+            vp = x[i_plus] if i_plus >= 0 else 0.0
+            vm = x[i_minus] if i_minus >= 0 else 0.0
+            z[i] = vp - vm
+            done[i] = True
+            since_checkpoint += 1
+            if (
+                checkpoint is not None
+                and since_checkpoint >= checkpoint.interval
+                and not done.all()
+            ):
+                save("periodic")
+                since_checkpoint = 0
+
+    finish_checkpoint(checkpoint)
+    return z
+
+
+def _loop_deck(circuit: Circuit) -> str | None:
+    """SPICE text of the sweep circuit, for CLI resume; None if too big."""
+    import io
+
+    from repro.io.spice import write_spice
+
+    out = io.StringIO()
+    try:
+        write_spice(circuit, out)
+    except ValueError:
+        return None
+    text = out.getvalue()
+    if len(text) > 8_000_000:
+        return None
+    return text
+
+
 def extract_loop_impedance(
     layout: Layout,
     port: LoopPort,
@@ -184,6 +342,8 @@ def extract_loop_impedance(
     max_segment_length: float | None = None,
     filaments: FilamentGrid | str = "auto",
     short_resistance: float = 1e-6,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> LoopExtractionResult:
     """Extract loop impedance Z(f) at the driver port (Figure 3b).
 
@@ -197,6 +357,10 @@ def extract_loop_impedance(
         filaments: ``"auto"`` sizes the cross-section subdivision for the
             highest sweep frequency per layer; or pass an explicit grid.
         short_resistance: Resistance of the receiver-end short [ohm].
+        policy: Resilience policy (escalation and per-frequency retry
+            budget); default from ``REPRO_RESILIENCE``.
+        checkpoint: Periodic snapshotting of completed sweep points; a
+            killed sweep resumes from the checkpoint (``repro resume``).
 
     Returns:
         The extraction result; ``resistance`` / ``inductance`` give R(f),
@@ -235,7 +399,12 @@ def extract_loop_impedance(
     circuit.add_resistor("Rshort", short_a, short_b, short_resistance)
 
     num_filaments = circuit.num_inductor_branches
-    z = ac_impedance(circuit, freqs, (sig_node, ref_node), gmin=1e-12)
+    policy = policy or default_policy()
+    report = current_run_report() or RunReport()
+    z = _sweep_impedance(
+        circuit, freqs, (sig_node, ref_node), 1e-12, policy, checkpoint, report
+    )
     return LoopExtractionResult(
-        frequencies=freqs, impedance=z, num_filaments=num_filaments
+        frequencies=freqs, impedance=z, num_filaments=num_filaments,
+        report=report,
     )

@@ -62,6 +62,12 @@ class PEECOptions:
             this are not even extracted (pure noise floor; distinct from
             Section-4 sparsification, which operates on physically
             meaningful couplings).  0 extracts everything.
+        fallback: Degrade gracefully when the requested sparsifier fails
+            or produces a non-passive (indefinite) inductance structure:
+            fall back to block-diagonal sparsification, then to the dense
+            matrix, recording the downgrade in the active
+            :class:`~repro.resilience.report.RunReport`.  ``False``
+            propagates the failure (pre-resilience behavior).
     """
 
     include_inductance: bool = True
@@ -71,6 +77,7 @@ class PEECOptions:
     max_segment_length: float | None = None
     max_strip_width: float | None = None
     mutual_min_coupling: float = 0.0
+    fallback: bool = True
 
 
 class PEECModel:
@@ -263,7 +270,12 @@ def build_peec_model(layout: Layout, options: PEECOptions | None = None) -> PEEC
             np.fill_diagonal(drop, False)
             matrix[drop] = 0.0
         sparsifier = options.sparsifier or DenseInductance()
-        blocks = sparsifier.apply(extraction)
+        if options.fallback:
+            from repro.resilience.degrade import sparsify_with_fallback
+
+            blocks, _ = sparsify_with_fallback(extraction, sparsifier)
+        else:
+            blocks = sparsifier.apply(extraction)
         _stamp_rl(circuit, inplane, branch_nodes, blocks, layer_of)
     else:
         extraction = None

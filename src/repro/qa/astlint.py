@@ -15,6 +15,9 @@ QA103  a package ``__init__.py`` that re-exports names but defines no
 QA104  ``float(...)`` applied to a complex-valued AC result (attribute named
        ``impedance``/``admittance``/``transfer``): silently meaningless --
        take ``.real``, ``abs()``, or ``.imag`` deliberately.
+QA105  a bare ``except``/``except Exception`` whose body is only ``pass`` --
+       silently swallowing failures defeats the resilience layer's logging;
+       catch the narrow type, or record the downgrade in a RunReport.
 ====== ========================================================================
 
 Suppress a single line with a trailing ``# qa: ignore`` (all rules) or
@@ -38,6 +41,7 @@ LINT_RULES: dict[str, str] = {
     "QA102": "mutable default argument",
     "QA103": "package __init__.py re-exports names without __all__",
     "QA104": "float() of a complex AC result (impedance/admittance/transfer)",
+    "QA105": "broad except clause that silently passes",
 }
 
 #: Attribute names that carry complex AC results in this codebase.
@@ -181,6 +185,36 @@ class _Visitor(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
+    # -- QA105 -------------------------------------------------------------
+
+    def _is_broad_handler(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = []
+        if isinstance(handler.type, ast.Name):
+            names = [handler.type.id]
+        elif isinstance(handler.type, ast.Tuple):
+            names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            body_is_silent = all(
+                isinstance(stmt, ast.Pass)
+                or (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is ...)
+                for stmt in handler.body
+            )
+            if body_is_silent and self._is_broad_handler(handler):
+                self._report(
+                    "QA105", handler,
+                    "broad except clause silently swallows every failure",
+                    "catch the narrow exception type, re-raise, or at least "
+                    "record what was ignored (e.g. in a RunReport)",
+                )
+        self.generic_visit(node)
+
 
 def _check_init_all(path: Path, tree: ast.Module, lines: Sequence[str],
                     findings: list[Diagnostic]) -> None:
@@ -264,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa.astlint``."""
     parser = argparse.ArgumentParser(
         prog="repro.qa.astlint",
-        description="repo-specific AST lint (QA101-QA104)",
+        description="repo-specific AST lint (QA101-QA105)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -1,0 +1,70 @@
+"""Runtime fault tolerance: escalation, retries, checkpoints, degradation.
+
+The paper's analyses *break* on hostile inputs -- truncated inductance
+matrices go non-passive, ill-scaled MNA systems defeat plain LU, long
+sweeps die mid-run.  This package is the layer that keeps production
+runs alive through all of that:
+
+* :mod:`~repro.resilience.policy` -- the single knob object
+  (:class:`ResiliencePolicy`) governing escalation rungs, retry budgets,
+  and step control; default from ``REPRO_RESILIENCE``.
+* :mod:`~repro.resilience.report` -- :class:`SolveReport` /
+  :class:`RunReport`: structured records of every rescue taken.
+* :mod:`~repro.resilience.faults` -- seeded fault injection into named
+  solve sites (``REPRO_FAULTS=chaos-<seed>`` for CI chaos runs).
+* :mod:`~repro.resilience.checkpoint` -- atomic ``.ckpt`` snapshots and
+  resume for transients and frequency sweeps (``repro resume``).
+* :mod:`~repro.resilience.degrade` -- sparsifier fallback chain
+  (requested -> block-diagonal -> dense) with logged downgrades.
+
+The escalation chain itself lives in
+:class:`repro.circuit.linalg.ResilientFactorization`, next to the raw
+factorization it wraps.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointMismatch,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.degrade import DegradationError, sparsify_with_fallback
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    inject_faults,
+)
+from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy, default_policy
+from repro.resilience.report import (
+    RunReport,
+    SolveAttempt,
+    SolveReport,
+    activate,
+    current_run_report,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "load_checkpoint",
+    "save_checkpoint",
+    "DegradationError",
+    "sparsify_with_fallback",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "inject_faults",
+    "DEFAULT_POLICY",
+    "ResiliencePolicy",
+    "default_policy",
+    "RunReport",
+    "SolveAttempt",
+    "SolveReport",
+    "activate",
+    "current_run_report",
+]

@@ -1,0 +1,94 @@
+"""Graceful degradation: keep the run alive on a weaker model.
+
+The paper's Section-4 warning is that aggressive sparsification can go
+non-passive; PR 1 taught the sparsifiers to *detect* that and abort.
+This module turns the abort into a controlled downgrade: a failing (or
+non-passive) strategy falls back to block-diagonal sparsification --
+passive by construction -- and finally to the dense reference, with
+every downgrade recorded in the :class:`~repro.resilience.report.RunReport`
+so nothing degrades silently.  The same pattern covers model-order
+reduction in the flows: a failed PRIMA/combined reduction falls back to
+simulating the unreduced circuit.
+"""
+
+from __future__ import annotations
+
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.resilience import faults
+from repro.resilience.report import RunReport, current_run_report
+from repro.sparsify.base import DenseInductance, InductanceBlocks, Sparsifier
+from repro.sparsify.block_diagonal import BlockDiagonalSparsifier
+from repro.sparsify.stability import is_positive_definite
+
+
+class DegradationError(RuntimeError):
+    """Every rung of a degradation chain failed."""
+
+
+def _passive(blocks: InductanceBlocks) -> bool:
+    """All L-blocks positive definite (K blocks are checked upstream)."""
+    if blocks.kind != "L":
+        return True
+    return all(is_positive_definite(matrix) for _, matrix in blocks.blocks)
+
+
+def sparsify_with_fallback(
+    extraction: PartialInductanceResult,
+    sparsifier: Sparsifier | None,
+    report: RunReport | None = None,
+    focus_nets: tuple[str, ...] = (),
+    check_passivity: bool = True,
+) -> tuple[InductanceBlocks, Sparsifier]:
+    """Apply ``sparsifier`` with automatic downgrade on failure.
+
+    Chain: requested strategy -> block-diagonal -> dense.  A strategy is
+    rejected when it raises, when fault injection sabotages it, or (with
+    ``check_passivity``) when it hands back an indefinite -- i.e.
+    non-passive -- block structure without raising.  Each rejection is
+    recorded as a downgrade in ``report`` (or the active run report).
+
+    Returns:
+        ``(blocks, winner)`` -- the accepted block structure and the
+        strategy instance that produced it.
+
+    Raises:
+        DegradationError: Even the dense reference failed (this means the
+            extraction itself is broken).
+    """
+    report = report if report is not None else current_run_report()
+    requested = sparsifier or DenseInductance()
+    chain: list[Sparsifier] = [requested]
+    if not isinstance(requested, (BlockDiagonalSparsifier, DenseInductance)):
+        chain.append(BlockDiagonalSparsifier(focus_nets=focus_nets))
+    if not isinstance(chain[-1], DenseInductance):
+        chain.append(DenseInductance())
+
+    last_error: Exception | None = None
+    for strategy in chain:
+        reason = None
+        try:
+            faults.maybe_fail(f"sparsify.{strategy.name}")
+            blocks = strategy.apply(extraction)
+            if (
+                check_passivity
+                and not isinstance(strategy, DenseInductance)
+                and not _passive(blocks)
+            ):
+                reason = "result is not positive definite (non-passive)"
+        except RuntimeError as exc:  # includes InjectedFault
+            reason = str(exc)
+            last_error = exc
+        if reason is None:
+            return blocks, strategy
+        if report is not None:
+            next_name = "(none)"
+            idx = chain.index(strategy)
+            if idx + 1 < len(chain):
+                next_name = chain[idx + 1].name
+            report.record_downgrade("sparsify", strategy.name, next_name, reason)
+    raise DegradationError(
+        f"all sparsification fallbacks failed (last: {last_error})"
+    ) from last_error
+
+
+__all__ = ["DegradationError", "sparsify_with_fallback"]

@@ -1,0 +1,226 @@
+"""Deterministic fault injection into named solve sites.
+
+The escalation chain, retry policies, and checkpoint/resume paths only
+earn their keep if they demonstrably fire.  This module gives the test
+suite (and CI) a seeded, reproducible way to make them fire: solver
+internals call the three hooks below at *named sites*, and an installed
+:class:`FaultInjector` decides -- deterministically, from its seed and
+call order -- whether to sabotage that call.
+
+Fault kinds:
+
+* ``"raise"``    -- raise :class:`InjectedFault` at the site (a transient
+  exception: retrying the operation succeeds).
+* ``"nan"``      -- poison the solution vector with NaN (exercises the
+  non-finite detection and escalation path).
+* ``"singular"`` -- replace the matrix handed to that site with a
+  singular copy (first row zeroed), so that *this rung's* factorization
+  fails while later rungs still see clean data.
+
+Sites are dotted names (``"transient.lu"``, ``"dc.newton.equilibrated"``,
+``"loop.freq"``); specs match them with :mod:`fnmatch` patterns, so
+``"*.lu"`` targets the first escalation rung everywhere.
+
+Activation is either programmatic::
+
+    with inject_faults(FaultSpec("transient.lu", "singular")):
+        transient_analysis(...)
+
+or process-wide chaos via the environment: ``REPRO_FAULTS=chaos-1234``
+installs a low-probability injector over the recoverable sites, which CI
+uses to run the whole suite with every fallback path genuinely
+exercised.  ``with inject_faults():`` (no specs) suppresses any ambient
+injector for precision-sensitive blocks.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import threading
+from dataclasses import dataclass
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected, transient solver fault."""
+
+    def __init__(self, site: str, detail: str = "injected fault") -> None:
+        self.site = site
+        super().__init__(f"{detail} at solve site {site!r}")
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule.
+
+    Attributes:
+        site: :mod:`fnmatch` pattern over dotted site names.
+        kind: ``"raise"`` / ``"nan"`` / ``"singular"``.
+        probability: Chance of firing per eligible call (1.0 = always).
+        max_hits: Stop firing after this many injections (None = never).
+        after: Skip this many eligible calls before becoming active --
+            lets a test crash a run mid-flight rather than at step 0.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    max_hits: int | None = 1
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "nan", "singular"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+
+class FaultInjector:
+    """Seeded decision-maker over a set of :class:`FaultSpec` rules."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = (), seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._calls = [0] * len(self.specs)
+        self._hits = [0] * len(self.specs)
+        self.injections: list[tuple[str, str]] = []  # (site, kind) log
+
+    def fires(self, site: str, kinds: tuple[str, ...]) -> FaultSpec | None:
+        """The first spec that decides to sabotage this call, if any."""
+        for k, spec in enumerate(self.specs):
+            if spec.kind not in kinds:
+                continue
+            if not fnmatch.fnmatchcase(site, spec.site):
+                continue
+            self._calls[k] += 1
+            if self._calls[k] <= spec.after:
+                continue
+            if spec.max_hits is not None and self._hits[k] >= spec.max_hits:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._hits[k] += 1
+            self.injections.append((site, spec.kind))
+            return spec
+        return None
+
+
+#: Chaos-mode rules: low-probability faults at sites the resilience layer
+#: provably recovers from bit-compatibly (first-rung escalation recomputes
+#: the same answer; step retries redo identical work).
+def chaos_specs() -> tuple[FaultSpec, ...]:
+    return (
+        FaultSpec("*.lu", "raise", probability=0.02, max_hits=None),
+        FaultSpec("*.lu", "nan", probability=0.01, max_hits=None),
+        FaultSpec("transient.step", "raise", probability=0.003, max_hits=None),
+        FaultSpec("adaptive.step", "raise", probability=0.003, max_hits=None),
+        FaultSpec("loop.freq", "raise", probability=0.02, max_hits=None),
+    )
+
+
+def injector_from_env(value: str | None = None) -> FaultInjector | None:
+    """Build the ambient injector described by ``REPRO_FAULTS``.
+
+    Grammar: empty / ``off`` -> None; ``chaos`` -> chaos rules with seed
+    0; ``chaos-<seed>`` -> chaos rules with that seed.
+    """
+    raw = value if value is not None else os.environ.get("REPRO_FAULTS", "")
+    raw = raw.strip().lower()
+    if not raw or raw == "off":
+        return None
+    if raw == "chaos":
+        return FaultInjector(chaos_specs(), seed=0)
+    if raw.startswith("chaos-"):
+        try:
+            seed = int(raw[len("chaos-"):])
+        except ValueError:
+            raise ValueError(
+                f"REPRO_FAULTS seed must be an integer, got {raw!r}"
+            ) from None
+        return FaultInjector(chaos_specs(), seed=seed)
+    raise ValueError(
+        f"REPRO_FAULTS must be 'off', 'chaos', or 'chaos-<seed>', got {raw!r}"
+    )
+
+
+_ENV_INJECTOR = injector_from_env()
+_LOCAL = threading.local()
+
+
+def active_injector() -> FaultInjector | None:
+    """The injector governing this thread (innermost context, else env)."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    return _ENV_INJECTOR
+
+
+@contextmanager
+def inject_faults(
+    *specs: FaultSpec, seed: int = 0
+) -> Iterator[FaultInjector]:
+    """Install a fault injector for the block (no specs = suppress all)."""
+    injector = FaultInjector(tuple(specs), seed=seed)
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    stack.append(injector)
+    try:
+        yield injector
+    finally:
+        stack.pop()
+
+
+# -- hooks called from solver internals -------------------------------------
+
+
+def maybe_fail(site: str) -> None:
+    """Raise :class:`InjectedFault` if a ``"raise"`` rule fires here."""
+    injector = active_injector()
+    if injector is not None and injector.fires(site, ("raise",)):
+        raise InjectedFault(site)
+
+
+def corrupt_matrix(site: str, matrix):
+    """Return ``matrix``, or a singular copy if a ``"singular"`` rule fires."""
+    injector = active_injector()
+    if injector is None or injector.fires(site, ("singular",)) is None:
+        return matrix
+    import scipy.sparse as sp
+
+    if sp.issparse(matrix):
+        bad = matrix.tolil(copy=True)
+        bad[0, :] = 0.0
+        return bad.tocsc()
+    bad = np.array(matrix, copy=True)
+    bad[0, :] = 0.0
+    return bad
+
+
+def corrupt_solution(site: str, x: np.ndarray) -> np.ndarray:
+    """Return ``x``, or a NaN-poisoned copy if a ``"nan"`` rule fires."""
+    injector = active_injector()
+    if injector is None or injector.fires(site, ("nan",)) is None:
+        return x
+    bad = np.array(x, copy=True)
+    bad[0] = np.nan
+    return bad
+
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "FaultInjector",
+    "chaos_specs",
+    "injector_from_env",
+    "active_injector",
+    "inject_faults",
+    "maybe_fail",
+    "corrupt_matrix",
+    "corrupt_solution",
+]

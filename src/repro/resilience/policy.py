@@ -1,0 +1,109 @@
+"""Retry, step-control, and escalation policies.
+
+One frozen dataclass carries every knob the fault-tolerance layer
+consults, so engines take a single ``policy=`` argument and tests can
+construct exact configurations.  The default is read once from the
+``REPRO_RESILIENCE`` environment variable:
+
+* ``off``  -- single-rung solves, no retries: fail fast (pre-resilience
+  behavior, useful to expose latent numerical problems).
+* ``safe`` -- the default.  Escalation rungs that are *answer-preserving*
+  (plain LU, then equilibrated LU) plus bounded retries and step
+  halving.  A genuinely singular system still raises.
+* ``full`` -- additionally enables the rescue rungs (gmin-shifted solve
+  with iterative refinement, then Tikhonov-regularized least squares)
+  and DC source stepping.  Rescue solutions are only accepted when their
+  residual against the original system passes ``residual_tol`` /
+  ``lstsq_tol``, so an inconsistent singular system still raises; see
+  DESIGN.md for why least squares is a last resort.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Escalation rungs per mode, in the order they are tried.
+_RUNGS = {
+    "off": ("lu",),
+    "safe": ("lu", "equilibrated"),
+    "full": ("lu", "equilibrated", "gmin", "lstsq"),
+}
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Every knob of the runtime fault-tolerance layer.
+
+    Attributes:
+        escalation: ``"off"`` / ``"safe"`` / ``"full"`` -- which solver
+            escalation rungs are available (see module docstring).
+        max_retries: Plain same-operation retries after an injected or
+            transient fault (per time step / per sweep frequency).
+        max_step_halvings: How many times a failing transient step may be
+            halved (the step is integrated as ``2^k`` backward-Euler
+            substeps) before the failure propagates.
+        source_steps: DC source-stepping ramp fractions tried when gmin
+            stepping alone fails to converge (``full`` escalation only).
+        gmin_shifts: Relative diagonal shifts tried by the ``gmin``
+            escalation rung (scaled by the matrix diagonal magnitude).
+        refine_iters: Iterative-refinement sweeps the ``gmin`` rung runs
+            against the *original* matrix before accepting.
+        residual_tol: Max relative residual for accepting a ``gmin``-rung
+            solution.
+        lstsq_tol: Max relative residual for accepting a least-squares
+            last-resort solution.
+    """
+
+    escalation: str = "safe"
+    max_retries: int = 2
+    max_step_halvings: int = 4
+    source_steps: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    gmin_shifts: tuple[float, ...] = (1e-10, 1e-7)
+    refine_iters: int = 3
+    residual_tol: float = 1e-8
+    lstsq_tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.escalation not in _RUNGS:
+            raise ValueError(
+                f"escalation must be one of {sorted(_RUNGS)}, "
+                f"got {self.escalation!r}"
+            )
+        if self.max_retries < 0 or self.max_step_halvings < 0:
+            raise ValueError("retry/halving counts must be >= 0")
+
+    @property
+    def rungs(self) -> tuple[str, ...]:
+        """Escalation rung names enabled by this policy, in order."""
+        return _RUNGS[self.escalation]
+
+    @property
+    def source_stepping_enabled(self) -> bool:
+        return self.escalation == "full" and bool(self.source_steps)
+
+    @classmethod
+    def from_env(cls, env: str | None = None) -> "ResiliencePolicy":
+        """Policy selected by ``REPRO_RESILIENCE`` (or an explicit string)."""
+        value = env if env is not None else os.environ.get("REPRO_RESILIENCE", "")
+        value = value.strip().lower()
+        if not value:
+            return cls()
+        if value not in _RUNGS:
+            raise ValueError(
+                f"REPRO_RESILIENCE must be one of {sorted(_RUNGS)}, "
+                f"got {value!r}"
+            )
+        return cls(escalation=value)
+
+
+#: Process-wide default, fixed at import from ``REPRO_RESILIENCE``.
+DEFAULT_POLICY = ResiliencePolicy.from_env()
+
+
+def default_policy() -> ResiliencePolicy:
+    """The process default policy (``REPRO_RESILIENCE`` at import time)."""
+    return DEFAULT_POLICY
+
+
+__all__ = ["ResiliencePolicy", "DEFAULT_POLICY", "default_policy"]

@@ -139,6 +139,73 @@ class TestQA104FloatOfComplex:
         assert findings == []
 
 
+class TestQA105SilentBroadExcept:
+    def test_bare_except_pass(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    pass\n"
+        ))
+        assert rules_fired(findings) == {"QA105"}
+
+    def test_except_exception_pass(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        ))
+        assert rules_fired(findings) == {"QA105"}
+
+    def test_except_base_exception_ellipsis(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except BaseException:\n"
+            "    ...\n"
+        ))
+        assert rules_fired(findings) == {"QA105"}
+
+    def test_broad_type_in_tuple(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except (ValueError, Exception):\n"
+            "    pass\n"
+        ))
+        assert rules_fired(findings) == {"QA105"}
+
+    def test_narrow_except_pass_is_clean(self, tmp_path):
+        # Deliberately ignoring a *specific* exception is a judgment
+        # call, not a lint error.
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except FileNotFoundError:\n"
+            "    pass\n"
+        ))
+        assert findings == []
+
+    def test_broad_except_with_handling_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except Exception as exc:\n"
+            "    log(exc)\n"
+        ))
+        assert findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:  # qa: ignore[QA105]\n"
+            "    pass\n"
+        ))
+        assert findings == []
+
+
 class TestDriver:
     def test_syntax_error_reports_qa000(self, tmp_path):
         findings = lint_source(tmp_path, "def broken(:\n")

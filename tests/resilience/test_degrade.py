@@ -1,0 +1,161 @@
+"""Graceful sparsifier degradation: requested -> block-diagonal -> dense."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.partial_matrix import extract_partial_inductance
+from repro.geometry.segment import Direction, Segment
+from repro.resilience import (
+    DegradationError,
+    FaultSpec,
+    RunReport,
+    activate,
+    inject_faults,
+    sparsify_with_fallback,
+)
+from repro.sparsify.base import DenseInductance, Sparsifier
+from repro.sparsify.block_diagonal import BlockDiagonalSparsifier
+from repro.sparsify.stability import is_positive_definite
+from repro.sparsify.truncation import TruncationSparsifier
+
+
+@pytest.fixture(scope="module")
+def long_parallel_bus():
+    """Long tightly-coupled parallel wires.  Truncating at threshold 0.7
+    keeps only the strongest couplings and goes (silently) indefinite --
+    the paper's Section-4 negative control, and our degradation trigger."""
+    segs = [
+        Segment(net="s", layer="M6", direction=Direction.X,
+                origin=(0.0, k * 2e-6, 7e-6), length=5000e-6,
+                width=1e-6, thickness=0.5e-6, name=f"l{k}")
+        for k in range(6)
+    ]
+    return extract_partial_inductance(segs)
+
+
+class ExplodingSparsifier(Sparsifier):
+    """Always fails -- deterministic stand-in for a broken strategy."""
+
+    def apply(self, result):
+        raise RuntimeError("exploding sparsifier: boom")
+
+
+class IndefiniteSparsifier(Sparsifier):
+    """Returns an indefinite matrix WITHOUT raising: the silent failure
+    mode the passivity check exists to catch."""
+
+    def apply(self, result):
+        matrix = result.matrix.copy()
+        matrix[0, 0] = -abs(matrix[0, 0])
+        n = result.size
+        from repro.sparsify.base import InductanceBlocks
+
+        return InductanceBlocks(kind="L", blocks=[(list(range(n)), matrix)])
+
+
+class TestDowngradeChain:
+    def test_nonpassive_truncation_degrades_to_block_diagonal(
+        self, long_parallel_bus
+    ):
+        # Acceptance: a sparsification that breaks passivity degrades to
+        # block-diagonal and the downgrade lands in the RunReport.
+        requested = TruncationSparsifier(threshold=0.7)
+        raw = requested.apply(long_parallel_bus)
+        assert not is_positive_definite(raw.blocks[0][1])  # trigger is real
+
+        report = RunReport()
+        with inject_faults():
+            blocks, winner = sparsify_with_fallback(
+                long_parallel_bus, requested, report=report,
+            )
+        assert winner.name == "blockdiagonal"
+        assert is_positive_definite(blocks.to_dense(long_parallel_bus.size))
+        downgrades = report.downgrades
+        assert len(downgrades) == 1
+        assert "truncation" in downgrades[0].detail
+        assert "blockdiagonal" in downgrades[0].detail
+        assert "not positive definite" in downgrades[0].detail
+
+    def test_healthy_strategy_wins_without_downgrade(self, long_parallel_bus):
+        report = RunReport()
+        with inject_faults():
+            blocks, winner = sparsify_with_fallback(
+                long_parallel_bus, BlockDiagonalSparsifier(), report=report,
+            )
+        assert winner.name == "blockdiagonal"
+        assert report.clean
+
+    def test_injected_failures_walk_the_chain_to_dense(self, long_parallel_bus):
+        report = RunReport()
+        with inject_faults(
+            FaultSpec("sparsify.blockdiagonal", "raise"),
+        ):
+            blocks, winner = sparsify_with_fallback(
+                long_parallel_bus, ExplodingSparsifier(), report=report,
+            )
+        assert isinstance(winner, DenseInductance)
+        assert len(report.downgrades) == 2
+        dense = blocks.to_dense(long_parallel_bus.size)
+        assert np.allclose(dense, long_parallel_bus.matrix)
+
+    def test_all_rungs_failing_raises_degradation_error(self, long_parallel_bus):
+        with inject_faults(FaultSpec("sparsify.*", "raise", max_hits=None)):
+            with pytest.raises(DegradationError) as err:
+                sparsify_with_fallback(
+                    long_parallel_bus, TruncationSparsifier(),
+                    report=RunReport(),
+                )
+        assert "all sparsification fallbacks failed" in str(err.value)
+
+    def test_silently_nonpassive_result_is_caught(self, long_parallel_bus):
+        report = RunReport()
+        with inject_faults():
+            _, winner = sparsify_with_fallback(
+                long_parallel_bus, IndefiniteSparsifier(), report=report,
+            )
+        assert not isinstance(winner, IndefiniteSparsifier)
+        assert "not positive definite" in report.downgrades[0].detail
+
+    def test_passivity_check_can_be_waived(self, long_parallel_bus):
+        # The ablation benchmark needs the indefinite matrix on purpose.
+        with inject_faults():
+            blocks, winner = sparsify_with_fallback(
+                long_parallel_bus, TruncationSparsifier(threshold=0.7),
+                report=RunReport(), check_passivity=False,
+            )
+        assert winner.name == "truncation"
+        assert not is_positive_definite(blocks.to_dense(long_parallel_bus.size))
+
+    def test_uses_active_run_report_when_none_passed(self, long_parallel_bus):
+        ambient = RunReport()
+        with activate(ambient):
+            with inject_faults():
+                sparsify_with_fallback(
+                    long_parallel_bus, TruncationSparsifier(threshold=0.7),
+                )
+        assert ambient.downgrades
+
+
+class TestPEECIntegration:
+    def test_build_peec_model_downgrade_vs_strict(self, small_grid_layout):
+        from repro.peec.model import PEECOptions, build_peec_model
+        from repro.resilience.report import RunReport, activate
+
+        report = RunReport()
+        with inject_faults():
+            with activate(report):
+                model = build_peec_model(
+                    small_grid_layout,
+                    PEECOptions(sparsifier=ExplodingSparsifier(),
+                                fallback=True),
+                )
+        assert model.circuit is not None
+        assert report.downgrades
+
+        with inject_faults():
+            with pytest.raises(RuntimeError, match="boom"):
+                build_peec_model(
+                    small_grid_layout,
+                    PEECOptions(sparsifier=ExplodingSparsifier(),
+                                fallback=False),
+                )

@@ -1,0 +1,197 @@
+"""The solver escalation chain: LU -> equilibrated -> gmin -> lstsq."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.linalg import (
+    Factorization,
+    ResilientFactorization,
+    SingularCircuitError,
+    add_gmin,
+    resilient_solve,
+)
+from repro.resilience import (
+    FaultSpec,
+    ResiliencePolicy,
+    RunReport,
+    activate,
+    inject_faults,
+)
+
+SAFE = ResiliencePolicy(escalation="safe")
+FULL = ResiliencePolicy(escalation="full")
+
+
+def _well_posed(n=6, seed=7):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+    return a, b
+
+
+class TestCleanPath:
+    def test_first_rung_wins_outright(self):
+        a, b = _well_posed()
+        with inject_faults():  # shut out any ambient chaos injector
+            rf = ResilientFactorization(a, site="t", policy=SAFE)
+            x = rf.solve(b)
+        assert np.allclose(a @ x, b)
+        assert rf.report.winner == "lu"
+        assert not rf.report.escalated
+        first = rf.report.attempts[0]
+        assert first.ok and first.condition_estimate is not None
+
+    def test_resilient_solve_one_shot(self):
+        a, b = _well_posed()
+        with inject_faults():
+            x = resilient_solve(a, b, site="t", policy=SAFE)
+        assert np.allclose(a @ x, b)
+
+
+class TestInjectedRecovery:
+    def test_singular_first_rung_recovers_on_later_rung(self):
+        # Acceptance: a singular perturbation sabotages the first rung;
+        # the solve recovers on a later rung and the SolveReport records
+        # both the failure and the winner.
+        a, b = _well_posed()
+        with inject_faults(FaultSpec("*.lu", "singular")):
+            rf = ResilientFactorization(a, site="t", policy=SAFE)
+            x = rf.solve(b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+        report = rf.report
+        assert report.winner == "equilibrated"
+        assert report.escalated
+        assert [att.rung for att in report.attempts] == ["lu", "equilibrated"]
+        assert not report.attempts[0].ok
+        assert "singular" in report.attempts[0].error.lower() or \
+            report.attempts[0].error
+        assert report.attempts[1].ok
+        assert report.attempts[1].condition_estimate is not None
+
+    def test_nan_poisoning_escalates(self):
+        a, b = _well_posed()
+        with inject_faults(FaultSpec("*.lu", "nan")):
+            rf = ResilientFactorization(a, site="t", policy=SAFE)
+            x = rf.solve(b)
+        assert np.all(np.isfinite(x))
+        assert np.allclose(a @ x, b, atol=1e-8)
+        assert rf.report.winner == "equilibrated"
+        assert "non-finite" in rf.report.attempts[0].error
+
+    def test_injected_raise_escalates(self):
+        a, b = _well_posed()
+        with inject_faults(FaultSpec("t.lu", "raise")):
+            rf = ResilientFactorization(a, site="t", policy=SAFE)
+            x = rf.solve(b)
+        assert np.allclose(a @ x, b)
+        assert rf.report.winner == "equilibrated"
+
+    def test_bad_rung_not_retried_on_later_solves(self):
+        a, b = _well_posed()
+        with inject_faults(FaultSpec("t.lu", "singular")):
+            rf = ResilientFactorization(a, site="t", policy=SAFE)
+            rf.solve(b)
+            rf.solve(b + 1.0)
+            rf.solve(b - 1.0)
+        # One failure recorded, one success recorded -- not one per call.
+        assert len(rf.report.attempts) == 2
+
+
+class TestRescueRungs:
+    def test_gmin_rung_solves_consistent_singular_system(self):
+        # Exactly singular but consistent: plain and equilibrated LU both
+        # fail, the gmin rung's shifted solve + refinement is accepted.
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        with inject_faults():
+            rf = ResilientFactorization(a, site="t", policy=FULL)
+            x = rf.solve(b)
+        assert np.allclose(a @ x, b, atol=1e-7)
+        assert rf.report.winner in ("gmin", "lstsq")
+        assert rf.report.escalated
+        winner = [att for att in rf.report.attempts if att.ok][0]
+        assert winner.residual is not None and winner.residual <= 1e-6
+
+    def test_lstsq_is_last_resort(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        with inject_faults(FaultSpec("t.gmin", "raise")):
+            rf = ResilientFactorization(a, site="t", policy=FULL)
+            x = rf.solve(b)
+        assert np.allclose(a @ x, b, atol=1e-6)
+        assert rf.report.winner == "lstsq"
+
+    def test_inconsistent_singular_system_still_raises(self):
+        # No rescue rung may fabricate an answer to an inconsistent system.
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([1.0, 2.0])
+        with inject_faults():
+            with pytest.raises(SingularCircuitError) as err:
+                ResilientFactorization(a, site="t", policy=FULL).solve(b)
+        assert "escalation rung" in str(err.value)
+
+    def test_off_policy_fails_fast(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        with inject_faults():
+            with pytest.raises(SingularCircuitError):
+                ResilientFactorization(
+                    a, site="t", policy=ResiliencePolicy(escalation="off")
+                ).solve(b)
+
+    def test_gmin_rung_matches_add_gmin_on_floating_node(self):
+        # The gmin escalation rung is the implicit version of the explicit
+        # add_gmin() convergence aid: on a floating-node (zero row/column)
+        # but consistent system the two agree on the connected unknowns.
+        g = np.array([
+            [2.0, -1.0, 0.0],
+            [-1.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0],   # floating node
+        ])
+        b = np.array([1.0, 0.0, 0.0])
+        explicit = Factorization(add_gmin(g, 3, 1e-9)).solve(b)
+        with inject_faults():
+            rf = ResilientFactorization(g, site="t", policy=FULL)
+            x = rf.solve(b)
+        assert rf.report.winner in ("gmin", "lstsq")
+        assert np.allclose(x[:2], explicit[:2], atol=1e-6)
+
+
+class TestReportWiring:
+    def test_escalated_solve_attaches_to_active_run_report(self):
+        a, b = _well_posed()
+        run = RunReport()
+        with activate(run):
+            with inject_faults(FaultSpec("*.lu", "singular")):
+                ResilientFactorization(a, site="t", policy=SAFE).solve(b)
+        assert len(run.solve_reports) == 1
+        assert run.solve_reports[0].winner == "equilibrated"
+        assert not run.clean
+
+    def test_clean_solve_stays_off_run_report(self):
+        a, b = _well_posed()
+        run = RunReport()
+        with activate(run):
+            with inject_faults():
+                ResilientFactorization(a, site="t", policy=SAFE).solve(b)
+        assert run.clean
+
+    def test_exhausted_chain_message_carries_the_trace(self):
+        a = np.zeros((2, 2))
+        with inject_faults():
+            with pytest.raises(SingularCircuitError) as err:
+                ResilientFactorization(a, site="t", policy=SAFE).solve(
+                    np.ones(2)
+                )
+        msg = str(err.value)
+        assert "lu" in msg and "equilibrated" in msg
+
+    def test_condition_estimate_property(self):
+        import scipy.sparse as sp
+
+        a = np.diag([1.0, 1e6])
+        assert Factorization(a).condition_estimate == pytest.approx(1e6)
+        cond_sp = Factorization(
+            sp.csc_matrix(np.diag([1.0, 1e3]))
+        ).condition_estimate
+        assert cond_sp == pytest.approx(1e3)

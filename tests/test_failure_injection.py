@@ -39,12 +39,19 @@ class TestSingularCircuits:
             "singular" in str(err.value).lower()
 
     def test_nonfinite_solution_detected(self):
-        # A matrix that factors but produces inf/nan on solve.
-        nearly = np.array([[1e-320, 0.0], [0.0, 1.0]])
-        try:
-            Factorization(nearly).solve(np.array([1.0, 1.0]))
-        except SingularCircuitError:
-            pass  # either outcome (raise at factor or at solve) is fine
+        # Inject a NaN into an otherwise healthy solve: with escalation
+        # off there is no rescue rung, so the non-finite check MUST raise.
+        from repro.circuit.linalg import ResilientFactorization
+        from repro.resilience import FaultSpec, ResiliencePolicy, inject_faults
+
+        healthy = np.array([[2.0, 0.0], [0.0, 1.0]])
+        with inject_faults(FaultSpec("*.lu", "nan")):
+            with pytest.raises(SingularCircuitError) as err:
+                ResilientFactorization(
+                    healthy, site="test",
+                    policy=ResiliencePolicy(escalation="off"),
+                ).solve(np.array([1.0, 1.0]))
+        assert "non-finite" in str(err.value)
 
 
 class TestGmin:
