@@ -22,4 +22,9 @@ echo "== repro check over the examples =="
 python -m repro.cli check examples/*.py
 
 echo
+echo "== repro bench --smoke vs checked-in baseline =="
+python -m repro.cli bench --smoke --out /tmp/bench_ci_smoke.json \
+    --baseline benchmarks/baseline_smoke.json --max-regression 2.0
+
+echo
 echo "ci_checks: all green"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the perf harness and drop BENCH_<date>.json in the repo root.
+#
+# Usage:
+#   scripts/run_benchmarks.sh              # full Table-1 scale
+#   scripts/run_benchmarks.sh --smoke      # CI-sized (seconds)
+#   scripts/run_benchmarks.sh --workers 8  # override the pool width
+#
+# Any extra arguments are passed straight to `repro bench`, so
+# `--baseline benchmarks/baseline_smoke.json` turns the run into a
+# regression gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro.cli bench "$@"

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 
 from repro.circuit.linalg import ResilientFactorization, add_gmin
 from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import current_run_report
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 
@@ -88,6 +89,7 @@ def ac_analysis(
     stimulus: dict[str, complex],
     gmin: float = 0.0,
     policy: ResiliencePolicy | None = None,
+    workers: int | None = None,
 ) -> ACResult:
     """Sweep ``(G + j omega C) x = b_ac`` over ``frequencies``.
 
@@ -99,6 +101,9 @@ def ac_analysis(
         gmin: Optional node-diagonal leak for near-singular topologies.
         policy: Resilience policy for the escalation chain; default from
             ``REPRO_RESILIENCE``.
+        workers: Process-pool width for the sweep (bit-identical to the
+            serial loop); default from ``REPRO_WORKERS`` / CPU count, 1
+            forces serial.
 
     Returns:
         The sweep result.
@@ -115,6 +120,26 @@ def ac_analysis(
     g_matrix = add_gmin(g_matrix, system.n, gmin)
     b = _ac_rhs(system, stimulus)
     out = np.zeros((len(freqs), system.size), dtype=complex)
+
+    from repro.perf.parallel import (
+        MIN_PARALLEL_SIZE, SweepSpec, explicit_workers, parallel_sweep,
+        worker_count,
+    )
+
+    num_workers = worker_count(workers)
+    if num_workers > 1 and len(freqs) > 1 and (
+        explicit_workers(workers) or system.size >= MIN_PARALLEL_SIZE
+    ):
+        spec = SweepSpec(
+            g_matrix=g_matrix, c_matrix=c_matrix, b=b,
+            site="ac", policy=policy,
+        )
+        parallel_sweep(
+            spec, freqs, out, workers=num_workers,
+            report=current_run_report(),
+        )
+        return ACResult(frequencies=freqs, x=out, system=system)
+
     sparse = sp.issparse(g_matrix)
     for i, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
@@ -134,11 +159,14 @@ def ac_impedance(
     port: tuple[str, str],
     gmin: float = 0.0,
     policy: ResiliencePolicy | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Complex driving-point impedance Z(f) seen into ``port``.
 
     A unit AC current is injected into ``port[0]`` and extracted from
     ``port[1]``; the returned impedance is their voltage difference.
+    ``workers > 1`` fans the sweep out over a process pool with results
+    identical to the serial loop.
     """
     system = _as_system(circuit_or_system)
     policy = policy or default_policy()
@@ -155,6 +183,25 @@ def ac_impedance(
     if i_minus >= 0:
         b[i_minus] -= 1.0
     z = np.zeros(len(freqs), dtype=complex)
+
+    from repro.perf.parallel import (
+        MIN_PARALLEL_SIZE, SweepSpec, explicit_workers, parallel_sweep,
+        worker_count,
+    )
+
+    num_workers = worker_count(workers)
+    if num_workers > 1 and len(freqs) > 1 and (
+        explicit_workers(workers) or system.size >= MIN_PARALLEL_SIZE
+    ):
+        spec = SweepSpec(
+            g_matrix=g_matrix, c_matrix=c_matrix, b=b,
+            site="ac", policy=policy, port=(i_plus, i_minus),
+        )
+        return parallel_sweep(
+            spec, freqs, z, workers=num_workers,
+            report=current_run_report(),
+        )
+
     sparse = sp.issparse(g_matrix)
     for i, f in enumerate(freqs):
         omega = 2.0 * np.pi * f

@@ -27,6 +27,7 @@ from repro.circuit.dc import dc_operating_point
 from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.perf.cache import FACTOR_CACHE_SIZE, LRUCache, quantize_alpha
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.policy import ResiliencePolicy, default_policy
@@ -149,19 +150,26 @@ def adaptive_transient(
     num_rejected = 0
     num_factor = 0
 
-    factor_cache: dict[float, ResilientFactorization] = {}
+    # Bounded + quantized: the LTE controller walks through a continuum of
+    # step sizes, and solve-fault step-halving re-approaches old alphas
+    # with last-ulp differences; a raw float-keyed dict both grows without
+    # bound and misses those near-equal revisits.
+    factor_cache: LRUCache = LRUCache(FACTOR_CACHE_SIZE)
 
     def solve_step(x_now, t_now, h):
         nonlocal num_factor
         faults.maybe_fail("adaptive.step")
         alpha = 2.0 / h
-        if alpha not in factor_cache:
+        key = quantize_alpha(alpha)
+        factor = factor_cache.get(key)
+        if factor is None:
             a_matrix = alpha * c_matrix + g_matrix
             if sparse:
                 a_matrix = a_matrix.tocsc()
-            factor_cache[alpha] = ResilientFactorization(
+            factor = ResilientFactorization(
                 a_matrix, site="adaptive", policy=policy
             )
+            factor_cache.put(key, factor)
             num_factor += 1
         rhs = (
             alpha * (c_matrix @ x_now)
@@ -169,7 +177,7 @@ def adaptive_transient(
             + system.rhs(t_now + h)
             + system.rhs(t_now)
         )
-        return factor_cache[alpha].solve(rhs)
+        return factor.solve(rhs)
 
     t = 0.0
     h = dt_initial

@@ -33,6 +33,7 @@ from repro.circuit.dc import ConvergenceError, dc_operating_point
 from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.perf.cache import FACTOR_CACHE_SIZE, LRUCache, quantize_alpha
 from repro.resilience import faults
 from repro.resilience.checkpoint import (
     CheckpointConfig,
@@ -260,17 +261,23 @@ def transient_analysis(
             "transient", f"step {step}/{num_steps} -> {checkpoint.path} ({reason})"
         )
 
-    factor_cache: dict[float, ResilientFactorization] = {}
+    # Bounded + quantized: step-halving produces one alpha per 2^k substep
+    # size and near-equal alphas that differ only in the last ulps; a raw
+    # float-keyed dict grows without bound and misses those near-equals.
+    factor_cache: LRUCache = LRUCache(FACTOR_CACHE_SIZE)
 
     def companion(alpha: float) -> ResilientFactorization:
-        if alpha not in factor_cache:
+        key = quantize_alpha(alpha)
+        factor = factor_cache.get(key)
+        if factor is None:
             a_matrix = alpha * c_matrix + g_matrix
             if sparse:
                 a_matrix = a_matrix.tocsc()
-            factor_cache[alpha] = ResilientFactorization(
+            factor = ResilientFactorization(
                 a_matrix, site="transient", policy=policy
             )
-        return factor_cache[alpha]
+            factor_cache.put(key, factor)
+        return factor
 
     def linear_step(x_old, b_old, b_new, alpha, use_be):
         if use_be:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli check deck.sp script.py [--strict] [--sanitize]
     python -m repro.cli lint src [--suppress QA104]
     python -m repro.cli resume run.ckpt [--info] [--out waves.csv]
+    python -m repro.cli bench [--smoke] [--baseline benchmarks/baseline.json]
 
 ``table1`` runs the Section-6 model comparison, ``loop`` the Figure-3
 extraction sweep, ``design`` the Figure 5-9 studies, and ``export``
@@ -17,7 +18,9 @@ writes the detailed PEEC model of the clock topology as a SPICE deck.
 decks and/or the circuits built by Python scripts, and ``lint`` runs the
 repo-specific AST lint -- both exit non-zero on error-severity findings.
 ``resume`` picks a crashed transient or loop sweep back up from its
-checkpoint file (see :mod:`repro.resilience`).
+checkpoint file (see :mod:`repro.resilience`).  ``bench`` times the hot
+paths (assembly, sparsification, loop sweep serial vs parallel,
+transient) and optionally gates against a checked-in baseline.
 """
 
 from __future__ import annotations
@@ -246,6 +249,41 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        BenchConfig,
+        compare_benchmarks,
+        default_output_path,
+        run_benchmarks,
+        write_report,
+    )
+
+    config = BenchConfig.for_mode(smoke=args.smoke, workers=args.workers)
+    report = run_benchmarks(config)
+    out = Path(args.out) if args.out else default_output_path()
+    write_report(report, out)
+    print(f"wrote {out}")
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read baseline {args.baseline}: {exc}")
+            return 2
+        problems = compare_benchmarks(
+            report.to_json(), baseline, max_regression=args.max_regression
+        )
+        for problem in problems:
+            print(f"bench: REGRESSION {problem}")
+        if problems:
+            return 1
+        print(f"bench: no regression vs {args.baseline} "
+              f"(allowed {args.max_regression:.1f}x)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.qa import astlint
 
@@ -306,6 +344,22 @@ def main(argv: list[str] | None = None) -> int:
     p_resume.add_argument("--out", default=None,
                           help="write the completed result as CSV")
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the hot paths and write BENCH_<date>.json"
+    )
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="CI-sized configuration (seconds, not minutes)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="process-pool width for the parallel sweep")
+    p_bench.add_argument("--out", default=None,
+                         help="output JSON path (default BENCH_<date>.json)")
+    p_bench.add_argument("--baseline", default=None,
+                         help="compare against this BENCH JSON and exit "
+                              "non-zero on regression")
+    p_bench.add_argument("--max-regression", type=float, default=2.0,
+                         help="allowed slowdown factor vs baseline")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint")
     p_lint.add_argument("paths", nargs="*", default=["src"])

@@ -108,6 +108,22 @@ def extract_partial_inductance(
                 f"segment {seg.name!r} is a via (Z direction); exclude vias "
                 "from inductance extraction"
             )
+
+    # Content-addressed memoization: the matrix is a pure function of the
+    # geometry and the close-pair parameters (``block`` only bounds peak
+    # memory, so it stays out of the key).  Import lazily -- repro.perf
+    # sits above the extraction layer in the package graph.
+    from repro.perf import cache as perf_cache
+
+    digest = perf_cache.fingerprint_segments(
+        segments,
+        {"close_ratio": float(close_ratio),
+         "close_subdivisions": int(close_subdivisions)},
+    )
+    cached = perf_cache.load_matrix(digest)
+    if cached is not None:
+        return PartialInductanceResult(segments=list(segments), matrix=cached)
+
     n = len(segments)
     matrix = np.zeros((n, n))
     for i, seg in enumerate(segments):
@@ -159,6 +175,7 @@ def extract_partial_inductance(
             gj = idx[pc]
             matrix[gi, gj] = mutual
             matrix[gj, gi] = mutual
+    perf_cache.store_matrix(digest, matrix)
     return PartialInductanceResult(segments=list(segments), matrix=matrix)
 
 

@@ -353,6 +353,7 @@ def _rc_package() -> PackageSpec:
 def run_loop_flow(
     case: ClockNetTestCase,
     extraction_frequency: float = 2.5e9,
+    workers: int | None = None,
 ) -> FlowResult:
     """Simulate the clock edge on the Section-5 loop-inductance model.
 
@@ -363,6 +364,10 @@ def run_loop_flow(
     return.  Interconnect capacitance comes from the same Chern-style
     models as the PEEC flow; loads sit at the sink taps.  This preserves
     the paper's element-count profile: ~100x fewer elements, no mutuals.
+
+    ``workers`` fans the extraction sweep out over a process pool (see
+    :func:`repro.loop.extractor.extract_loop_impedance`); results are
+    identical to the serial path.
     """
     report = RunReport()
     t0 = time.perf_counter()
@@ -381,7 +386,8 @@ def run_loop_flow(
     )
     with activate(report):
         extraction = extract_loop_impedance(
-            layout, port, [extraction_frequency], max_segment_length=120e-6
+            layout, port, [extraction_frequency],
+            max_segment_length=120e-6, workers=workers,
         )
     z = extraction.at(extraction_frequency)
     omega = 2.0 * math.pi * extraction_frequency

@@ -98,9 +98,23 @@ class LoopExtractionResult:
             )
 
     def at(self, frequency: float) -> complex:
-        """Interpolated complex impedance at one frequency."""
-        re = np.interp(frequency, self.frequencies, self.impedance.real)
-        im = np.interp(frequency, self.frequencies, self.impedance.imag)
+        """Complex impedance at one frequency.
+
+        Exact stored values are returned at grid points; between points,
+        R and X are interpolated linearly.  The sweep grid is sorted
+        internally first -- ``np.interp`` silently returns garbage for
+        descending or unsorted abscissae, which is exactly what a
+        high-to-low sweep produces.
+        """
+        freqs = np.asarray(self.frequencies, dtype=float)
+        order = np.argsort(freqs, kind="stable")
+        freqs = freqs[order]
+        z = np.asarray(self.impedance)[order]
+        i = int(np.searchsorted(freqs, frequency))
+        if i < len(freqs) and freqs[i] == frequency:
+            return complex(z[i])
+        re = np.interp(frequency, freqs, z.real)
+        im = np.interp(frequency, freqs, z.imag)
         return complex(re, im)
 
 
@@ -199,6 +213,7 @@ def _sweep_impedance(
     policy: ResiliencePolicy,
     checkpoint: CheckpointConfig | None,
     report: RunReport,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Per-frequency impedance sweep with retries and checkpointing.
 
@@ -206,6 +221,12 @@ def _sweep_impedance(
     each frequency point is an individually retried unit of work
     (``"loop.freq"`` fault site) and completed points are periodically
     snapshotted, so a killed sweep resumes instead of restarting.
+
+    With ``workers > 1`` the remaining points fan out over a process
+    pool (:mod:`repro.perf.parallel`); results are placed by index so
+    the impedance array is bit-identical to the serial sweep, and
+    checkpoints are written from completed-chunk results at the same
+    ``checkpoint.interval`` granularity.
     """
     from repro.circuit.linalg import ResilientFactorization, add_gmin
     from repro.circuit.mna import MNASystem
@@ -270,6 +291,55 @@ def _sweep_impedance(
             f"{int(done.sum())}/{len(freqs)} frequencies -> "
             f"{checkpoint.path} ({reason})",
         )
+
+    from repro.perf.parallel import (
+        MIN_PARALLEL_SIZE, SweepSpec, explicit_workers, parallel_sweep,
+        worker_count,
+    )
+
+    num_workers = worker_count(workers)
+    if num_workers > 1 and int((~done).sum()) > 1 and (
+        explicit_workers(workers) or system.size >= MIN_PARALLEL_SIZE
+    ):
+        spec = SweepSpec(
+            g_matrix=g_matrix,
+            c_matrix=c_matrix,
+            b=b,
+            site="loop",
+            retry_site="loop.freq",
+            policy=policy,
+            port=(i_plus, i_minus),
+        )
+        since = 0
+
+        def on_chunk(idx: np.ndarray) -> None:
+            nonlocal since
+            done[idx] = True
+            since += len(idx)
+            if (
+                checkpoint is not None
+                and since >= checkpoint.interval
+                and not done.all()
+            ):
+                save("periodic")
+                since = 0
+
+        with activate(report):
+            try:
+                parallel_sweep(
+                    spec, freqs, z,
+                    indices=np.nonzero(~done)[0],
+                    workers=num_workers,
+                    chunk=checkpoint.interval if checkpoint is not None else None,
+                    report=report,
+                    on_chunk=on_chunk,
+                )
+            except (SingularCircuitError, InjectedFault):
+                if checkpoint is not None:
+                    save("emergency: parallel sweep failed")
+                raise
+        finish_checkpoint(checkpoint)
+        return z
 
     since_checkpoint = 0
     with activate(report):
@@ -344,6 +414,7 @@ def extract_loop_impedance(
     short_resistance: float = 1e-6,
     policy: ResiliencePolicy | None = None,
     checkpoint: CheckpointConfig | None = None,
+    workers: int | None = None,
 ) -> LoopExtractionResult:
     """Extract loop impedance Z(f) at the driver port (Figure 3b).
 
@@ -361,6 +432,9 @@ def extract_loop_impedance(
             budget); default from ``REPRO_RESILIENCE``.
         checkpoint: Periodic snapshotting of completed sweep points; a
             killed sweep resumes from the checkpoint (``repro resume``).
+        workers: Process-pool width for the frequency sweep; default
+            from ``REPRO_WORKERS`` (else the CPU count).  The parallel
+            sweep is bit-identical to the serial one; 1 forces serial.
 
     Returns:
         The extraction result; ``resistance`` / ``inductance`` give R(f),
@@ -402,7 +476,8 @@ def extract_loop_impedance(
     policy = policy or default_policy()
     report = current_run_report() or RunReport()
     z = _sweep_impedance(
-        circuit, freqs, (sig_node, ref_node), 1e-12, policy, checkpoint, report
+        circuit, freqs, (sig_node, ref_node), 1e-12, policy, checkpoint,
+        report, workers=workers,
     )
     return LoopExtractionResult(
         frequencies=freqs, impedance=z, num_filaments=num_filaments,

@@ -1,0 +1,319 @@
+"""The ``repro bench`` harness: a perf trajectory you can diff.
+
+Times the four hot paths of the reproduction on the Table-1 clock-net
+configuration -- dense partial-L **assembly** (cold, and again through
+the extraction cache), **sparsification**, the Section-5 **loop R(f)/
+L(f) sweep** (serial and parallel, with an identical-arrays check), and
+the Table-1 **transient** -- and writes the measurements as
+``BENCH_<date>.json``.  Future PRs compare themselves against a
+checked-in baseline with :func:`compare_benchmarks`; CI's smoke job
+fails on a >2x regression of any timed section.
+
+Timings are wall-clock (:func:`time.perf_counter`) and single-shot: the
+harness is a trajectory recorder, not a microbenchmark -- the JSON is
+meant to be eyeballed across commits and gated loosely (2x), not
+micro-compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: Sections whose ``seconds`` are compared against the baseline.
+TIMED_SECTIONS = (
+    "assembly_cold",
+    "assembly_cached",
+    "sparsify",
+    "loop_sweep_serial",
+    "loop_sweep_parallel",
+    "transient",
+)
+
+
+@dataclass
+class BenchConfig:
+    """Scale knobs of one benchmark run.
+
+    ``smoke`` shrinks everything so CI finishes in seconds; the full
+    configuration is the Table-1 default scale.
+    """
+
+    smoke: bool = False
+    workers: int = 4
+    die: float = 400e-6
+    num_branches: int = 3
+    branch_length: float = 120e-6
+    stripe_pitch: float = 60e-6
+    num_freqs: int = 12
+    max_segment_length: float = 120e-6
+
+    @classmethod
+    def for_mode(cls, smoke: bool, workers: int | None = None) -> "BenchConfig":
+        from repro.perf.parallel import worker_count
+
+        resolved = workers if workers is not None else (
+            2 if smoke else min(4, worker_count())
+        )
+        if smoke:
+            return cls(
+                smoke=True, workers=resolved,
+                die=200e-6, num_branches=2, branch_length=60e-6,
+                stripe_pitch=50e-6, num_freqs=6,
+            )
+        return cls(smoke=False, workers=resolved)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "smoke": self.smoke,
+            "workers": self.workers,
+            "die_um": self.die * 1e6,
+            "num_branches": self.num_branches,
+            "branch_length_um": self.branch_length * 1e6,
+            "stripe_pitch_um": self.stripe_pitch * 1e6,
+            "num_freqs": self.num_freqs,
+            "max_segment_length_um": self.max_segment_length * 1e6,
+        }
+
+
+@dataclass
+class BenchReport:
+    """Collected sections + metadata, serializable to BENCH JSON."""
+
+    config: BenchConfig
+    sections: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float, **extra: Any) -> None:
+        self.sections[name] = {"seconds": round(seconds, 6), **extra}
+
+    @property
+    def speedup(self) -> float | None:
+        """Serial / parallel wall-clock ratio of the loop sweep."""
+        serial = self.sections.get("loop_sweep_serial")
+        par = self.sections.get("loop_sweep_parallel")
+        if not serial or not par or par["seconds"] <= 0.0:
+            return None
+        return serial["seconds"] / par["seconds"]
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "schema": BENCH_SCHEMA,
+            "date": time.strftime("%Y-%m-%d"),
+            "platform": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "cpus": os.cpu_count(),
+            },
+            "config": self.config.to_json(),
+            "sections": self.sections,
+        }
+        if self.speedup is not None:
+            out["loop_sweep_speedup"] = round(self.speedup, 3)
+        return out
+
+
+def default_output_path(base_dir: str | Path = ".") -> Path:
+    """``BENCH_<YYYYMMDD>.json`` in ``base_dir``."""
+    return Path(base_dir) / f"BENCH_{time.strftime('%Y%m%d')}.json"
+
+
+def run_benchmarks(
+    config: BenchConfig, echo=print
+) -> BenchReport:
+    """Run every benchmark section and return the collected report.
+
+    The loop-sweep section extracts the same impedance twice -- serial,
+    then with ``config.workers`` -- and records whether the arrays are
+    identical (``arrays_identical``); a mismatch is reported, not raised,
+    so the JSON still lands for post-mortem.
+    """
+    from repro.resilience.faults import inject_faults
+
+    # Ambient chaos injection (REPRO_FAULTS) would randomize both the
+    # timings and the serial-vs-parallel identity check; the bench
+    # measures performance, not resilience, so suppress it throughout.
+    with inject_faults():
+        return _run_sections(config, echo, BenchReport(config=config))
+
+
+def _run_sections(
+    config: BenchConfig, echo, report: BenchReport
+) -> BenchReport:
+    import math
+
+    from repro.flows import _gnd_tap_near, build_clock_testcase, run_loop_flow
+    from repro.loop.extractor import LoopPort, extract_loop_impedance
+    from repro.perf import cache
+    from repro.sparsify import ShellSparsifier
+    from repro.extraction.partial_matrix import extract_for_layout
+
+    echo(f"bench: building Table-1 clock-net case "
+         f"({config.die * 1e6:.0f} um die, {config.num_branches} branches)")
+    case = build_clock_testcase(
+        die=config.die,
+        num_branches=config.num_branches,
+        branch_length=config.branch_length,
+        stripe_pitch=config.stripe_pitch,
+    )
+    layout = case.layout
+
+    # -- assembly: cold, then through the extraction cache -------------
+    cache.clear_cache()
+    t0 = time.perf_counter()
+    extraction, _ = extract_for_layout(layout)
+    cold = time.perf_counter() - t0
+    report.add(
+        "assembly_cold", cold,
+        size=extraction.size, mutuals=extraction.num_mutuals,
+    )
+    t0 = time.perf_counter()
+    cached, _ = extract_for_layout(layout)
+    warm = time.perf_counter() - t0
+    report.add(
+        "assembly_cached", warm,
+        identical=bool(np.array_equal(extraction.matrix, cached.matrix)),
+        **cache.cache_stats(),
+    )
+    echo(f"bench: assembly {cold:.3f}s cold / {warm:.3f}s cached "
+         f"(n = {extraction.size})")
+
+    # -- sparsification -------------------------------------------------
+    t0 = time.perf_counter()
+    blocks = ShellSparsifier().apply(extraction)
+    report.add(
+        "sparsify", time.perf_counter() - t0,
+        strategy="shell", kept_mutuals=blocks.num_mutuals,
+    )
+
+    # -- loop R(f)/L(f) sweep: serial vs parallel -----------------------
+    driver = case.ports.driver
+    far_sink = max(
+        case.ports.sinks,
+        key=lambda s: math.hypot(s.x - driver.x, s.y - driver.y),
+    )
+    port = LoopPort(
+        signal=driver,
+        reference=_gnd_tap_near(layout, driver.x, driver.y),
+        short_signal=far_sink,
+        short_reference=_gnd_tap_near(layout, far_sink.x, far_sink.y),
+    )
+    freqs = np.logspace(7, 10.5, config.num_freqs)
+
+    # Untimed warm-up: the loop extractor assembles a filament-level
+    # partial-L matrix whose first computation would otherwise land in
+    # the serial timing only (the parallel run would ride the cache),
+    # inflating the reported speedup.  The filament grid is sized for
+    # the sweep's top frequency, so warm with that point specifically.
+    extract_loop_impedance(
+        layout, port, freqs[-1:],
+        max_segment_length=config.max_segment_length, workers=1,
+    )
+
+    t0 = time.perf_counter()
+    serial = extract_loop_impedance(
+        layout, port, freqs,
+        max_segment_length=config.max_segment_length, workers=1,
+    )
+    t_serial = time.perf_counter() - t0
+    report.add(
+        "loop_sweep_serial", t_serial,
+        num_freqs=config.num_freqs, num_filaments=serial.num_filaments,
+    )
+
+    t0 = time.perf_counter()
+    parallel = extract_loop_impedance(
+        layout, port, freqs,
+        max_segment_length=config.max_segment_length,
+        workers=config.workers,
+    )
+    t_parallel = time.perf_counter() - t0
+    identical = bool(np.array_equal(serial.impedance, parallel.impedance))
+    report.add(
+        "loop_sweep_parallel", t_parallel,
+        workers=config.workers, arrays_identical=identical,
+    )
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    echo(f"bench: loop sweep {t_serial:.3f}s serial / {t_parallel:.3f}s "
+         f"with {config.workers} workers ({speedup:.2f}x, "
+         f"identical={identical})")
+
+    # -- transient on the loop model ------------------------------------
+    t0 = time.perf_counter()
+    flow = run_loop_flow(case)
+    report.add(
+        "transient", time.perf_counter() - t0,
+        model="loop_rlc",
+        build_seconds=round(flow.build_seconds, 6),
+        solve_seconds=round(flow.solve_seconds, 6),
+        worst_delay_ps=round(flow.worst_delay * 1e12, 3),
+    )
+    echo(f"bench: loop-flow transient {flow.solve_seconds:.3f}s solve")
+    return report
+
+
+def write_report(report: BenchReport, path: str | Path) -> Path:
+    """Write the BENCH JSON (pretty-printed, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    return path
+
+
+def compare_benchmarks(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 2.0,
+    min_seconds: float = 0.05,
+) -> list[str]:
+    """Regressions of ``current`` vs ``baseline``, as human-readable strings.
+
+    A section regresses when its wall-clock exceeds ``max_regression``
+    times the baseline's.  Sections faster than ``min_seconds`` in the
+    baseline are skipped (timer noise dominates them), as are sections
+    either file lacks.  An empty list means "no regression".
+    """
+    problems: list[str] = []
+    cur_sections = current.get("sections", {})
+    base_sections = baseline.get("sections", {})
+    for name in TIMED_SECTIONS:
+        cur = cur_sections.get(name)
+        base = base_sections.get(name)
+        if cur is None or base is None:
+            continue
+        base_s = float(base.get("seconds", 0.0))
+        cur_s = float(cur.get("seconds", 0.0))
+        if base_s < min_seconds:
+            continue
+        if cur_s > max_regression * base_s:
+            problems.append(
+                f"{name}: {cur_s:.3f}s vs baseline {base_s:.3f}s "
+                f"({cur_s / base_s:.2f}x > {max_regression:.1f}x allowed)"
+            )
+    par = cur_sections.get("loop_sweep_parallel")
+    if par is not None and par.get("arrays_identical") is False:
+        problems.append(
+            "loop_sweep_parallel: parallel impedance differs from serial"
+        )
+    return problems
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "TIMED_SECTIONS",
+    "BenchConfig",
+    "BenchReport",
+    "default_output_path",
+    "run_benchmarks",
+    "write_report",
+    "compare_benchmarks",
+]

@@ -1,0 +1,285 @@
+"""Content-addressed memoization of dense partial-inductance extraction.
+
+The Section-4 assembly (:func:`repro.extraction.partial_matrix.
+extract_partial_inductance`) is a pure function of the segment geometry
+and the close-pair parameters, yet every flow that touches the same
+layout recomputes it from scratch: the Table-1 comparison alone extracts
+the same power grid for the PEEC(RC), PEEC(RLC), and loop rows.  This
+module memoizes those results behind a *content address* -- a SHA-256
+fingerprint over the exact segment geometry (bit-exact float encoding,
+no rounding) plus every value-affecting parameter -- so a repeated
+extraction is a dictionary lookup, and any geometry or parameter change
+produces a different key and therefore a recompute, never a stale hit.
+
+Two storage tiers:
+
+* an in-process :class:`LRUCache` (bounded; the matrices are dense), and
+* an optional on-disk tier under ``REPRO_CACHE_DIR`` -- ``.npz`` files
+  named by fingerprint, written atomically -- which survives across
+  processes (parallel sweep workers, repeated CLI runs, CI).
+
+Cache hits hand back a *copy* of the stored matrix: callers mutate
+extraction matrices in place (the PEEC builder zeroes sub-threshold
+mutuals), and a shared array would silently corrupt the cache.
+
+``REPRO_EXTRACTION_CACHE=off`` disables both tiers (every call
+recomputes); ``REPRO_CACHE_SIZE`` bounds the in-process tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+
+class LRUCache:
+    """A small bounded mapping with least-recently-used eviction.
+
+    Used for the extraction memo here and for the transient engines'
+    companion-matrix factorization caches (which previously grew without
+    bound under adaptive step control / resilience step-halving).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: Bound for the transient engines' companion-factorization caches.  A
+#: fixed-step run needs 2 alphas plus one per step-halving depth; the
+#: adaptive engine cycles through a modest working set of accepted step
+#: sizes.  16 covers both with room while bounding memory (each entry
+#: holds a full LU).
+FACTOR_CACHE_SIZE = 16
+
+
+def quantize_alpha(alpha: float, sig_digits: int = 12) -> float:
+    """Quantize a companion-matrix coefficient to a stable cache key.
+
+    Adaptive step control and resilience step-halving produce ``alpha``
+    values that differ only in the last few ulps (``2/h`` after repeated
+    halve/double round trips); keying a factorization cache on the raw
+    float misses on those near-equals.  Rounding to 12 significant digits
+    merges them while keeping the relative perturbation (~1e-12) far
+    below the integration error of any step the value came from.
+    """
+    if alpha == 0.0 or not np.isfinite(alpha):
+        return float(alpha)
+    return float(f"{alpha:.{sig_digits - 1}e}")
+
+
+# -- fingerprinting ----------------------------------------------------------
+
+
+def _pack_floats(*values: float) -> bytes:
+    """Bit-exact little-endian encoding (no decimal round-trip loss)."""
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def fingerprint_segments(
+    segments: Iterable, params: dict[str, Any] | None = None
+) -> str:
+    """SHA-256 content address of segment geometry + extraction params.
+
+    Every field that affects the partial-inductance values enters the
+    hash: net/layer/direction (coupling is direction-grouped), the exact
+    origin/length/width/thickness floats, and the close-pair parameters.
+    Segment *names* are deliberately excluded -- renaming a wire does not
+    change its inductance.
+    """
+    h = hashlib.sha256()
+    count = 0
+    for seg in segments:
+        h.update(seg.net.encode())
+        h.update(b"\x00")
+        h.update(seg.layer.encode())
+        h.update(b"\x00")
+        h.update(seg.direction.value.encode())
+        h.update(_pack_floats(*seg.origin, seg.length, seg.width,
+                              seg.thickness))
+        count += 1
+    h.update(f"n={count}".encode())
+    for key in sorted(params or ()):
+        h.update(f";{key}=".encode())
+        value = params[key]
+        if isinstance(value, float):
+            h.update(_pack_floats(value))
+        else:
+            h.update(repr(value).encode())
+    return h.hexdigest()
+
+
+def fingerprint_layout(layout, params: dict[str, Any] | None = None) -> str:
+    """Content address of a layout's in-plane segments (extraction view)."""
+    from repro.geometry.segment import Direction
+
+    return fingerprint_segments(
+        (s for s in layout.segments if s.direction != Direction.Z), params
+    )
+
+
+# -- the extraction cache ----------------------------------------------------
+
+
+def _default_size() -> int:
+    raw = os.environ.get("REPRO_CACHE_SIZE", "").strip()
+    if not raw:
+        return 32
+    size = int(raw)
+    if size < 1:
+        raise ValueError(f"REPRO_CACHE_SIZE must be >= 1, got {size}")
+    return size
+
+
+_MEMO = LRUCache(_default_size())
+_DISK_HITS = 0
+_DISK_MISSES = 0
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_EXTRACTION_CACHE=off`` (recompute everything)."""
+    return os.environ.get(
+        "REPRO_EXTRACTION_CACHE", ""
+    ).strip().lower() not in ("off", "0", "false")
+
+
+def cache_dir() -> Path | None:
+    """The on-disk tier's directory (``REPRO_CACHE_DIR``), or None."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(raw) if raw else None
+
+
+def _disk_path(digest: str) -> Path | None:
+    base = cache_dir()
+    if base is None:
+        return None
+    return base / f"partialL_{digest}.npz"
+
+
+def load_matrix(digest: str) -> np.ndarray | None:
+    """Look up a partial-L matrix by fingerprint (memory, then disk)."""
+    global _DISK_HITS, _DISK_MISSES
+    if not cache_enabled():
+        return None
+    cached = _MEMO.get(digest)
+    if cached is not None:
+        return cached.copy()
+    path = _disk_path(digest)
+    if path is None or not path.exists():
+        if path is not None:
+            _DISK_MISSES += 1
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            matrix = np.asarray(data["matrix"])
+    except (OSError, ValueError, KeyError):
+        return None  # corrupt/foreign file: treat as miss, recompute
+    _DISK_HITS += 1
+    _MEMO.put(digest, matrix)
+    return matrix.copy()
+
+
+def store_matrix(digest: str, matrix: np.ndarray) -> None:
+    """Insert a freshly computed matrix into both tiers."""
+    if not cache_enabled():
+        return
+    matrix = np.array(matrix, copy=True)
+    matrix.setflags(write=False)
+    _MEMO.put(digest, matrix)
+    path = _disk_path(digest)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez_compressed(f, matrix=matrix)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+    except OSError:
+        pass  # disk tier is best-effort; the result is already in memory
+
+
+def clear_cache() -> None:
+    """Drop the in-process tier (the disk tier is left alone)."""
+    _MEMO.clear()
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of both tiers."""
+    return {
+        **_MEMO.stats(),
+        "disk_hits": _DISK_HITS,
+        "disk_misses": _DISK_MISSES,
+    }
+
+
+__all__ = [
+    "LRUCache",
+    "FACTOR_CACHE_SIZE",
+    "quantize_alpha",
+    "fingerprint_segments",
+    "fingerprint_layout",
+    "cache_enabled",
+    "cache_dir",
+    "load_matrix",
+    "store_matrix",
+    "clear_cache",
+    "cache_stats",
+]

@@ -1,0 +1,337 @@
+"""Process-pool parallel frequency sweeps over ``(G + j omega C) x = b``.
+
+The Section-5 loop extraction and the AC engine both solve one dense (or
+sparse) system per frequency point -- an embarrassingly parallel sweep
+that the serial loops in :mod:`repro.loop.extractor` and
+:mod:`repro.circuit.ac` leave on the table.  This module fans the points
+out over a process pool:
+
+* the assembled MNA matrices are shipped to each worker **once** (pool
+  initializer), so every worker amortizes setup across all the points it
+  solves -- the FastHenry/PRIMA lesson of reusing the expensive setup;
+* points are scheduled in contiguous index chunks (several per worker,
+  so a slow chunk cannot stall the tail);
+* each point runs the same retry loop as the serial path (``"raise"``
+  faults at the retry site are retried ``policy.max_retries`` times,
+  then propagate), and workers return their retry notes so the parent's
+  :class:`~repro.resilience.report.RunReport` stays complete;
+* results land in the output array **by index**, so the sweep is
+  bit-identical to the serial loop regardless of worker count, chunk
+  size, or completion order;
+* a pool that cannot be created (sandboxed environment, exhausted fds,
+  an injected ``"perf.pool"`` fault) degrades gracefully to the serial
+  path, recorded as a downgrade -- never a failure.
+
+Worker count resolves from the ``workers=`` argument, else the
+``REPRO_WORKERS`` environment variable, else ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
+from repro.resilience import faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.policy import ResiliencePolicy, default_policy
+from repro.resilience.report import RunReport
+
+#: Target chunks handed out per worker; >1 so stragglers rebalance.
+OVERSUBSCRIBE = 4
+
+#: Below this many MNA unknowns, fork + pickle overhead beats the solves;
+#: implicit (CPU-count) parallelism stays serial for smaller systems.
+MIN_PARALLEL_SIZE = 200
+
+
+def explicit_workers(requested: int | None = None) -> bool:
+    """True when a worker count was asked for (arg or ``REPRO_WORKERS``).
+
+    An explicit request always wins; only the implicit CPU-count default
+    is subject to the :data:`MIN_PARALLEL_SIZE` worth-it heuristic.
+    """
+    return requested is not None or bool(
+        os.environ.get("REPRO_WORKERS", "").strip()
+    )
+
+
+def worker_count(requested: int | None = None) -> int:
+    """Resolve the sweep worker count.
+
+    Precedence: explicit argument, then ``REPRO_WORKERS``, then the CPU
+    count.  A count of 1 means "stay serial" (no pool is created).
+    """
+    if requested is not None:
+        count = int(requested)
+    else:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                count = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+        else:
+            count = os.cpu_count() or 1
+    if count < 1:
+        raise ValueError(f"worker count must be >= 1, got {count}")
+    return count
+
+
+def chunk_indices(
+    indices: np.ndarray, workers: int, chunk: int | None = None
+) -> list[np.ndarray]:
+    """Split point indices into contiguous chunks for scheduling.
+
+    The default chunk size gives each worker ~``OVERSUBSCRIBE`` chunks;
+    an explicit ``chunk`` overrides it (tests, checkpoint granularity).
+    """
+    indices = np.asarray(indices, dtype=int)
+    if indices.size == 0:
+        return []
+    if chunk is None:
+        chunk = max(1, math.ceil(indices.size / (OVERSUBSCRIBE * workers)))
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    return [indices[i:i + chunk] for i in range(0, indices.size, chunk)]
+
+
+@dataclass
+class SweepSpec:
+    """Everything a worker needs to solve sweep points (picklable).
+
+    Attributes:
+        g_matrix: Conductance matrix (dense ndarray or scipy sparse).
+        c_matrix: Susceptance matrix, same format.
+        b: Complex right-hand side (the AC stimulus / port injection).
+        site: Solve-site name for the escalation chain's reports.
+        retry_site: Fault site checked (and retried) once per point, e.g.
+            ``"loop.freq"``; None solves without a per-point retry wrap.
+        policy: Resilience policy governing retries and escalation.
+        port: ``(i_plus, i_minus)`` row indices (-1 = ground) to reduce a
+            point to the complex port voltage; None returns full vectors.
+    """
+
+    g_matrix: object
+    c_matrix: object
+    b: np.ndarray
+    site: str = "ac"
+    retry_site: str | None = None
+    policy: ResiliencePolicy = field(default_factory=default_policy)
+    port: tuple[int, int] | None = None
+
+    @property
+    def row_size(self) -> int:
+        """Output columns per point: 1 (port voltage) or the system size."""
+        return 1 if self.port is not None else len(self.b)
+
+
+def solve_points(
+    spec: SweepSpec, freqs: np.ndarray
+) -> tuple[np.ndarray, list[str]]:
+    """Solve the given frequency points serially (worker body).
+
+    Returns ``(rows, retry_notes)`` where ``rows`` has one row per point
+    (port-reduced or full solution) and ``retry_notes`` describes every
+    per-point retry that was absorbed, for the parent's run report.
+    """
+    sparse = sp.issparse(spec.g_matrix)
+    out = np.zeros((len(freqs), spec.row_size), dtype=complex)
+    notes: list[str] = []
+    for k, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        if sparse:
+            a_matrix = (spec.g_matrix + 1j * omega * spec.c_matrix).tocsc()
+        else:
+            a_matrix = spec.g_matrix + 1j * omega * spec.c_matrix
+        retries = 0
+        while True:
+            try:
+                if spec.retry_site is not None:
+                    faults.maybe_fail(spec.retry_site)
+                x = ResilientFactorization(
+                    a_matrix, site=spec.site, policy=spec.policy
+                ).solve(spec.b)
+                break
+            except (SingularCircuitError, InjectedFault) as exc:
+                if spec.retry_site is not None and retries < spec.policy.max_retries:
+                    retries += 1
+                    notes.append(
+                        f"f = {f:.4g} Hz: retry "
+                        f"{retries}/{spec.policy.max_retries}: {exc}"
+                    )
+                    continue
+                raise
+        if spec.port is not None:
+            i_plus, i_minus = spec.port
+            vp = x[i_plus] if i_plus >= 0 else 0.0
+            vm = x[i_minus] if i_minus >= 0 else 0.0
+            out[k, 0] = vp - vm
+        else:
+            out[k] = x
+    return out, notes
+
+
+# -- pool plumbing -----------------------------------------------------------
+
+_WORKER_SPEC: SweepSpec | None = None
+
+
+def _init_worker(spec: SweepSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _solve_chunk(
+    chunk_id: int, freqs: np.ndarray
+) -> tuple[int, np.ndarray, list[str]]:
+    rows, notes = solve_points(_WORKER_SPEC, freqs)
+    return chunk_id, rows, notes
+
+
+def parallel_sweep(
+    spec: SweepSpec,
+    freqs: np.ndarray,
+    out: np.ndarray,
+    indices: np.ndarray | None = None,
+    workers: int | None = None,
+    chunk: int | None = None,
+    report: RunReport | None = None,
+    on_chunk: Callable[[np.ndarray], None] | None = None,
+) -> np.ndarray:
+    """Solve sweep points in parallel, filling ``out`` by index.
+
+    Args:
+        spec: The assembled system and solve configuration.
+        freqs: Full frequency grid [Hz].
+        out: Output array to fill in place -- shape ``(len(freqs),)`` for
+            port sweeps, ``(len(freqs), size)`` for full sweeps.  Only
+            rows in ``indices`` are written.
+        indices: Point indices still to solve (checkpoint resume skips
+            completed ones); default all.
+        workers: Worker count (see :func:`worker_count`).
+        chunk: Points per scheduled chunk; default auto.
+        report: Run report receiving worker retry notes, the downgrade
+            record if the pool cannot be created, and chunk checkpoints'
+            bookkeeping (via ``on_chunk``).
+        on_chunk: Called with each completed chunk's indices *after* its
+            results are stored in ``out`` -- the checkpoint hook.
+
+    Returns:
+        ``out``.  If any point fails even after retries, the exception
+        propagates after all already-completed chunk results have been
+        stored and reported via ``on_chunk`` (so an emergency checkpoint
+        sees every finished point).
+    """
+    all_indices = (
+        np.arange(len(freqs)) if indices is None else np.asarray(indices, int)
+    )
+    workers = worker_count(workers)
+
+    def fill(idx: np.ndarray, rows: np.ndarray) -> None:
+        if spec.port is not None:
+            out[idx] = rows[:, 0]
+        else:
+            out[idx] = rows
+
+    def serial(todo: list[np.ndarray]) -> np.ndarray:
+        for idx in todo:
+            rows, notes = solve_points(spec, freqs[idx])
+            for note in notes:
+                if report is not None:
+                    report.record_retry(spec.site, note)
+            fill(idx, rows)
+            if on_chunk is not None:
+                on_chunk(idx)
+        return out
+
+    chunks = chunk_indices(all_indices, workers, chunk)
+    if workers == 1 or all_indices.size <= 1:
+        return serial(chunks)
+
+    try:
+        faults.maybe_fail("perf.pool")
+        from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(spec,),
+        )
+    except (InjectedFault, OSError, ImportError, PermissionError) as exc:
+        if report is not None:
+            report.record_downgrade(
+                "perf",
+                f"parallel sweep ({workers} workers)",
+                "serial sweep",
+                f"process pool unavailable: {exc}",
+            )
+        return serial(chunks)
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    failure: BaseException | None = None
+    unfinished: list[np.ndarray] = []
+    try:
+        futures = {
+            executor.submit(_solve_chunk, cid, freqs[idx]): idx
+            for cid, idx in enumerate(chunks)
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for fut in done:
+                idx = futures[fut]
+                try:
+                    _, rows, notes = fut.result()
+                except BaseException as exc:  # keep completed work, then raise
+                    if failure is None:
+                        failure = exc
+                    unfinished.append(idx)
+                    continue
+                for note in notes:
+                    if report is not None:
+                        report.record_retry(spec.site, note)
+                fill(idx, rows)
+                if on_chunk is not None:
+                    on_chunk(idx)
+            if failure is not None:
+                for fut in pending:
+                    fut.cancel()
+                    unfinished.append(futures[fut])
+                break
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    if isinstance(failure, BrokenProcessPool):
+        # The pool died out from under us (a worker was killed); the math
+        # is still sound, so finish the stranded chunks serially.
+        if report is not None:
+            report.record_downgrade(
+                "perf",
+                f"parallel sweep ({workers} workers)",
+                "serial sweep",
+                f"process pool broke mid-sweep: {failure}",
+            )
+        return serial(unfinished)
+    if failure is not None:
+        raise failure
+    return out
+
+
+__all__ = [
+    "OVERSUBSCRIBE",
+    "MIN_PARALLEL_SIZE",
+    "explicit_workers",
+    "worker_count",
+    "chunk_indices",
+    "SweepSpec",
+    "solve_points",
+    "parallel_sweep",
+]

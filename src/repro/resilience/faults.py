@@ -120,6 +120,7 @@ def chaos_specs() -> tuple[FaultSpec, ...]:
         FaultSpec("transient.step", "raise", probability=0.003, max_hits=None),
         FaultSpec("adaptive.step", "raise", probability=0.003, max_hits=None),
         FaultSpec("loop.freq", "raise", probability=0.02, max_hits=None),
+        FaultSpec("perf.pool", "raise", probability=0.05, max_hits=None),
     )
 
 

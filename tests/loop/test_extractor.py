@@ -5,7 +5,11 @@ import pytest
 
 from repro.extraction.filaments import FilamentGrid
 from repro.geometry import build_shielded_line, build_signal_over_grid
-from repro.loop.extractor import LoopPort, extract_loop_impedance
+from repro.loop.extractor import (
+    LoopExtractionResult,
+    LoopPort,
+    extract_loop_impedance,
+)
 
 
 def make_port(ports):
@@ -116,6 +120,35 @@ class TestOptions:
         layout, ports = signal_grid_structure
         with pytest.raises(ValueError):
             extract_loop_impedance(layout, make_port(ports), [])
+
+    def test_at_on_descending_grid(self):
+        # Regression: a high-to-low sweep hands np.interp a descending
+        # abscissa, for which it silently returns garbage.  at() must
+        # sort internally.
+        freqs = np.array([1e10, 1e9, 1e8])
+        z = np.array([3.0 + 30.0j, 2.0 + 20.0j, 1.0 + 10.0j])
+        res = LoopExtractionResult(
+            frequencies=freqs, impedance=z, num_filaments=0
+        )
+        for f, zv in zip(freqs, z):
+            assert res.at(f) == zv
+        mid = res.at(5.5e8)  # halfway between the 1e8 and 1e9 points
+        assert mid == pytest.approx(1.5 + 15.0j)
+
+    def test_at_on_unsorted_grid(self):
+        freqs = np.array([1e9, 1e7, 1e10, 1e8])
+        z = np.array([3.0 + 3j, 1.0 + 1j, 4.0 + 4j, 2.0 + 2j])
+        res = LoopExtractionResult(
+            frequencies=freqs, impedance=z, num_filaments=0
+        )
+        for f, zv in zip(freqs, z):
+            assert res.at(f) == zv
+
+    def test_at_returns_exact_stored_values_at_grid_points(self, extraction):
+        # Exactly at a grid frequency there must be no interpolation
+        # round-off: the stored value comes back bit-for-bit.
+        for f, zv in zip(extraction.frequencies, extraction.impedance):
+            assert extraction.at(float(f)) == complex(zv)
 
     def test_shields_reduce_loop_inductance(self):
         base_layout, base_ports = build_shielded_line(

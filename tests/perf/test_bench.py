@@ -1,0 +1,129 @@
+"""The bench harness: JSON schema, regression gate, and a tiny live run."""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    TIMED_SECTIONS,
+    BenchConfig,
+    BenchReport,
+    compare_benchmarks,
+    default_output_path,
+    run_benchmarks,
+    write_report,
+)
+
+
+def section(seconds, **extra):
+    return {"seconds": seconds, **extra}
+
+
+def report_dict(**overrides):
+    sections = {
+        "assembly_cold": section(0.5),
+        "assembly_cached": section(0.001),
+        "sparsify": section(0.2),
+        "loop_sweep_serial": section(2.0),
+        "loop_sweep_parallel": section(0.8, arrays_identical=True),
+        "transient": section(1.0),
+    }
+    sections.update(overrides)
+    return {"schema": BENCH_SCHEMA, "sections": sections}
+
+
+class TestCompare:
+    def test_no_regression_on_identical_runs(self):
+        base = report_dict()
+        assert compare_benchmarks(base, base) == []
+
+    def test_flags_large_slowdown(self):
+        current = report_dict(transient=section(2.5))
+        problems = compare_benchmarks(current, report_dict())
+        assert len(problems) == 1
+        assert "transient" in problems[0]
+
+    def test_allows_slowdown_within_factor(self):
+        current = report_dict(transient=section(1.9))
+        assert compare_benchmarks(current, report_dict()) == []
+
+    def test_skips_noise_dominated_sections(self):
+        # assembly_cached is ~microseconds in the baseline; even a 100x
+        # blowup is timer noise, not a regression.
+        current = report_dict(assembly_cached=section(0.04))
+        assert compare_benchmarks(current, report_dict()) == []
+
+    def test_skips_sections_missing_from_either_file(self):
+        current = report_dict()
+        del current["sections"]["sparsify"]
+        assert compare_benchmarks(current, report_dict()) == []
+
+    def test_flags_parallel_serial_mismatch(self):
+        current = report_dict(
+            loop_sweep_parallel=section(0.8, arrays_identical=False)
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any("differs" in p for p in problems)
+
+    def test_custom_regression_factor(self):
+        current = report_dict(transient=section(1.5))
+        assert compare_benchmarks(
+            current, report_dict(), max_regression=1.2
+        )
+
+
+class TestReportShape:
+    def test_default_output_name(self, tmp_path):
+        path = default_output_path(tmp_path)
+        assert re.fullmatch(r"BENCH_\d{8}\.json", path.name)
+
+    def test_speedup_property(self):
+        report = BenchReport(config=BenchConfig())
+        assert report.speedup is None
+        report.add("loop_sweep_serial", 2.0)
+        report.add("loop_sweep_parallel", 0.5)
+        assert report.speedup == pytest.approx(4.0)
+
+    def test_smoke_config_is_smaller(self):
+        smoke = BenchConfig.for_mode(smoke=True)
+        full = BenchConfig.for_mode(smoke=False)
+        assert smoke.die < full.die
+        assert smoke.num_freqs < full.num_freqs
+
+    def test_explicit_worker_override(self):
+        assert BenchConfig.for_mode(smoke=True, workers=9).workers == 9
+
+
+class TestLiveRun:
+    @pytest.fixture(scope="class")
+    def live_report(self):
+        config = BenchConfig(
+            smoke=True, workers=2, die=200e-6, num_branches=2,
+            branch_length=60e-6, stripe_pitch=50e-6, num_freqs=4,
+        )
+        return run_benchmarks(config, echo=lambda *_: None)
+
+    def test_all_sections_present(self, live_report):
+        for name in TIMED_SECTIONS:
+            assert name in live_report.sections
+            assert live_report.sections[name]["seconds"] >= 0.0
+
+    def test_parallel_matches_serial(self, live_report):
+        assert live_report.sections["loop_sweep_parallel"]["arrays_identical"]
+
+    def test_cached_assembly_identical_and_hit(self, live_report):
+        cached = live_report.sections["assembly_cached"]
+        assert cached["identical"]
+        assert cached["hits"] >= 1
+
+    def test_json_roundtrip(self, live_report, tmp_path):
+        path = write_report(live_report, tmp_path / "BENCH_test.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["config"]["smoke"] is True
+        assert set(TIMED_SECTIONS) <= set(data["sections"])
+        # A fresh run never regresses against itself.
+        assert compare_benchmarks(data, data) == []

@@ -1,0 +1,253 @@
+"""LRU cache, alpha quantization, and content-addressed extraction cache."""
+
+import numpy as np
+import pytest
+
+from repro.perf.cache import (
+    LRUCache,
+    cache_stats,
+    clear_cache,
+    fingerprint_segments,
+    load_matrix,
+    quantize_alpha,
+    store_matrix,
+)
+
+
+class TestLRUCache:
+    def test_bounded_with_lru_eviction(self):
+        cache = LRUCache(3)
+        for k in "abcd":
+            cache.put(k, k.upper())
+        assert len(cache) == 3
+        assert "a" not in cache  # oldest evicted
+        assert cache.get("b") == "B"
+        cache.put("e", "E")  # evicts "c" ("b" was just refreshed)
+        assert "c" not in cache
+        assert "b" in cache
+        assert cache.evictions == 2
+
+    def test_get_miss_returns_default(self):
+        cache = LRUCache(2)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 7) == 7
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.evictions == 0
+
+    def test_stats_and_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_never_exceeds_maxsize_under_churn(self):
+        cache = LRUCache(16)
+        for k in range(1000):
+            cache.put(float(k), object())
+            assert len(cache) <= 16
+
+
+class TestQuantizeAlpha:
+    def test_merges_last_ulp_differences(self):
+        h = 2.0 / 3e-12
+        wobbled = h * (1.0 + 1e-15)
+        assert h != wobbled
+        assert quantize_alpha(h) == quantize_alpha(wobbled)
+
+    def test_halve_double_roundtrip_maps_to_same_key(self):
+        # The step-halving recovery path: h -> h/2 -> h again should reuse
+        # the original factorization even after float round trips.
+        h = 7.3e-12
+        alpha = 2.0 / h
+        roundtrip = 2.0 / (2.0 * (h * 0.5))
+        assert quantize_alpha(alpha) == quantize_alpha(roundtrip)
+
+    def test_distinguishes_genuinely_different_alphas(self):
+        assert quantize_alpha(1e12) != quantize_alpha(2e12)
+        assert quantize_alpha(1e12) != quantize_alpha(1.00001e12)
+
+    def test_passthrough_for_zero_and_nonfinite(self):
+        assert quantize_alpha(0.0) == 0.0
+        assert quantize_alpha(float("inf")) == float("inf")
+        assert np.isnan(quantize_alpha(float("nan")))
+
+
+class TestFingerprint:
+    def make_segments(self, **overrides):
+        from repro.geometry.segment import Direction, Segment
+
+        kwargs = dict(
+            name="s0", net="clk", layer="M5", direction=Direction.X,
+            origin=(0.0, 0.0, 1e-6), length=100e-6, width=2e-6,
+            thickness=0.5e-6,
+        )
+        kwargs.update(overrides)
+        return [Segment(**kwargs)]
+
+    def test_same_geometry_same_digest(self):
+        assert fingerprint_segments(self.make_segments()) == \
+            fingerprint_segments(self.make_segments())
+
+    def test_rename_does_not_change_digest(self):
+        assert fingerprint_segments(self.make_segments()) == \
+            fingerprint_segments(self.make_segments(name="renamed"))
+
+    def test_geometry_edit_changes_digest(self):
+        base = fingerprint_segments(self.make_segments())
+        assert base != fingerprint_segments(self.make_segments(width=2.1e-6))
+        assert base != fingerprint_segments(
+            self.make_segments(origin=(1e-6, 0.0, 1e-6))
+        )
+        assert base != fingerprint_segments(self.make_segments(layer="M6"))
+
+    def test_params_change_digest(self):
+        segments = self.make_segments()
+        assert fingerprint_segments(segments, {"close_ratio": 4.0}) != \
+            fingerprint_segments(segments, {"close_ratio": 5.0})
+
+    def test_param_order_is_irrelevant(self):
+        segments = self.make_segments()
+        assert fingerprint_segments(segments, {"a": 1.0, "b": 2.0}) == \
+            fingerprint_segments(segments, {"b": 2.0, "a": 1.0})
+
+
+@pytest.fixture()
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestMatrixStore:
+    def test_memory_roundtrip_returns_equal_copy(self, fresh_cache):
+        matrix = np.arange(9.0).reshape(3, 3)
+        store_matrix("deadbeef", matrix)
+        loaded = load_matrix("deadbeef")
+        assert np.array_equal(loaded, matrix)
+        loaded[0, 0] = 99.0  # mutating the copy must not corrupt the cache
+        assert load_matrix("deadbeef")[0, 0] == 0.0
+
+    def test_unknown_digest_misses(self, fresh_cache):
+        assert load_matrix("0" * 64) is None
+
+    def test_disk_tier_survives_memory_clear(self, fresh_cache,
+                                             tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        matrix = np.eye(4) * 3.5
+        store_matrix("cafe", matrix)
+        assert (tmp_path / "partialL_cafe.npz").exists()
+        clear_cache()  # drop the in-process tier
+        loaded = load_matrix("cafe")
+        assert np.array_equal(loaded, matrix)
+        assert cache_stats()["disk_hits"] >= 1
+
+    def test_corrupt_disk_file_is_a_miss(self, fresh_cache,
+                                         tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "partialL_bad.npz").write_bytes(b"not an npz")
+        assert load_matrix("bad") is None
+
+    def test_env_kill_switch_disables_cache(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_EXTRACTION_CACHE", "off")
+        store_matrix("feed", np.eye(2))
+        assert load_matrix("feed") is None
+
+
+class TestExtractionMemoization:
+    def test_repeat_extraction_hits_and_matches(self, fresh_cache,
+                                                signal_grid_structure):
+        from repro.extraction.partial_matrix import extract_for_layout
+
+        layout, _ = signal_grid_structure
+        first, _ = extract_for_layout(layout)
+        before = cache_stats()
+        second, _ = extract_for_layout(layout)
+        after = cache_stats()
+        assert np.array_equal(first.matrix, second.matrix)
+        assert after["hits"] == before["hits"] + 1
+
+    def test_cached_result_is_safe_to_mutate(self, fresh_cache,
+                                             signal_grid_structure):
+        from repro.extraction.partial_matrix import extract_for_layout
+
+        layout, _ = signal_grid_structure
+        first, _ = extract_for_layout(layout)
+        pristine = first.matrix.copy()
+        second, _ = extract_for_layout(layout)
+        second.matrix[:] = 0.0  # the PEEC builder zeroes mutuals in place
+        third, _ = extract_for_layout(layout)
+        assert np.array_equal(third.matrix, pristine)
+
+    def test_parameter_change_recomputes(self, fresh_cache,
+                                         signal_grid_structure):
+        from repro.extraction.partial_matrix import extract_for_layout
+
+        layout, _ = signal_grid_structure
+        extract_for_layout(layout)
+        before = cache_stats()["misses"]
+        extract_for_layout(layout, close_ratio=6.0)
+        assert cache_stats()["misses"] > before
+
+
+class TestFactorCacheIntegration:
+    def test_adaptive_reuses_factorizations_across_steps(self):
+        from repro.circuit.adaptive import adaptive_transient
+        from repro.circuit.netlist import GROUND, Circuit
+        from repro.circuit.waveforms import Ramp
+
+        c = Circuit("rc")
+        c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.0, 1e-12))
+        c.add_resistor("r", "a", "b", 1000.0)
+        c.add_capacitor("c", "b", GROUND, 1e-12)
+        res = adaptive_transient(c, 20e-9, 5e-12)
+        # Once the step hits dt_max the same alpha repeats, so accepted
+        # steps must outnumber factorizations: the cache is being hit.
+        assert res.num_factorizations < len(res.times) - 5
+
+    def test_fixed_step_result_matches_reference_after_lru_swap(self):
+        # Force the transient engine through solve-fault step handling so
+        # the factor cache sees the halved-substep alphas; the waveform
+        # must still track an undisturbed run (halved steps integrate
+        # with backward Euler, so exact equality is not expected).
+        import numpy as np
+
+        from repro.circuit.netlist import GROUND, Circuit
+        from repro.circuit.transient import transient_analysis
+        from repro.circuit.waveforms import Ramp
+        from repro.resilience.faults import FaultSpec, inject_faults
+
+        def rlc():
+            c = Circuit("rlc")
+            c.add_vsource("vin", "a", GROUND, Ramp(0.0, 1.0, 0.1e-9, 50e-12))
+            c.add_resistor("r", "a", "b", 5.0)
+            c.add_inductor("l", "b", "c", 1e-9)
+            c.add_capacitor("c1", "c", GROUND, 0.5e-12)
+            return c
+
+        with inject_faults():
+            clean = transient_analysis(rlc(), 2e-9, 1e-12, record=["c"])
+        with inject_faults(
+            FaultSpec("transient.step", "raise", probability=0.05,
+                      max_hits=None)
+        ):
+            faulted = transient_analysis(rlc(), 2e-9, 1e-12, record=["c"])
+        assert not faulted.report.clean  # the faults really fired
+        err = np.max(np.abs(faulted.voltage("c") - clean.voltage("c")))
+        assert err < 0.05

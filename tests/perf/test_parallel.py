@@ -1,0 +1,213 @@
+"""Parallel frequency sweeps: bit-identical to serial, resilient to pool loss."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, ac_impedance
+from repro.circuit.netlist import GROUND, Circuit
+from repro.loop.extractor import LoopPort, extract_loop_impedance
+from repro.perf.parallel import chunk_indices, explicit_workers, worker_count
+from repro.resilience.checkpoint import CheckpointConfig, load_checkpoint
+from repro.resilience.faults import FaultSpec, InjectedFault, inject_faults
+from repro.resilience.policy import ResiliencePolicy
+
+#: First fault is fatal: what the kill/resume scenario needs.
+BRITTLE = ResiliencePolicy(
+    escalation="safe", max_retries=0, max_step_halvings=0
+)
+
+
+def make_port(ports):
+    return LoopPort(
+        signal=ports["driver"],
+        reference=ports["gnd_driver"],
+        short_signal=ports["receiver"],
+        short_reference=ports["gnd_receiver"],
+    )
+
+
+def rlc_ladder(n=6):
+    c = Circuit("ladder")
+    prev = "p"
+    for k in range(n):
+        mid = f"m{k}"
+        nxt = f"n{k}"
+        c.add_resistor(f"r{k}", prev, mid, 3.0 + k)
+        c.add_inductor(f"l{k}", mid, nxt, 1e-9)
+        c.add_capacitor(f"c{k}", nxt, GROUND, 0.2e-12)
+        prev = nxt
+    c.add_resistor("rterm", prev, GROUND, 50.0)
+    return c
+
+
+class TestChunking:
+    def test_covers_all_indices_contiguously(self):
+        chunks = chunk_indices(np.arange(17), workers=3)
+        flat = np.concatenate(chunks)
+        assert np.array_equal(flat, np.arange(17))
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_indices(np.arange(10), workers=2, chunk=4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_empty_indices(self):
+        assert chunk_indices(np.array([], dtype=int), workers=4) == []
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            chunk_indices(np.arange(4), workers=1, chunk=0)
+
+
+class TestWorkerCount:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert worker_count(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert worker_count() == 5
+        assert explicit_workers()
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        import os
+
+        assert worker_count() == (os.cpu_count() or 1)
+        assert not explicit_workers()
+        assert explicit_workers(2)
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            worker_count()
+        with pytest.raises(ValueError):
+            worker_count(0)
+
+
+class TestACParallelEqualsSerial:
+    freqs = np.logspace(6, 10, 9)
+
+    def test_ac_impedance_bit_identical(self):
+        with inject_faults():
+            serial = ac_impedance(rlc_ladder(), self.freqs, ("p", GROUND))
+            parallel = ac_impedance(
+                rlc_ladder(), self.freqs, ("p", GROUND), workers=3
+            )
+        assert np.array_equal(serial, parallel)
+
+    def test_ac_analysis_bit_identical(self):
+        stimulus = {}
+        circuit = rlc_ladder()
+        circuit.add_isource("iin", "p", GROUND, 0.0)
+        stimulus = {"iin": 1.0 + 0.0j}
+        with inject_faults():
+            serial = ac_analysis(circuit, self.freqs, stimulus)
+            parallel = ac_analysis(circuit, self.freqs, stimulus, workers=2)
+        assert np.array_equal(serial.x, parallel.x)
+
+    def test_single_point_stays_serial(self):
+        # One frequency cannot be fanned out; must not hang or fork.
+        z1 = ac_impedance(rlc_ladder(), [1e9], ("p", GROUND), workers=4)
+        z2 = ac_impedance(rlc_ladder(), [1e9], ("p", GROUND), workers=1)
+        assert np.array_equal(z1, z2)
+
+
+class TestLoopParallelEqualsSerial:
+    def test_figure3_sweep_bit_identical(self, signal_grid_structure):
+        layout, ports = signal_grid_structure
+        freqs = np.logspace(7, 10.7, 8)
+        with inject_faults():
+            serial = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=1,
+            )
+            parallel = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=3,
+            )
+        assert np.array_equal(serial.impedance, parallel.impedance)
+
+    def test_worker_count_does_not_change_results(self,
+                                                  signal_grid_structure):
+        layout, ports = signal_grid_structure
+        freqs = np.logspace(8, 10, 5)
+        with inject_faults():
+            results = [
+                extract_loop_impedance(
+                    layout, make_port(ports), freqs,
+                    max_segment_length=150e-6, workers=w,
+                ).impedance
+                for w in (1, 2, 4)
+            ]
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+
+class TestPoolDegradation:
+    def test_pool_fault_degrades_to_serial(self, signal_grid_structure):
+        layout, ports = signal_grid_structure
+        freqs = np.logspace(8, 10, 5)
+        with inject_faults():
+            reference = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=1,
+            )
+        with inject_faults(FaultSpec("perf.pool", "raise", probability=1.0)):
+            degraded = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=3,
+            )
+        assert np.array_equal(reference.impedance, degraded.impedance)
+        downgrades = degraded.report.by_kind("downgrade")
+        assert downgrades
+        assert "serial" in downgrades[0].detail
+
+
+class TestParallelCheckpointing:
+    def test_parallel_sweep_writes_periodic_checkpoints(
+        self, tmp_path, signal_grid_structure
+    ):
+        layout, ports = signal_grid_structure
+        freqs = np.logspace(8, 10, 6)
+        path = tmp_path / "parallel.ckpt"
+        with inject_faults():
+            result = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=2,
+                checkpoint=CheckpointConfig(path, interval=2),
+            )
+        # Completed checkpoints are cleaned up; the report logged them.
+        assert not path.exists()
+        assert result.report.by_kind("checkpoint")
+
+    def test_resume_skips_completed_points_then_matches_serial(
+        self, tmp_path, signal_grid_structure
+    ):
+        layout, ports = signal_grid_structure
+        freqs = np.logspace(8, 10, 6)
+        with inject_faults():
+            baseline = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=1, policy=BRITTLE,
+            )
+        # Kill a serial run mid-sweep to leave a partial checkpoint...
+        path = tmp_path / "resume.ckpt"
+        with inject_faults(FaultSpec("loop.freq", "raise", after=3)):
+            with pytest.raises(InjectedFault):
+                extract_loop_impedance(
+                    layout, make_port(ports), freqs,
+                    max_segment_length=150e-6, workers=1, policy=BRITTLE,
+                    checkpoint=CheckpointConfig(path, interval=2),
+                )
+        snap = load_checkpoint(path)
+        assert 0 < int(snap.arrays["done"].sum()) < len(freqs)
+        # ...then finish it with the parallel path.
+        with inject_faults():
+            resumed = extract_loop_impedance(
+                layout, make_port(ports), freqs,
+                max_segment_length=150e-6, workers=2, policy=BRITTLE,
+                checkpoint=CheckpointConfig(path, interval=2),
+            )
+        assert resumed.report.by_kind("resume")
+        assert np.array_equal(resumed.impedance, baseline.impedance)
+        assert not path.exists()
