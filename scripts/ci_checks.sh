@@ -22,6 +22,10 @@ echo "== repro check over the examples =="
 python -m repro.cli check examples/*.py
 
 echo
+echo "== repro trace smoke (span tree must be complete) =="
+python -m repro.cli trace --die 250 --json /tmp/trace_ci_smoke.json
+
+echo
 echo "== repro bench --smoke vs checked-in baseline =="
 python -m repro.cli bench --smoke --out /tmp/bench_ci_smoke.json \
     --baseline benchmarks/baseline_smoke.json --max-regression 2.0

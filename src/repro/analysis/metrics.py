@@ -38,16 +38,28 @@ def threshold_crossing(
     v = np.asarray(values, dtype=float)
     if t.shape != v.shape:
         raise ValueError("times and values must have equal shapes")
-    above = v >= level
-    flips = np.nonzero(np.diff(above.astype(int)) != 0)[0]
-    for k in flips:
-        if t[k + 1] < start:
+    # A crossing requires samples strictly below AND strictly above the
+    # level.  The old ``v >= level`` flip detection reported a spurious
+    # crossing when the waveform merely *touched* the level at a sample
+    # and retreated (a tangent, not a crossing).  Track sign changes of
+    # ``v - level`` between consecutive nonzero-sign samples; exact-level
+    # samples in between mean the waveform crossed sitting on the level,
+    # and the first such sample is the crossing time.
+    sign = np.sign(v - level)
+    nonzero = np.nonzero(sign)[0]
+    for j, k in zip(nonzero[:-1], nonzero[1:]):
+        if sign[j] == sign[k]:
             continue
-        is_rising = v[k + 1] > v[k]
+        if t[k] < start:
+            continue
+        is_rising = sign[k] > 0
         if rising is not None and is_rising != rising:
             continue
-        frac = (level - v[k]) / (v[k + 1] - v[k])
-        crossing = t[k] + frac * (t[k + 1] - t[k])
+        if k == j + 1:
+            frac = (level - v[j]) / (v[k] - v[j])
+            crossing = t[j] + frac * (t[k] - t[j])
+        else:
+            crossing = t[j + 1]  # first exact-touch sample on the level
         if crossing >= start:
             return float(crossing)
     direction = {None: "any", True: "rising", False: "falling"}[rising]

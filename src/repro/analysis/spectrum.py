@@ -33,8 +33,9 @@ def edge_spectrum(
         values: Waveform samples.
 
     Returns:
-        (frequencies, amplitudes): positive-frequency axis and normalized
-        FFT magnitudes.
+        (frequencies, amplitudes): positive-frequency axis and single-sided
+        amplitudes -- a pure on-grid sinusoid of amplitude A shows a bin of
+        height A.
 
     Raises:
         ValueError: Non-uniform time base.
@@ -48,7 +49,14 @@ def edge_spectrum(
         raise ValueError("edge_spectrum requires a uniform time base")
     spectrum = np.fft.rfft(v - v.mean())
     freqs = np.fft.rfftfreq(t.size, d=float(dt[0]))
-    return freqs, np.abs(spectrum) / t.size
+    amps = np.abs(spectrum) / t.size
+    # Single-sided folding: rfft keeps only non-negative frequencies, so
+    # each interior bin carries half the two-sided amplitude and must be
+    # doubled.  DC appears once; so does Nyquist (last bin, even N only).
+    amps[1:] *= 2.0
+    if t.size % 2 == 0:
+        amps[-1] /= 2.0
+    return freqs, amps
 
 
 def spectral_knee(times: np.ndarray, values: np.ndarray,

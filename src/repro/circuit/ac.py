@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.circuit.linalg import ResilientFactorization, add_gmin
+from repro.obs.trace import span
 from repro.resilience.policy import ResiliencePolicy, default_policy
 from repro.resilience.report import current_run_report
 from repro.circuit.mna import MNASystem
@@ -127,30 +128,35 @@ def ac_analysis(
     )
 
     num_workers = worker_count(workers)
-    if num_workers > 1 and len(freqs) > 1 and (
+    use_pool = num_workers > 1 and len(freqs) > 1 and (
         explicit_workers(workers) or system.size >= MIN_PARALLEL_SIZE
+    )
+    with span(
+        "circuit.ac", points=len(freqs), size=system.size,
+        workers=num_workers if use_pool else 1,
     ):
-        spec = SweepSpec(
-            g_matrix=g_matrix, c_matrix=c_matrix, b=b,
-            site="ac", policy=policy,
-        )
-        parallel_sweep(
-            spec, freqs, out, workers=num_workers,
-            report=current_run_report(),
-        )
-        return ACResult(frequencies=freqs, x=out, system=system)
+        if use_pool:
+            spec = SweepSpec(
+                g_matrix=g_matrix, c_matrix=c_matrix, b=b,
+                site="ac", policy=policy,
+            )
+            parallel_sweep(
+                spec, freqs, out, workers=num_workers,
+                report=current_run_report(),
+            )
+            return ACResult(frequencies=freqs, x=out, system=system)
 
-    sparse = sp.issparse(g_matrix)
-    for i, f in enumerate(freqs):
-        omega = 2.0 * np.pi * f
-        if sparse:
-            a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
-        else:
-            a_matrix = g_matrix + 1j * omega * c_matrix
-        out[i] = ResilientFactorization(
-            a_matrix, site="ac", policy=policy
-        ).solve(b)
-    return ACResult(frequencies=freqs, x=out, system=system)
+        sparse = sp.issparse(g_matrix)
+        for i, f in enumerate(freqs):
+            omega = 2.0 * np.pi * f
+            if sparse:
+                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
+            else:
+                a_matrix = g_matrix + 1j * omega * c_matrix
+            out[i] = ResilientFactorization(
+                a_matrix, site="ac", policy=policy
+            ).solve(b)
+        return ACResult(frequencies=freqs, x=out, system=system)
 
 
 def ac_impedance(
@@ -190,29 +196,34 @@ def ac_impedance(
     )
 
     num_workers = worker_count(workers)
-    if num_workers > 1 and len(freqs) > 1 and (
+    use_pool = num_workers > 1 and len(freqs) > 1 and (
         explicit_workers(workers) or system.size >= MIN_PARALLEL_SIZE
+    )
+    with span(
+        "circuit.ac.impedance", points=len(freqs), size=system.size,
+        workers=num_workers if use_pool else 1,
     ):
-        spec = SweepSpec(
-            g_matrix=g_matrix, c_matrix=c_matrix, b=b,
-            site="ac", policy=policy, port=(i_plus, i_minus),
-        )
-        return parallel_sweep(
-            spec, freqs, z, workers=num_workers,
-            report=current_run_report(),
-        )
+        if use_pool:
+            spec = SweepSpec(
+                g_matrix=g_matrix, c_matrix=c_matrix, b=b,
+                site="ac", policy=policy, port=(i_plus, i_minus),
+            )
+            return parallel_sweep(
+                spec, freqs, z, workers=num_workers,
+                report=current_run_report(),
+            )
 
-    sparse = sp.issparse(g_matrix)
-    for i, f in enumerate(freqs):
-        omega = 2.0 * np.pi * f
-        if sparse:
-            a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
-        else:
-            a_matrix = g_matrix + 1j * omega * c_matrix
-        x = ResilientFactorization(
-            a_matrix, site="ac", policy=policy
-        ).solve(b)
-        vp = x[i_plus] if i_plus >= 0 else 0.0
-        vm = x[i_minus] if i_minus >= 0 else 0.0
-        z[i] = vp - vm
-    return z
+        sparse = sp.issparse(g_matrix)
+        for i, f in enumerate(freqs):
+            omega = 2.0 * np.pi * f
+            if sparse:
+                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
+            else:
+                a_matrix = g_matrix + 1j * omega * c_matrix
+            x = ResilientFactorization(
+                a_matrix, site="ac", policy=policy
+            ).solve(b)
+            vp = x[i_plus] if i_plus >= 0 else 0.0
+            vm = x[i_minus] if i_minus >= 0 else 0.0
+            z[i] = vp - vm
+        return z

@@ -27,6 +27,8 @@ from repro.circuit.dc import dc_operating_point
 from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import current_span, span
 from repro.perf.cache import FACTOR_CACHE_SIZE, LRUCache, quantize_alpha
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
@@ -111,6 +113,25 @@ def adaptive_transient(
     Returns:
         The accepted trajectory.
     """
+    with span("circuit.transient.adaptive"):
+        return _adaptive_solve(
+            circuit_or_system, t_stop, dt_initial, dt_min, dt_max,
+            reltol, abstol, record, x0, policy,
+        )
+
+
+def _adaptive_solve(
+    circuit_or_system,
+    t_stop: float,
+    dt_initial: float,
+    dt_min: float | None,
+    dt_max: float | None,
+    reltol: float,
+    abstol: float,
+    record,
+    x0,
+    policy: ResiliencePolicy | None,
+) -> AdaptiveResult:
     system = (
         circuit_or_system
         if isinstance(circuit_or_system, MNASystem)
@@ -238,6 +259,16 @@ def adaptive_transient(
         states.append(x[indices])
         h = min(max(next_h, dt_min), dt_max)
 
+    obs_metrics.counter("adaptive.steps").inc(max(len(times) - 1, 0))
+    obs_metrics.counter("adaptive.rejected").inc(num_rejected)
+    cur = current_span()
+    if cur is not None:
+        cur.attrs.update(
+            size=system.size,
+            accepted=len(times) - 1,
+            rejected=num_rejected,
+            factorizations=num_factor,
+        )
     return AdaptiveResult(
         times=np.asarray(times),
         data=np.asarray(states),

@@ -21,6 +21,8 @@ from repro.circuit.linalg import (
 )
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience.policy import ResiliencePolicy, default_policy
 from repro.resilience.report import current_run_report
 
@@ -82,7 +84,9 @@ def _newton(
     dense = not hasattr(g_matrix, "tocsc")
     residual_history: list[float] = []
     last_step: float | None = None
+    iterations = obs_metrics.counter("newton.iterations.dc")
     for _ in range(max_iter):
+        iterations.inc()
         f, jac_dev = system.eval_devices(x)
         residual = g_matrix @ x + f - b
         norm = float(np.max(np.abs(residual)))
@@ -148,6 +152,19 @@ def dc_operating_point(
         SingularCircuitError: The topology itself is singular.
     """
     system = _as_system(circuit_or_system)
+    with span("circuit.dc", size=system.size, nonlinear=system.has_devices):
+        return _dc_solve(system, t, gmin, tol, max_iter, x0, policy)
+
+
+def _dc_solve(
+    system: MNASystem,
+    t: float,
+    gmin: float,
+    tol: float,
+    max_iter: int,
+    x0: np.ndarray | None,
+    policy: ResiliencePolicy | None,
+) -> np.ndarray:
     policy = policy or default_policy()
     g_matrix, _ = system.build_matrices()
     b = system.rhs(t)

@@ -26,6 +26,7 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import metrics as obs_metrics
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.policy import ResiliencePolicy, default_policy
@@ -331,6 +332,7 @@ class ResilientFactorization:
                     rung=rung, ok=False, error=str(exc),
                     condition_estimate=self._cond,
                 ))
+                obs_metrics.counter("solver.escalation_attempts").inc()
                 self._attach_once()
                 last_exc = exc
                 self._rung_index += 1
@@ -346,6 +348,7 @@ class ResilientFactorization:
                 ))
                 if self._rung_index > 0:
                     self._attach_once()
+                    obs_metrics.counter("solver.escalated_solves").inc()
             return x
         raise SingularCircuitError(
             f"all {len(self._rungs)} escalation rung(s) failed at solve site "

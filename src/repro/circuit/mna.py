@@ -296,7 +296,24 @@ class MNASystem:
                 )
                 c = (c + extra).tocsr()
         self._cache[fmt] = (g, c)
+        self._record_matrix_metrics(fmt, g, c)
         return g, c
+
+    def _record_matrix_metrics(self, fmt: str, g, c) -> None:
+        """Publish MNA size / nnz / density gauges (paper Table 1)."""
+        from repro.obs import metrics as obs_metrics
+
+        size = self.size
+        if sp.issparse(g):
+            nnz = int(g.nnz + c.nnz)
+        else:
+            nnz = int(np.count_nonzero(g) + np.count_nonzero(c))
+        obs_metrics.gauge("mna.size").set(size)
+        obs_metrics.gauge("mna.nnz").set(nnz)
+        obs_metrics.gauge("mna.density").set(
+            nnz / (2.0 * size * size) if size else 0.0
+        )
+        obs_metrics.gauge("mna.sparse").set(1.0 if sp.issparse(g) else 0.0)
 
     def _matrix_blocks(self) -> list[tuple[int, np.ndarray]]:
         blocks = []

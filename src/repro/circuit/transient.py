@@ -33,6 +33,8 @@ from repro.circuit.dc import ConvergenceError, dc_operating_point
 from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.perf.cache import FACTOR_CACHE_SIZE, LRUCache, quantize_alpha
 from repro.resilience import faults
 from repro.resilience.checkpoint import (
@@ -315,7 +317,16 @@ def transient_analysis(
             b_sub = b_next_sub
         return x_sub
 
-    with activate(report):
+    steps_counter = obs_metrics.counter("transient.steps")
+    retries_counter = obs_metrics.counter("transient.retries")
+    halvings_counter = obs_metrics.counter("transient.step_halvings")
+    with activate(report), span(
+        "circuit.transient",
+        size=system.size,
+        steps=num_steps,
+        method=method,
+        sparse=sparse,
+    ):
         b_prev = system.rhs(times[start_step])
         f_prev, _ = (
             system.eval_devices(x) if system.has_devices else (None, None)
@@ -340,6 +351,7 @@ def transient_analysis(
                         InjectedFault) as exc:
                     if retries < policy.max_retries:
                         retries += 1
+                        retries_counter.inc()
                         report.record_retry(
                             "transient",
                             f"step {k + 1} retry {retries}/"
@@ -348,6 +360,7 @@ def transient_analysis(
                         continue
                     if halvings < policy.max_step_halvings:
                         halvings += 1
+                        halvings_counter.inc()
                         retries = 0
                         report.record_step_halving(
                             "transient",
@@ -359,6 +372,7 @@ def transient_analysis(
                         save(k, f"emergency: step {k + 1} failed")
                     raise
             x = x_new
+            steps_counter.inc()
             if system.has_devices:
                 f_prev, _ = system.eval_devices(x)
             data[k + 1] = x[indices]
@@ -398,7 +412,9 @@ def _newton_step(
     cx_old = c_matrix @ x_old
     residual_history: list[float] = []
     last_step: float | None = None
+    iterations = obs_metrics.counter("newton.iterations.transient")
     for _ in range(max_iter):
+        iterations.inc()
         f, jac_dev = system.eval_devices(x)
         if use_be:
             residual = alpha * (c_matrix @ x - cx_old) + g_matrix @ x + f - b_new

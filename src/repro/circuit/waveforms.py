@@ -72,6 +72,15 @@ class Pulse:
             raise ValueError("rise/fall times must be positive")
         if self.width < 0:
             raise ValueError("width must be non-negative")
+        shape = self.rise_time + self.width + self.fall_time
+        if 0.0 < self.period < shape:
+            # The modulo wrap in __call__ would silently truncate the
+            # pulse mid-rise/mid-fall every cycle.
+            raise ValueError(
+                f"period {self.period:g} is shorter than "
+                f"rise_time + width + fall_time = {shape:g}; the pulse "
+                "shape would be truncated by the periodic wrap"
+            )
 
     def __call__(self, t: float) -> float:
         if t <= self.delay:
@@ -106,12 +115,20 @@ class PWL:
     def __post_init__(self) -> None:
         if len(self.points) < 1:
             raise ValueError("PWL needs at least one point")
-        times = [p[0] for p in self.points]
+        # Normalize and precompute the time axis ONCE: __call__ sits in
+        # the transient inner loop (every rhs() evaluation), and
+        # rebuilding the times list there made each lookup O(n) in list
+        # construction on top of the O(log n) bisect.  The dataclass is
+        # frozen, so the caches go in via object.__setattr__.
+        points = tuple((float(p[0]), float(p[1])) for p in self.points)
+        object.__setattr__(self, "points", points)
+        times = tuple(p[0] for p in points)
         if any(b <= a for a, b in zip(times, times[1:])):
             raise ValueError("PWL times must be strictly increasing")
+        object.__setattr__(self, "_times", times)
 
     def __call__(self, t: float) -> float:
-        times = [p[0] for p in self.points]
+        times: tuple[float, ...] = self._times
         if t <= times[0]:
             return self.points[0][1]
         if t >= times[-1]:

@@ -2,25 +2,32 @@
 
 Usage::
 
-    python -m repro.cli table1 [--die 600] [--branches 4]
-    python -m repro.cli loop [--length 1000]
+    python -m repro.cli table1 [--die 600] [--branches 4] [--trace-json t.json]
+    python -m repro.cli run ...            # alias of table1
+    python -m repro.cli loop [--length 1000] [--trace-json t.json]
     python -m repro.cli design
     python -m repro.cli export --out clocknet.sp
     python -m repro.cli check deck.sp script.py [--strict] [--sanitize]
     python -m repro.cli lint src [--suppress QA104]
     python -m repro.cli resume run.ckpt [--info] [--out waves.csv]
     python -m repro.cli bench [--smoke] [--baseline benchmarks/baseline.json]
+    python -m repro.cli trace [--die 300] [--json trace.json]
 
-``table1`` runs the Section-6 model comparison, ``loop`` the Figure-3
-extraction sweep, ``design`` the Figure 5-9 studies, and ``export``
-writes the detailed PEEC model of the clock topology as a SPICE deck.
-``check`` runs the :mod:`repro.qa` electrical rule check over SPICE
-decks and/or the circuits built by Python scripts, and ``lint`` runs the
-repo-specific AST lint -- both exit non-zero on error-severity findings.
-``resume`` picks a crashed transient or loop sweep back up from its
-checkpoint file (see :mod:`repro.resilience`).  ``bench`` times the hot
-paths (assembly, sparsification, loop sweep serial vs parallel,
-transient) and optionally gates against a checked-in baseline.
+``table1`` (alias ``run``) runs the Section-6 model comparison, ``loop``
+the Figure-3 extraction sweep, ``design`` the Figure 5-9 studies, and
+``export`` writes the detailed PEEC model of the clock topology as a
+SPICE deck.  ``check`` runs the :mod:`repro.qa` electrical rule check
+over SPICE decks and/or the circuits built by Python scripts, and
+``lint`` runs the repo-specific AST lint -- both exit non-zero on
+error-severity findings.  ``resume`` picks a crashed transient or loop
+sweep back up from its checkpoint file (see :mod:`repro.resilience`).
+``bench`` times the hot paths (assembly, sparsification, loop sweep
+serial vs parallel, transient) and optionally gates against a checked-in
+baseline.  ``trace`` runs a small PEEC flow under the :mod:`repro.obs`
+span collector and prints the span tree plus the metrics registry,
+exiting non-zero on leaked (unclosed) spans or missing stages; the
+``--trace-json`` flag on ``table1``/``run``/``loop``/``bench`` collects
+the same data around a full command and writes it as JSON.
 """
 
 from __future__ import annotations
@@ -293,6 +300,79 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return astlint.main(argv)
 
 
+#: Top-level spans the ``trace`` smoke command insists on seeing.
+_TRACE_EXPECTED = ("flow.peec", "peec.assembly", "circuit.transient")
+
+
+def _seed_required_metrics() -> None:
+    """Touch the headline counters so exports always carry them.
+
+    A short run may never miss the cache or escalate a solve; creating
+    the counters up front keeps the exported metric set stable so
+    downstream tooling can rely on the keys being present.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    for name in (
+        "extraction.cache.memory_hits",
+        "extraction.cache.disk_hits",
+        "extraction.cache.misses",
+        "extraction.cache.stores",
+        "solver.escalation_attempts",
+        "solver.escalated_solves",
+    ):
+        obs_metrics.counter(name)
+
+
+def _trace_payload(trace) -> dict:
+    """JSON-serializable bundle of a trace plus the metrics registry."""
+    from repro.obs import metrics as obs_metrics
+
+    payload = trace.to_json()
+    payload["metrics"] = obs_metrics.REGISTRY.export()
+    return payload
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import build_clock_testcase, run_peec_flow
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import tracing
+
+    obs_metrics.REGISTRY.reset()
+    _seed_required_metrics()
+    case = build_clock_testcase(
+        die=args.die * 1e-6,
+        num_branches=2,
+        branch_length=args.die * 1e-6 / 4,
+        stripe_pitch=args.die * 1e-6 / 6,
+    )
+    with tracing() as trace:
+        run_peec_flow(case)
+
+    print(trace.format())
+    print()
+    print(obs_metrics.REGISTRY.render_prometheus())
+
+    if args.json:
+        with open(args.json, "w", encoding="ascii") as f:
+            json.dump(_trace_payload(trace), f, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    exit_code = 0
+    names = trace.span_names()
+    for expected in _TRACE_EXPECTED:
+        if expected not in names:
+            print(f"trace: MISSING span {expected!r}")
+            exit_code = 1
+    if trace.open_spans:
+        print(f"trace: {trace.open_spans} span(s) leaked (never closed)")
+        exit_code = 1
+    print("trace:", "FAIL" if exit_code else "ok")
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -301,15 +381,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_table1 = sub.add_parser("table1", help="Section-6 model comparison")
-    p_table1.add_argument("--die", type=float, default=600.0,
-                          help="die size [um]")
-    p_table1.add_argument("--branches", type=int, default=4)
-    p_table1.set_defaults(func=_cmd_table1)
+    def add_trace_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-json", default=None, metavar="PATH",
+                       help="run under the span collector and write the "
+                            "span tree + metrics as JSON")
+
+    for name, help_text in (
+        ("table1", "Section-6 model comparison"),
+        ("run", "alias of table1"),
+    ):
+        p_table1 = sub.add_parser(name, help=help_text)
+        p_table1.add_argument("--die", type=float, default=600.0,
+                              help="die size [um]")
+        p_table1.add_argument("--branches", type=int, default=4)
+        add_trace_json(p_table1)
+        p_table1.set_defaults(func=_cmd_table1)
 
     p_loop = sub.add_parser("loop", help="Figure-3 loop extraction sweep")
     p_loop.add_argument("--length", type=float, default=1000.0,
                         help="signal length [um]")
+    add_trace_json(p_loop)
     p_loop.set_defaults(func=_cmd_loop)
 
     p_design = sub.add_parser("design", help="Figure 5-9 design studies")
@@ -359,7 +450,17 @@ def main(argv: list[str] | None = None) -> int:
                               "non-zero on regression")
     p_bench.add_argument("--max-regression", type=float, default=2.0,
                          help="allowed slowdown factor vs baseline")
+    add_trace_json(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="smoke-run a small PEEC flow under the span collector"
+    )
+    p_trace.add_argument("--die", type=float, default=300.0,
+                         help="die size [um]")
+    p_trace.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the span tree + metrics as JSON")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint")
     p_lint.add_argument("paths", nargs="*", default=["src"])
@@ -368,6 +469,21 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
+    trace_json = getattr(args, "trace_json", None)
+    if trace_json:
+        import json
+
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.trace import tracing
+
+        obs_metrics.REGISTRY.reset()
+        _seed_required_metrics()
+        with tracing() as trace:
+            status = args.func(args)
+        with open(trace_json, "w", encoding="ascii") as f:
+            json.dump(_trace_payload(trace), f, indent=2, sort_keys=True)
+        print(f"wrote {trace_json}")
+        return status
     return args.func(args)
 
 

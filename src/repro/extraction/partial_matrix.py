@@ -29,6 +29,7 @@ from repro.extraction.inductance import (
 )
 from repro.geometry.layout import Layout
 from repro.geometry.segment import Direction, Segment
+from repro.obs.trace import span
 
 
 @dataclass
@@ -120,10 +121,28 @@ def extract_partial_inductance(
         {"close_ratio": float(close_ratio),
          "close_subdivisions": int(close_subdivisions)},
     )
-    cached = perf_cache.load_matrix(digest)
-    if cached is not None:
-        return PartialInductanceResult(segments=list(segments), matrix=cached)
+    with span("extraction.partial_L", segments=len(segments)) as sp:
+        cached = perf_cache.load_matrix(digest)
+        if cached is not None:
+            sp.attrs["cached"] = True
+            return PartialInductanceResult(
+                segments=list(segments), matrix=cached
+            )
+        sp.attrs["cached"] = False
+        matrix = _assemble_matrix(
+            segments, close_ratio, close_subdivisions, block
+        )
+        perf_cache.store_matrix(digest, matrix)
+        return PartialInductanceResult(segments=list(segments), matrix=matrix)
 
+
+def _assemble_matrix(
+    segments: list[Segment],
+    close_ratio: float,
+    close_subdivisions: int,
+    block: int,
+) -> np.ndarray:
+    """The vectorized dense assembly behind the cache lookup."""
     n = len(segments)
     matrix = np.zeros((n, n))
     for i, seg in enumerate(segments):
@@ -175,8 +194,7 @@ def extract_partial_inductance(
             gj = idx[pc]
             matrix[gi, gj] = mutual
             matrix[gj, gi] = mutual
-    perf_cache.store_matrix(digest, matrix)
-    return PartialInductanceResult(segments=list(segments), matrix=matrix)
+    return matrix
 
 
 def extract_for_layout(

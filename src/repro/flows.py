@@ -18,7 +18,6 @@ discharging currents) also lives here.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +43,7 @@ from repro.geometry.segment import Direction, default_layer_stack
 from repro.loop.extractor import LoopPort, extract_loop_impedance
 from repro.mor.combined import combined_reduction
 from repro.mor.ports import NodePort
+from repro.obs.trace import span
 from repro.peec.model import PEECOptions, build_peec_model
 from repro.peec.package import PackageSpec, attach_package, attach_package_to_nodes
 from repro.resilience.report import RunReport, activate
@@ -252,81 +252,96 @@ def run_peec_flow(
     """
     kind = "peec_rlc" if include_inductance else "peec_rc"
     report = RunReport()
-    t0 = time.perf_counter()
-    options = PEECOptions(
-        include_inductance=include_inductance,
-        sparsifier=sparsifier,
-        max_segment_length=80e-6,
-    )
-    with activate(report):
-        model = build_peec_model(case.layout, options)
-    circuit = model.circuit
-    sink_nodes: dict[str, str] = {}
-    for k, sink in enumerate(case.ports.sinks):
-        node = model.node_at(sink)
-        sink_nodes[sink.name] = node
-        circuit.add_capacitor(f"Cload{k}", node, GROUND, case.load_capacitance)
-    drv_node = model.node_at(case.ports.driver)
-    stats = dict(circuit.stats())
-    build_seconds = time.perf_counter() - t0
-
-    t1 = time.perf_counter()
-    used_rom = False
-    if use_reduction:
-        # A failed reduction (breakdown in the Krylov iteration, an
-        # indefinite reduced system) downgrades to simulating the full
-        # circuit rather than killing the flow.
-        try:
-            pads = model.pad_nodes()
-            pad_items = sorted(pads.items())
-            active = [drv_node] + [node for _, (node, _) in pad_items]
+    with span("flow.peec", kind=kind) as flow_sp:
+        with span("flow.build") as build_sp:
+            options = PEECOptions(
+                include_inductance=include_inductance,
+                sparsifier=sparsifier,
+                max_segment_length=80e-6,
+            )
             with activate(report):
-                comb = combined_reduction(
-                    circuit, active, list(sink_nodes.values()),
-                    order=reduction_order,
+                model = build_peec_model(case.layout, options)
+            circuit = model.circuit
+            sink_nodes: dict[str, str] = {}
+            for k, sink in enumerate(case.ports.sinks):
+                node = model.node_at(sink)
+                sink_nodes[sink.name] = node
+                circuit.add_capacitor(
+                    f"Cload{k}", node, GROUND, case.load_capacitance
                 )
-            host = Circuit("host")
-            host.add_vsource("Vin", "vin", GROUND, case.input_ramp)
-            port_names = ["p_drv"] + [f"p_{name}" for name, _ in pad_items]
-            mm = comb.model.to_macromodel(
-                "rom", [NodePort(n) for n in port_names]
-            )
-            host.add_macromodel("rom", mm.ports, mm.g_red, mm.c_red, mm.b_red)
-            host.add_resistor("Rdrv", "vin", "p_drv", case.driver_resistance)
-            attach_package_to_nodes(
-                host,
-                {name: (f"p_{name}", net) for name, (_, net) in pad_items},
-                PackageSpec() if include_inductance else _rc_package(),
-            )
-        except (RuntimeError, np.linalg.LinAlgError) as exc:
-            report.record_downgrade(
-                "mor", "rom", "full circuit", str(exc)
-            )
-        else:
-            used_rom = True
-            with activate(report):
-                result = transient_analysis(host, case.t_stop, case.dt)
-            times = result.times
-            waveforms = {
-                name: comb.model.observe(result, "rom", node)
-                for name, node in sink_nodes.items()
-            }
-    if not used_rom:
-        attach_package(
-            model, PackageSpec() if include_inductance else _rc_package()
-        )
-        circuit.add_vsource("Vin", "vin", GROUND, case.input_ramp)
-        circuit.add_resistor("Rdrv", "vin", drv_node, case.driver_resistance)
-        record = list(sink_nodes.values()) + list(record_extra)
-        with activate(report):
-            result = transient_analysis(
-                circuit, case.t_stop, case.dt, record=record
-            )
-        times = result.times
-        waveforms = {
-            name: result.voltage(node) for name, node in sink_nodes.items()
-        }
-    solve_seconds = time.perf_counter() - t1
+            drv_node = model.node_at(case.ports.driver)
+            stats = dict(circuit.stats())
+        build_seconds = build_sp.duration or 0.0
+
+        with span("flow.solve") as solve_sp:
+            used_rom = False
+            if use_reduction:
+                # A failed reduction (breakdown in the Krylov iteration, an
+                # indefinite reduced system) downgrades to simulating the
+                # full circuit rather than killing the flow.
+                try:
+                    pads = model.pad_nodes()
+                    pad_items = sorted(pads.items())
+                    active = [drv_node] + [node for _, (node, _) in pad_items]
+                    with activate(report):
+                        comb = combined_reduction(
+                            circuit, active, list(sink_nodes.values()),
+                            order=reduction_order,
+                        )
+                    host = Circuit("host")
+                    host.add_vsource("Vin", "vin", GROUND, case.input_ramp)
+                    port_names = (
+                        ["p_drv"] + [f"p_{name}" for name, _ in pad_items]
+                    )
+                    mm = comb.model.to_macromodel(
+                        "rom", [NodePort(n) for n in port_names]
+                    )
+                    host.add_macromodel(
+                        "rom", mm.ports, mm.g_red, mm.c_red, mm.b_red
+                    )
+                    host.add_resistor(
+                        "Rdrv", "vin", "p_drv", case.driver_resistance
+                    )
+                    attach_package_to_nodes(
+                        host,
+                        {name: (f"p_{name}", net)
+                         for name, (_, net) in pad_items},
+                        PackageSpec() if include_inductance else _rc_package(),
+                    )
+                except (RuntimeError, np.linalg.LinAlgError) as exc:
+                    report.record_downgrade(
+                        "mor", "rom", "full circuit", str(exc)
+                    )
+                else:
+                    used_rom = True
+                    with activate(report):
+                        result = transient_analysis(host, case.t_stop, case.dt)
+                    times = result.times
+                    waveforms = {
+                        name: comb.model.observe(result, "rom", node)
+                        for name, node in sink_nodes.items()
+                    }
+            if not used_rom:
+                attach_package(
+                    model,
+                    PackageSpec() if include_inductance else _rc_package(),
+                )
+                circuit.add_vsource("Vin", "vin", GROUND, case.input_ramp)
+                circuit.add_resistor(
+                    "Rdrv", "vin", drv_node, case.driver_resistance
+                )
+                record = list(sink_nodes.values()) + list(record_extra)
+                with activate(report):
+                    result = transient_analysis(
+                        circuit, case.t_stop, case.dt, record=record
+                    )
+                times = result.times
+                waveforms = {
+                    name: result.voltage(node)
+                    for name, node in sink_nodes.items()
+                }
+        solve_seconds = solve_sp.duration or 0.0
+        flow_sp.attrs["rom"] = used_rom
 
     delays, worst, sk = _measure(case, times, waveforms)
     return FlowResult(
@@ -370,97 +385,106 @@ def run_loop_flow(
     identical to the serial path.
     """
     report = RunReport()
-    t0 = time.perf_counter()
-    layout = case.layout
-    ports = case.ports
-    driver = ports.driver
-    far_sink = max(
-        ports.sinks,
-        key=lambda s: math.hypot(s.x - driver.x, s.y - driver.y),
-    )
-    port = LoopPort(
-        signal=driver,
-        reference=_gnd_tap_near(layout, driver.x, driver.y),
-        short_signal=far_sink,
-        short_reference=_gnd_tap_near(layout, far_sink.x, far_sink.y),
-    )
-    with activate(report):
-        extraction = extract_loop_impedance(
-            layout, port, [extraction_frequency],
-            max_segment_length=120e-6, workers=workers,
-        )
-    z = extraction.at(extraction_frequency)
-    omega = 2.0 * math.pi * extraction_frequency
-    path_length = (
-        abs(far_sink.x - driver.x) + abs(far_sink.y - driver.y)
-    )
-    r_per_len = z.real / path_length
-    l_per_len = (z.imag / omega) / path_length
-
-    # Tree-structured netlist over the clock net's own segments.
-    circuit = Circuit("loop_model")
-    cap_model = CapacitanceModel()
-    clock_net = driver.net
-    node_names: dict[tuple[int, int, int], str] = {}
-
-    from repro.geometry.layout import quantize_point
-
-    def node_for(point) -> str:
-        key = quantize_point(point)
-        if key not in node_names:
-            node_names[key] = f"n{len(node_names)}"
-        return node_names[key]
-
-    segments = [
-        s for s in layout.segments
-        if s.net == clock_net and s.direction != Direction.Z
-    ]
-    for k, seg in enumerate(segments):
-        a, b = seg.endpoints()
-        na, nb = node_for(a), node_for(b)
-        circuit.add_series_rl(
-            f"seg{k}", na, nb,
-            max(r_per_len * seg.length, 1e-6),
-            max(l_per_len * seg.length, 1e-18),
-        )
-        c_seg = cap_model.segment_ground_capacitance(seg, layout)
-        for node in (na, nb):
-            cap_name = f"Cg_{k}_{node}"
-            circuit.add_capacitor(cap_name, node, GROUND, c_seg / 2)
-    for via in layout.vias:
-        if via.net != clock_net:
-            continue
-        bottom, top = layout.via_endpoints(via)
-        kb, kt = quantize_point(bottom), quantize_point(top)
-        if kb in node_names and kt in node_names:
-            from repro.extraction.resistance import via_resistance
-
-            circuit.add_resistor(
-                f"Rv_{via.name}", node_names[kb], node_names[kt],
-                via_resistance(via),
+    with span("flow.loop"):
+        with span("flow.build") as build_sp:
+            layout = case.layout
+            ports = case.ports
+            driver = ports.driver
+            far_sink = max(
+                ports.sinks,
+                key=lambda s: math.hypot(s.x - driver.x, s.y - driver.y),
             )
+            port = LoopPort(
+                signal=driver,
+                reference=_gnd_tap_near(layout, driver.x, driver.y),
+                short_signal=far_sink,
+                short_reference=_gnd_tap_near(
+                    layout, far_sink.x, far_sink.y
+                ),
+            )
+            with activate(report):
+                extraction = extract_loop_impedance(
+                    layout, port, [extraction_frequency],
+                    max_segment_length=120e-6, workers=workers,
+                )
+            z = extraction.at(extraction_frequency)
+            omega = 2.0 * math.pi * extraction_frequency
+            path_length = (
+                abs(far_sink.x - driver.x) + abs(far_sink.y - driver.y)
+            )
+            r_per_len = z.real / path_length
+            l_per_len = (z.imag / omega) / path_length
 
-    layer_z = {lay.name: lay.z_center for lay in layout.layers}
-    sink_nodes = {}
-    for k, sink in enumerate(ports.sinks):
-        key = quantize_point((sink.x, sink.y, layer_z[sink.layer]))
-        sink_nodes[sink.name] = node_names[key]
-        circuit.add_capacitor(
-            f"Cload{k}", node_names[key], GROUND, case.load_capacitance
-        )
-    drv_key = quantize_point((driver.x, driver.y, layer_z[driver.layer]))
-    drv_node = node_names[drv_key]
-    circuit.add_vsource("Vin", "vin", GROUND, case.input_ramp)
-    circuit.add_resistor("Rdrv", "vin", drv_node, case.driver_resistance)
-    stats = dict(circuit.stats())
-    build_seconds = time.perf_counter() - t0
+            # Tree-structured netlist over the clock net's own segments.
+            circuit = Circuit("loop_model")
+            cap_model = CapacitanceModel()
+            clock_net = driver.net
+            node_names: dict[tuple[int, int, int], str] = {}
 
-    t1 = time.perf_counter()
-    with activate(report):
-        result = transient_analysis(
-            circuit, case.t_stop, case.dt, record=list(sink_nodes.values())
-        )
-    solve_seconds = time.perf_counter() - t1
+            from repro.geometry.layout import quantize_point
+
+            def node_for(point) -> str:
+                key = quantize_point(point)
+                if key not in node_names:
+                    node_names[key] = f"n{len(node_names)}"
+                return node_names[key]
+
+            segments = [
+                s for s in layout.segments
+                if s.net == clock_net and s.direction != Direction.Z
+            ]
+            for k, seg in enumerate(segments):
+                a, b = seg.endpoints()
+                na, nb = node_for(a), node_for(b)
+                circuit.add_series_rl(
+                    f"seg{k}", na, nb,
+                    max(r_per_len * seg.length, 1e-6),
+                    max(l_per_len * seg.length, 1e-18),
+                )
+                c_seg = cap_model.segment_ground_capacitance(seg, layout)
+                for node in (na, nb):
+                    cap_name = f"Cg_{k}_{node}"
+                    circuit.add_capacitor(cap_name, node, GROUND, c_seg / 2)
+            for via in layout.vias:
+                if via.net != clock_net:
+                    continue
+                bottom, top = layout.via_endpoints(via)
+                kb, kt = quantize_point(bottom), quantize_point(top)
+                if kb in node_names and kt in node_names:
+                    from repro.extraction.resistance import via_resistance
+
+                    circuit.add_resistor(
+                        f"Rv_{via.name}", node_names[kb], node_names[kt],
+                        via_resistance(via),
+                    )
+
+            layer_z = {lay.name: lay.z_center for lay in layout.layers}
+            sink_nodes = {}
+            for k, sink in enumerate(ports.sinks):
+                key = quantize_point((sink.x, sink.y, layer_z[sink.layer]))
+                sink_nodes[sink.name] = node_names[key]
+                circuit.add_capacitor(
+                    f"Cload{k}", node_names[key], GROUND,
+                    case.load_capacitance,
+                )
+            drv_key = quantize_point(
+                (driver.x, driver.y, layer_z[driver.layer])
+            )
+            drv_node = node_names[drv_key]
+            circuit.add_vsource("Vin", "vin", GROUND, case.input_ramp)
+            circuit.add_resistor(
+                "Rdrv", "vin", drv_node, case.driver_resistance
+            )
+            stats = dict(circuit.stats())
+        build_seconds = build_sp.duration or 0.0
+
+        with span("flow.solve") as solve_sp:
+            with activate(report):
+                result = transient_analysis(
+                    circuit, case.t_stop, case.dt,
+                    record=list(sink_nodes.values()),
+                )
+        solve_seconds = solve_sp.duration or 0.0
     waveforms = {
         name: result.voltage(node) for name, node in sink_nodes.items()
     }

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.circuit.linalg import SingularCircuitError
 from repro.circuit.netlist import Circuit
+from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.checkpoint import (
     CheckpointConfig,
@@ -464,21 +465,28 @@ def extract_loop_impedance(
             seg.width, seg.thickness, f_max, rho, max_per_axis=5
         )
 
-    circuit, node_by_point = _build_rl_circuit(segments, layout, grid_for)
+    with span("loop.build", segments=len(segments)) as build_sp:
+        circuit, node_by_point = _build_rl_circuit(segments, layout, grid_for)
 
-    sig_node = _node_at_tap(layout, node_by_point, port.signal, segments)
-    ref_node = _node_at_tap(layout, node_by_point, port.reference, segments)
-    short_a = _node_at_tap(layout, node_by_point, port.short_signal, segments)
-    short_b = _node_at_tap(layout, node_by_point, port.short_reference, segments)
-    circuit.add_resistor("Rshort", short_a, short_b, short_resistance)
+        sig_node = _node_at_tap(layout, node_by_point, port.signal, segments)
+        ref_node = _node_at_tap(layout, node_by_point, port.reference, segments)
+        short_a = _node_at_tap(
+            layout, node_by_point, port.short_signal, segments
+        )
+        short_b = _node_at_tap(
+            layout, node_by_point, port.short_reference, segments
+        )
+        circuit.add_resistor("Rshort", short_a, short_b, short_resistance)
+        num_filaments = circuit.num_inductor_branches
+        build_sp.attrs["filaments"] = num_filaments
 
-    num_filaments = circuit.num_inductor_branches
     policy = policy or default_policy()
     report = current_run_report() or RunReport()
-    z = _sweep_impedance(
-        circuit, freqs, (sig_node, ref_node), 1e-12, policy, checkpoint,
-        report, workers=workers,
-    )
+    with span("loop.sweep", points=len(freqs), filaments=num_filaments):
+        z = _sweep_impedance(
+            circuit, freqs, (sig_node, ref_node), 1e-12, policy, checkpoint,
+            report, workers=workers,
+        )
     return LoopExtractionResult(
         frequencies=freqs, impedance=z, num_filaments=num_filaments,
         report=report,

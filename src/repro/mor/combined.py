@@ -20,13 +20,13 @@ equivalent of "combined with the gate models and simulated in SPICE".
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 from repro.mor.ports import NodePort
 from repro.mor.prima import ReducedOrderModel, prima_reduce
+from repro.obs.trace import span
 
 
 @dataclass
@@ -89,18 +89,17 @@ def combined_reduction(
         )
     system = MNASystem(circuit)
     ports = [NodePort(n, name=n) for n in active_nodes]
-    start = time.perf_counter()
-    model = prima_reduce(
-        system,
-        inputs=ports,
-        order=order,
-        outputs=list(active_nodes) + list(output_nodes),
-        s0_hz=s0_hz,
-    )
-    elapsed = time.perf_counter() - start
+    with span("mor.reduce", size=system.size, order=order) as sp:
+        model = prima_reduce(
+            system,
+            inputs=ports,
+            order=order,
+            outputs=list(active_nodes) + list(output_nodes),
+            s0_hz=s0_hz,
+        )
     return CombinedFlowResult(
         model=model,
         active_ports=ports,
         full_size=system.size,
-        reduction_seconds=elapsed,
+        reduction_seconds=sp.duration or 0.0,
     )

@@ -30,6 +30,7 @@ from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 from repro.circuit.elements import StateSpaceElement
 from repro.mor.ports import NodePort, input_matrix, output_matrix
+from repro.obs.trace import span
 
 
 @dataclass
@@ -238,6 +239,19 @@ def prima_reduce(
             "PRIMA reduces the *linear* portion; remove nonlinear devices "
             "and re-attach them to the reduced macromodel's ports"
         )
+    inputs = list(inputs)
+    with span("mor.prima", size=system.size, order=order, ports=len(inputs)):
+        return _prima_project(system, inputs, order, outputs, s0_hz, drop_tol)
+
+
+def _prima_project(
+    system: MNASystem,
+    inputs,
+    order: int,
+    outputs,
+    s0_hz: float,
+    drop_tol: float,
+) -> ReducedOrderModel:
     g_matrix, c_matrix = system.build_matrices()
     b = input_matrix(system, list(inputs))
 

@@ -1,0 +1,49 @@
+"""Observability: tracing, metrics, and profiling for every flow.
+
+Zero-dependency measurement substrate (paper Section 4's argument is
+quantitative; this layer produces the numbers):
+
+* :mod:`repro.obs.trace` -- nestable spans with wall time, attributes,
+  and exception capture; worker span trees merge across the perf
+  process pool.
+* :mod:`repro.obs.metrics` -- process-wide counters / gauges /
+  histograms with JSON and Prometheus-style export.
+* :mod:`repro.obs.profile` -- opt-in (``REPRO_PROFILE=1``) cProfile
+  dumps per top-level span.
+
+Surface via ``repro trace`` and ``--trace-json`` on the CLI.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.trace import (
+    Span,
+    Trace,
+    current_span,
+    current_span_path,
+    current_trace,
+    graft_spans,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "Span",
+    "Trace",
+    "current_span",
+    "current_span_path",
+    "current_trace",
+    "graft_spans",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,245 @@
+"""Process-wide counters, gauges, and histograms.
+
+Spans (:mod:`repro.obs.trace`) answer *where time went*; metrics answer
+*how much work happened*: solver escalation attempts, Newton iterations,
+extraction-cache hits and misses, process-pool utilization, sparsifier
+drop ratios, MNA matrix density.  These are the Table-1 columns that are
+not seconds.
+
+One :class:`MetricsRegistry` (:data:`REGISTRY`) lives per process; the
+module-level :func:`counter` / :func:`gauge` / :func:`histogram` helpers
+create-or-fetch instruments by name.  All mutation is lock-protected, so
+instrumented code can run from any thread.  Pool workers are separate
+processes with their own (empty) registry; the perf layer ships each
+worker's :meth:`~MetricsRegistry.export` back with its results and the
+parent folds it in with :meth:`~MetricsRegistry.merge` -- counters and
+histograms add, gauges last-write-wins.
+
+``export()`` gives the JSON form (embedded in ``--trace-json`` output);
+``render_prometheus()`` gives a Prometheus-style text dump for eyeballs
+or scraping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+_INVALID = frozenset(' "\n\t{}')
+
+
+def _check_name(name: str) -> str:
+    if not name or any(ch in _INVALID for ch in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (resets only with the registry)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (pool width, matrix density)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max).
+
+    Deliberately bucket-free: the consumers here want totals and
+    extremes (worst Newton count, largest solve), not quantiles, and a
+    summary merges exactly across pool workers.
+    """
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Create-or-fetch instrument store with JSON/Prometheus export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(
+                    _check_name(name), self._lock
+                )
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(_check_name(name), self._lock)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(
+                    _check_name(name), self._lock
+                )
+            return inst
+
+    # -- export / merge ----------------------------------------------------
+
+    def export(self) -> dict[str, Any]:
+        """JSON-able snapshot: counters, gauges, histogram summaries."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, exported: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`export` into this one.
+
+        Counters and histogram count/sum add; histogram min/max widen;
+        gauges take the incoming value (last-write-wins).
+        """
+        for name, value in exported.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in exported.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in exported.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count == 0:
+                continue
+            with self._lock:
+                hist.count += count
+                hist.total += float(summary.get("sum", 0.0))
+                hist.min = min(hist.min, float(summary.get("min", math.inf)))
+                hist.max = max(hist.max, float(summary.get("max", -math.inf)))
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition (names: dots become ``_``)."""
+
+        def mangle(name: str) -> str:
+            return name.replace(".", "_").replace("-", "_")
+
+        lines: list[str] = []
+        snap = self.export()
+        for name, value in snap["counters"].items():
+            m = mangle(name)
+            lines.append(f"# TYPE {m} counter")
+            lines.append(f"{m} {value:g}")
+        for name, value in snap["gauges"].items():
+            m = mangle(name)
+            lines.append(f"# TYPE {m} gauge")
+            lines.append(f"{m} {value:g}")
+        for name, summary in snap["histograms"].items():
+            m = mangle(name)
+            lines.append(f"# TYPE {m} summary")
+            lines.append(f"{m}_count {summary.get('count', 0):g}")
+            lines.append(f"{m}_sum {summary.get('sum', 0.0):g}")
+            if summary.get("count"):
+                lines.append(f"{m}_min {summary['min']:g}")
+                lines.append(f"{m}_max {summary['max']:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, pool-worker chunk isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every instrumented module records into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Process-wide counter by name (created on first use)."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Process-wide gauge by name (created on first use)."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Process-wide histogram by name (created on first use)."""
+    return REGISTRY.histogram(name)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]

@@ -1,0 +1,73 @@
+"""Opt-in cProfile hooks for top-level spans.
+
+``REPRO_PROFILE=1`` arms per-span profiling: every **top-level** span
+(one entered with no span already open -- a whole flow, a whole sweep)
+runs under its own :class:`cProfile.Profile`, and on exit the stats are
+written as ``<REPRO_PROFILE_DIR>/<span name>_<seq>.pstats`` for
+``snakeviz`` / ``pstats`` digestion.  Nested spans are not profiled
+separately (the enclosing profile already covers them, and cProfile
+instances do not nest).
+
+Off by default because cProfile's per-call hook costs far more than the
+3% tracing budget; this is the "why is this stage slow" drill-down, not
+the always-on layer.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import re
+from pathlib import Path
+
+_SEQ = 0
+
+
+def profile_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a truthy value."""
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in (
+        "1", "true", "on", "yes"
+    )
+
+
+def profile_dir() -> Path:
+    """Output directory (``REPRO_PROFILE_DIR``, default cwd)."""
+    return Path(os.environ.get("REPRO_PROFILE_DIR", "").strip() or ".")
+
+
+def _stats_path(name: str) -> Path:
+    global _SEQ
+    _SEQ += 1
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+    return profile_dir() / f"{safe}_{_SEQ:03d}.pstats"
+
+
+def start(name: str) -> cProfile.Profile | None:
+    """Begin profiling a top-level span; None when disabled.
+
+    Returns None (rather than raising) if another profiler is already
+    active in this process -- cProfile instances cannot nest.
+    """
+    if not profile_enabled():
+        return None
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+    except ValueError:
+        return None  # another profiler already owns the hook
+    return profiler
+
+
+def finish(profiler: cProfile.Profile, name: str) -> Path | None:
+    """Stop a profiler and dump ``<name>_<seq>.pstats``; best-effort."""
+    profiler.disable()
+    path = _stats_path(name)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))
+    except OSError:
+        return None  # profiling must never take the run down with it
+    return path
+
+
+__all__ = ["profile_enabled", "profile_dir", "start", "finish"]

@@ -35,7 +35,13 @@ from repro.extraction.resistance import segment_resistance, via_resistance
 from repro.geometry.clocktree import TapPoint
 from repro.geometry.layout import Layout, quantize_point
 from repro.geometry.segment import Direction, Segment
-from repro.sparsify.base import DenseInductance, InductanceBlocks, Sparsifier
+from repro.obs.trace import span
+from repro.sparsify.base import (
+    DenseInductance,
+    InductanceBlocks,
+    Sparsifier,
+    traced_apply,
+)
 
 
 @dataclass
@@ -223,6 +229,16 @@ def build_peec_model(layout: Layout, options: PEECOptions | None = None) -> PEEC
         The compiled model.
     """
     options = options or PEECOptions()
+    with span(
+        "peec.assembly",
+        layout=layout.name,
+        segments=len(layout.segments),
+        inductance=options.include_inductance,
+    ):
+        return _build_peec_model(layout, options)
+
+
+def _build_peec_model(layout: Layout, options: PEECOptions) -> PEECModel:
     circuit = Circuit(name=f"peec:{layout.name}")
 
     segments = _split_segments(
@@ -275,7 +291,7 @@ def build_peec_model(layout: Layout, options: PEECOptions | None = None) -> PEEC
 
             blocks, _ = sparsify_with_fallback(extraction, sparsifier)
         else:
-            blocks = sparsifier.apply(extraction)
+            blocks = traced_apply(sparsifier, extraction)
         _stamp_rl(circuit, inplane, branch_nodes, blocks, layer_of)
     else:
         extraction = None

@@ -38,6 +38,8 @@ from typing import Any, Hashable, Iterable
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 
 class LRUCache:
     """A small bounded mapping with least-recently-used eviction.
@@ -211,18 +213,22 @@ def load_matrix(digest: str) -> np.ndarray | None:
         return None
     cached = _MEMO.get(digest)
     if cached is not None:
+        obs_metrics.counter("extraction.cache.memory_hits").inc()
         return cached.copy()
     path = _disk_path(digest)
     if path is None or not path.exists():
         if path is not None:
             _DISK_MISSES += 1
+        obs_metrics.counter("extraction.cache.misses").inc()
         return None
     try:
         with np.load(path, allow_pickle=False) as data:
             matrix = np.asarray(data["matrix"])
     except (OSError, ValueError, KeyError):
+        obs_metrics.counter("extraction.cache.misses").inc()
         return None  # corrupt/foreign file: treat as miss, recompute
     _DISK_HITS += 1
+    obs_metrics.counter("extraction.cache.disk_hits").inc()
     _MEMO.put(digest, matrix)
     return matrix.copy()
 
@@ -231,6 +237,7 @@ def store_matrix(digest: str, matrix: np.ndarray) -> None:
     """Insert a freshly computed matrix into both tiers."""
     if not cache_enabled():
         return
+    obs_metrics.counter("extraction.cache.stores").inc()
     matrix = np.array(matrix, copy=True)
     matrix.setflags(write=False)
     _MEMO.put(digest, matrix)

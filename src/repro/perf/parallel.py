@@ -37,6 +37,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    detached_stack, export_spans, graft_spans, span, tracing,
+)
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.policy import ResiliencePolicy, default_policy
@@ -145,6 +149,18 @@ def solve_points(
     sparse = sp.issparse(spec.g_matrix)
     out = np.zeros((len(freqs), spec.row_size), dtype=complex)
     notes: list[str] = []
+    with span("sweep.solve", points=len(freqs), site=spec.site):
+        _solve_points_into(spec, freqs, sparse, out, notes)
+    return out, notes
+
+
+def _solve_points_into(
+    spec: SweepSpec,
+    freqs: np.ndarray,
+    sparse: bool,
+    out: np.ndarray,
+    notes: list[str],
+) -> None:
     for k, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
         if sparse:
@@ -176,7 +192,6 @@ def solve_points(
             out[k, 0] = vp - vm
         else:
             out[k] = x
-    return out, notes
 
 
 # -- pool plumbing -----------------------------------------------------------
@@ -191,9 +206,28 @@ def _init_worker(spec: SweepSpec) -> None:
 
 def _solve_chunk(
     chunk_id: int, freqs: np.ndarray
-) -> tuple[int, np.ndarray, list[str]]:
-    rows, notes = solve_points(_WORKER_SPEC, freqs)
-    return chunk_id, rows, notes
+) -> tuple[int, np.ndarray, list[str], list[dict], dict]:
+    """Worker body: solve one chunk under a private trace.
+
+    The worker has no access to the parent's collector, so it records
+    its spans in a local :class:`~repro.obs.trace.Trace` and ships the
+    serialized tree (plus its metrics export) back with the results --
+    the same channel the retry notes already use.  The registry is reset
+    per chunk: pool workers are persistent, and without the reset a
+    worker's second chunk would re-ship (and the parent re-merge) the
+    first chunk's counts.  The span stack is detached for the same
+    reason: a fork-started worker inherits the span that was open in the
+    parent at fork time, and without the detach the chunk span would
+    attach to that dead copy instead of the private trace.
+    """
+    obs_metrics.REGISTRY.reset()
+    with detached_stack(), tracing() as trace:
+        with span("sweep.chunk", chunk=chunk_id, points=len(freqs)):
+            rows, notes = solve_points(_WORKER_SPEC, freqs)
+    return (
+        chunk_id, rows, notes,
+        export_spans(trace), obs_metrics.REGISTRY.export(),
+    )
 
 
 def parallel_sweep(
@@ -266,6 +300,7 @@ def parallel_sweep(
             initargs=(spec,),
         )
     except (InjectedFault, OSError, ImportError, PermissionError) as exc:
+        obs_metrics.counter("pool.fallback_serial").inc()
         if report is not None:
             report.record_downgrade(
                 "perf",
@@ -274,6 +309,10 @@ def parallel_sweep(
                 f"process pool unavailable: {exc}",
             )
         return serial(chunks)
+
+    obs_metrics.gauge("pool.workers").set(min(workers, len(chunks)))
+    obs_metrics.counter("pool.chunks").inc(len(chunks))
+    obs_metrics.counter("pool.points").inc(int(all_indices.size))
 
     from concurrent.futures.process import BrokenProcessPool
 
@@ -290,12 +329,14 @@ def parallel_sweep(
             for fut in done:
                 idx = futures[fut]
                 try:
-                    _, rows, notes = fut.result()
+                    _, rows, notes, worker_spans, worker_metrics = fut.result()
                 except BaseException as exc:  # keep completed work, then raise
                     if failure is None:
                         failure = exc
                     unfinished.append(idx)
                     continue
+                graft_spans(worker_spans)
+                obs_metrics.REGISTRY.merge(worker_metrics)
                 for note in notes:
                     if report is not None:
                         report.record_retry(spec.site, note)
@@ -312,6 +353,7 @@ def parallel_sweep(
     if isinstance(failure, BrokenProcessPool):
         # The pool died out from under us (a worker was killed); the math
         # is still sound, so finish the stranded chunks serially.
+        obs_metrics.counter("pool.fallback_serial").inc()
         if report is not None:
             report.record_downgrade(
                 "perf",

@@ -18,6 +18,11 @@ QA104  ``float(...)`` applied to a complex-valued AC result (attribute named
 QA105  a bare ``except``/``except Exception`` whose body is only ``pass`` --
        silently swallowing failures defeats the resilience layer's logging;
        catch the narrow type, or record the downgrade in a RunReport.
+QA106  ad-hoc wall-clock timing (``time.time()`` / ``time.perf_counter()`` /
+       ``time.monotonic()`` / ``time.process_time()``) outside
+       :mod:`repro.obs` and ``perf/bench.py`` -- wrap the stage in a
+       ``repro.obs.trace.span`` instead so the measurement lands in the
+       trace tree.
 ====== ========================================================================
 
 Suppress a single line with a trailing ``# qa: ignore`` (all rules) or
@@ -42,7 +47,11 @@ LINT_RULES: dict[str, str] = {
     "QA103": "package __init__.py re-exports names without __all__",
     "QA104": "float() of a complex AC result (impedance/admittance/transfer)",
     "QA105": "broad except clause that silently passes",
+    "QA106": "ad-hoc timing call outside repro.obs (use a span)",
 }
+
+#: ``time``-module functions QA106 treats as ad-hoc timers.
+_TIMING_FUNCS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
 
 #: Attribute names that carry complex AC results in this codebase.
 _COMPLEX_ATTRS = frozenset({"impedance", "admittance", "transfer"})
@@ -69,14 +78,20 @@ def _suppressed_rules(line: str) -> frozenset[str] | None:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, lines: Sequence[str]) -> None:
+    def __init__(
+        self, path: str, lines: Sequence[str], check_timing: bool = True
+    ) -> None:
         self.path = path
         self.lines = lines
+        self.check_timing = check_timing
         self.findings: list[Diagnostic] = []
         # Names bound to numpy.linalg / scipy.linalg modules, and names
         # bound directly to their `inv` function.
         self._linalg_aliases: set[str] = set()
         self._inv_aliases: set[str] = set()
+        # Names bound to the `time` module / its timing functions (QA106).
+        self._time_aliases: set[str] = set()
+        self._timing_func_aliases: set[str] = set()
 
     # -- reporting ---------------------------------------------------------
 
@@ -100,6 +115,8 @@ class _Visitor(ast.NodeVisitor):
         for alias in node.names:
             if alias.name in _LINALG_MODULES:
                 self._linalg_aliases.add(alias.asname or alias.name)
+            elif alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -111,6 +128,10 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name == "linalg":
                     self._linalg_aliases.add(alias.asname or "linalg")
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIMING_FUNCS:
+                    self._timing_func_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # -- QA101 / QA104 -----------------------------------------------------
@@ -150,7 +171,26 @@ class _Visitor(ast.NodeVisitor):
                         "use .real, .imag, or abs() explicitly",
                     )
                     break
+        if self.check_timing and self._is_timing_call(node.func):
+            self._report(
+                "QA106", node,
+                "ad-hoc wall-clock timing outside repro.obs",
+                "wrap the stage in repro.obs.trace.span(...) and read "
+                "sp.duration, so the measurement lands in the trace tree; "
+                "silence a deliberate raw timer with '# qa: ignore[QA106]'",
+            )
         self.generic_visit(node)
+
+    def _is_timing_call(self, func: ast.expr) -> bool:
+        """QA106: ``time.perf_counter()`` / bare imported ``perf_counter()``."""
+        if isinstance(func, ast.Name):
+            return func.id in self._timing_func_aliases
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in _TIMING_FUNCS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        )
 
     # -- QA102 -------------------------------------------------------------
 
@@ -246,6 +286,18 @@ def _check_init_all(path: Path, tree: ast.Module, lines: Sequence[str],
     ))
 
 
+def _qa106_exempt(path: Path) -> bool:
+    """Files allowed to call raw timers: the obs layer itself (it *is* the
+    timing machinery) and the benchmark harness (whose product is raw
+    wall-clock numbers)."""
+    posix = path.as_posix()
+    return (
+        "/obs/" in posix
+        or posix.endswith("perf/bench.py")
+        or path.parent.name == "obs"
+    )
+
+
 def lint_file(path: str | Path) -> list[Diagnostic]:
     """Lint one Python source file; returns its findings."""
     path = Path(path)
@@ -261,7 +313,7 @@ def lint_file(path: str | Path) -> list[Diagnostic]:
             location=f"{path}:{exc.lineno or 1}:{exc.offset or 0}",
             hint="fix the syntax error",
         )]
-    visitor = _Visitor(str(path), lines)
+    visitor = _Visitor(str(path), lines, check_timing=not _qa106_exempt(path))
     visitor.visit(tree)
     findings = visitor.findings
     if path.name == "__init__.py":
@@ -298,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa.astlint``."""
     parser = argparse.ArgumentParser(
         prog="repro.qa.astlint",
-        description="repo-specific AST lint (QA101-QA105)",
+        description="repo-specific AST lint (QA101-QA106)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

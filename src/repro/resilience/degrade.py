@@ -16,7 +16,12 @@ from __future__ import annotations
 from repro.extraction.partial_matrix import PartialInductanceResult
 from repro.resilience import faults
 from repro.resilience.report import RunReport, current_run_report
-from repro.sparsify.base import DenseInductance, InductanceBlocks, Sparsifier
+from repro.sparsify.base import (
+    DenseInductance,
+    InductanceBlocks,
+    Sparsifier,
+    traced_apply,
+)
 from repro.sparsify.block_diagonal import BlockDiagonalSparsifier
 from repro.sparsify.stability import is_positive_definite
 
@@ -68,7 +73,7 @@ def sparsify_with_fallback(
         reason = None
         try:
             faults.maybe_fail(f"sparsify.{strategy.name}")
-            blocks = strategy.apply(extraction)
+            blocks = traced_apply(strategy, extraction)
             if (
                 check_passivity
                 and not isinstance(strategy, DenseInductance)

@@ -101,14 +101,19 @@ class RunEvent:
             ``"checkpoint"`` / ``"resume"`` / ``"source-stepping"``.
         stage: Where it happened (``"sparsify"``, ``"transient"``, ...).
         detail: Human-readable specifics.
+        span: Open-span path at recording time (``"flow.peec/flow.solve/
+            circuit.transient"``), tying the event to the trace tree;
+            empty outside any span.
     """
 
     kind: str
     stage: str
     detail: str
+    span: str = ""
 
     def format(self) -> str:
-        return f"{self.kind} [{self.stage}] {self.detail}"
+        where = f" @ {self.span}" if self.span else ""
+        return f"{self.kind} [{self.stage}] {self.detail}{where}"
 
 
 class RunReport:
@@ -126,7 +131,14 @@ class RunReport:
     # -- recording ---------------------------------------------------------
 
     def record(self, kind: str, stage: str, detail: str) -> None:
-        self.events.append(RunEvent(kind=kind, stage=stage, detail=detail))
+        from repro.obs.trace import current_span_path
+
+        self.events.append(
+            RunEvent(
+                kind=kind, stage=stage, detail=detail,
+                span=current_span_path(),
+            )
+        )
 
     def record_downgrade(self, stage: str, from_: str, to: str, reason: str) -> None:
         self.record("downgrade", stage, f"{from_} -> {to}: {reason}")

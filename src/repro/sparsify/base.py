@@ -94,3 +94,35 @@ class DenseInductance(Sparsifier):
         return InductanceBlocks(
             kind="L", blocks=[(list(range(n)), result.matrix.copy())]
         )
+
+
+def traced_apply(
+    sparsifier: Sparsifier, result: PartialInductanceResult
+) -> InductanceBlocks:
+    """Apply a sparsifier under a ``sparsify.<name>`` span.
+
+    Wrapping here (instead of in the abstract ``apply``) keeps existing
+    subclasses untouched; the span records how many mutual couplings the
+    strategy kept versus the dense extraction, and the drop ratio is
+    published as a metric so a ``--trace-json`` dump shows how aggressive
+    each Section-4 strategy was on the actual layout.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import span
+
+    with span(f"sparsify.{sparsifier.name}", segments=result.size) as sp:
+        blocks = sparsifier.apply(result)
+        total = result.num_mutuals
+        kept = blocks.num_mutuals
+        dropped = max(total - kept, 0)
+        ratio = dropped / total if total else 0.0
+        sp.attrs.update(
+            mutuals_total=total, mutuals_kept=kept,
+            drop_ratio=round(ratio, 6),
+        )
+        obs_metrics.counter("sparsify.mutuals_kept").inc(kept)
+        obs_metrics.counter("sparsify.mutuals_dropped").inc(dropped)
+        obs_metrics.gauge(
+            f"sparsify.{sparsifier.name}.drop_ratio"
+        ).set(ratio)
+        return blocks

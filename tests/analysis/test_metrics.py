@@ -54,6 +54,38 @@ class TestThresholdCrossing:
         tc = threshold_crossing(t, v, level)
         assert tc == pytest.approx(np.sqrt(level), abs=0.02)
 
+    def test_tangent_touch_is_not_a_crossing(self):
+        # Regression: a waveform that merely touches the level at one
+        # sample and retreats never crosses it; the old >=-based flip
+        # detection reported a spurious crossing at the touch.
+        t = np.linspace(0, 4, 5)
+        v = np.array([0.0, 0.5, 0.0, 0.0, 0.0])  # touches 0.5, no cross
+        with pytest.raises(ValueError):
+            threshold_crossing(t, v, 0.5)
+
+    def test_exact_sample_on_level_crossing(self):
+        # Sitting exactly on the level while passing through IS a
+        # crossing, timed at the first on-level sample.
+        t = np.linspace(0, 3, 4)
+        v = np.array([0.0, 0.5, 1.0, 1.0])
+        assert threshold_crossing(t, v, 0.5) == pytest.approx(1.0)
+
+    def test_touch_then_later_real_crossing(self):
+        # The tangent touch must be skipped in favor of the genuine
+        # crossing further on.
+        t = np.linspace(0, 5, 6)
+        v = np.array([0.0, 0.5, 0.0, 0.0, 1.0, 1.0])
+        tc = threshold_crossing(t, v, 0.5, rising=True)
+        assert tc == pytest.approx(3.5)
+
+    def test_start_filters_on_crossing_time(self):
+        # A crossing whose interpolated time falls before ``start`` is
+        # skipped even though its bracketing samples straddle ``start``.
+        t = np.linspace(0, 4, 5)
+        v = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        late = threshold_crossing(t, v, 0.5, rising=True, start=0.75)
+        assert late == pytest.approx(2.5)
+
 
 class TestDelays:
     def test_delay_50_ideal_shift(self):

@@ -38,6 +38,39 @@ class TestEdgeSpectrum:
         with pytest.raises(ValueError):
             edge_spectrum(np.zeros(2), np.zeros(2))
 
+    def test_single_sided_amplitude_calibration(self):
+        # Regression: the spectrum is single-sided, so interior bins must
+        # be doubled -- a pure on-grid sinusoid of amplitude A has to show
+        # a bin of height A, not A/2.
+        amplitude = 0.7
+        t = np.linspace(0, 8e-9, 512, endpoint=False)
+        v = amplitude * np.sin(2 * np.pi * 1e9 * t)
+        freqs, amps = edge_spectrum(t, v)
+        assert amps.max() == pytest.approx(amplitude, rel=1e-9)
+
+    def test_nyquist_bin_is_not_doubled(self):
+        # The rfft keeps Nyquist once for even N; doubling it would
+        # overstate its amplitude by 2x.
+        n = 64
+        t = np.arange(n) * 1e-12
+        v = 0.3 * np.cos(np.pi * np.arange(n))  # exactly at Nyquist
+        freqs, amps = edge_spectrum(t, v)
+        assert amps[-1] == pytest.approx(0.3, rel=1e-9)
+
+    def test_parseval_consistency(self):
+        # Summed single-sided power equals the waveform's AC power.
+        rng = np.random.default_rng(7)
+        n = 256
+        t = np.arange(n) * 1e-12
+        v = rng.standard_normal(n)
+        _, amps = edge_spectrum(t, v)
+        ac = v - v.mean()
+        power = np.mean(ac**2)
+        # DC once, Nyquist once, interior bins carry half their doubled
+        # amplitude squared.
+        folded = amps[0] ** 2 + amps[-1] ** 2 + np.sum(amps[1:-1] ** 2) / 2
+        assert folded == pytest.approx(power, rel=1e-9)
+
 
 class TestSpectralKnee:
     def test_faster_edge_has_higher_knee(self):

@@ -59,6 +59,23 @@ class TestPulse:
         with pytest.raises(ValueError):
             Pulse(0, 1, rise_time=0.0)
 
+    def test_rejects_period_shorter_than_shape(self):
+        # Regression: a period shorter than rise + width + fall would
+        # silently truncate the pulse mid-edge on every wrap.
+        with pytest.raises(ValueError, match="period"):
+            Pulse(v0=0.0, v1=1.0, rise_time=1e-9, fall_time=1e-9,
+                  width=2e-9, period=3e-9)
+
+    def test_period_exactly_covering_shape_is_fine(self):
+        w = Pulse(v0=0.0, v1=1.0, rise_time=1e-9, fall_time=1e-9,
+                  width=2e-9, period=4e-9)
+        assert w(0.5e-9) == pytest.approx(0.5)
+
+    def test_zero_period_means_single_pulse(self):
+        w = Pulse(v0=0.0, v1=1.0, rise_time=1e-9, fall_time=1e-9,
+                  width=2e-9, period=0.0)
+        assert w(100e-9) == 0.0
+
 
 class TestPWL:
     def test_interpolation_and_clamping(self):
@@ -75,6 +92,23 @@ class TestPWL:
     def test_requires_points(self):
         with pytest.raises(ValueError):
             PWL(points=())
+
+    def test_time_axis_is_precomputed_once(self):
+        # Regression: __call__ sits in the transient inner loop and used
+        # to rebuild the times list on every evaluation; the axis is now
+        # cached at construction on the frozen instance.
+        w = PWL(points=((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+        assert w._times == (0.0, 1e-9, 2e-9)
+        assert w._times is w._times  # stable cached object
+        assert w(0.5e-9) == pytest.approx(0.5)
+        assert w(1.5e-9) == pytest.approx(0.75)
+
+    def test_points_are_normalized_to_float_tuples(self):
+        # Integer/mixed input points are coerced once at construction so
+        # the interpolation arithmetic never re-coerces in the hot loop.
+        w = PWL(points=[(0, 0), (2, 4)])
+        assert w.points == ((0.0, 0.0), (2.0, 4.0))
+        assert w(1) == pytest.approx(2.0)
 
 
 class TestSine:

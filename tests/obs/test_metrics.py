@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, export/merge round-trip, rendering."""
+
+import pytest
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, registry):
+        c = registry.counter("newton.iterations")
+        c.inc()
+        c.inc(4)
+        assert registry.counter("newton.iterations").value == 5.0
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self, registry):
+        g = registry.gauge("pool.workers")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_summary(self, registry):
+        h = registry.histogram("solve.seconds")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.summary() == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_empty_histogram_summary(self, registry):
+        assert registry.histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+    def test_create_or_fetch_is_idempotent(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "has space", 'quo"te', "brace{y}"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+
+class TestExportMerge:
+    def populate(self, registry):
+        registry.counter("steps").inc(10)
+        registry.gauge("size").set(573)
+        registry.histogram("dt").observe(1e-12)
+        registry.histogram("dt").observe(3e-12)
+
+    def test_export_shape(self, registry):
+        self.populate(registry)
+        snap = registry.export()
+        assert snap["counters"] == {"steps": 10.0}
+        assert snap["gauges"] == {"size": 573.0}
+        assert snap["histograms"]["dt"]["count"] == 2
+
+    def test_merge_adds_counters_and_histograms(self, registry):
+        self.populate(registry)
+        other = MetricsRegistry()
+        self.populate(other)
+        other.gauge("size").set(99)
+        registry.merge(other.export())
+        snap = registry.export()
+        assert snap["counters"]["steps"] == 20.0
+        assert snap["gauges"]["size"] == 99.0  # last-write-wins
+        hist = snap["histograms"]["dt"]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(8e-12)
+        assert hist["min"] == pytest.approx(1e-12)
+        assert hist["max"] == pytest.approx(3e-12)
+
+    def test_merge_empty_export_is_a_no_op(self, registry):
+        self.populate(registry)
+        before = registry.export()
+        registry.merge(MetricsRegistry().export())
+        assert registry.export() == before
+
+    def test_merge_is_the_worker_wire_format(self, registry):
+        # Parent folds in exactly what a pool worker ships back.
+        worker = MetricsRegistry()
+        worker.counter("sweep.points").inc(7)
+        registry.merge(worker.export())
+        registry.merge(worker.export())
+        assert registry.export()["counters"]["sweep.points"] == 14.0
+
+
+class TestRender:
+    def test_prometheus_text(self, registry):
+        registry.counter("extraction.cache.misses").inc(2)
+        registry.gauge("mna.density").set(0.25)
+        registry.histogram("dt").observe(2.0)
+        text = registry.render_prometheus()
+        assert "# TYPE extraction_cache_misses counter" in text
+        assert "extraction_cache_misses 2" in text
+        assert "# TYPE mna_density gauge" in text
+        assert "dt_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+
+class TestReset:
+    def test_reset_drops_everything(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.reset()
+        snap = registry.export()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_module_registry_exists(self):
+        # The process-wide singleton the instrumented modules record to.
+        assert isinstance(REGISTRY, MetricsRegistry)

@@ -1,0 +1,90 @@
+"""Pool workers ship spans + metrics home; the parent grafts and merges.
+
+The process-pool sweep runs chunks in worker processes whose traces and
+registries are invisible to the parent.  :mod:`repro.perf.parallel`
+serializes each chunk's span tree and metrics export into the result
+tuple; the parent attaches the trees under its ``sweep.solve`` span and
+folds the metrics into the process-wide registry.  These tests run a
+real pool (workers > 1) and check both halves of that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_impedance
+from repro.circuit.netlist import GROUND, Circuit
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import tracing
+
+
+def rlc_ladder(n=6):
+    c = Circuit("ladder")
+    prev = "p"
+    for k in range(n):
+        mid = f"m{k}"
+        nxt = f"n{k}"
+        c.add_resistor(f"r{k}", prev, mid, 3.0 + k)
+        c.add_inductor(f"l{k}", mid, nxt, 1e-9)
+        c.add_capacitor(f"c{k}", nxt, GROUND, 0.2e-12)
+        prev = nxt
+    c.add_resistor("rterm", prev, GROUND, 50.0)
+    return c
+
+
+@pytest.fixture
+def clean_registry():
+    REGISTRY.reset()
+    yield REGISTRY
+    REGISTRY.reset()
+
+
+FREQS = np.logspace(6, 10, 9)
+
+
+class TestWorkerSpanMerge:
+    def test_chunk_spans_graft_under_open_span(self, clean_registry):
+        with tracing() as trace:
+            ac_impedance(rlc_ladder(), FREQS, ("p", GROUND), workers=3)
+        assert trace.complete
+
+        root = trace.find("circuit.ac.impedance")
+        assert root is not None
+        chunks = [c for c in root.children if c.name == "sweep.chunk"]
+        assert len(chunks) >= 2  # genuinely fanned out
+
+        # Chunk spans cover every point exactly once and keep their
+        # worker-side measurements, including the nested solve span.
+        assert sum(c.attrs["points"] for c in chunks) == FREQS.size
+        assert {c.attrs["chunk"] for c in chunks} == \
+            set(range(len(chunks)))
+        assert all(c.duration is not None and c.duration >= 0.0
+                   for c in chunks)
+        assert all(c.status == "ok" for c in chunks)
+        assert all(c.find("sweep.solve") is not None for c in chunks)
+
+    def test_pool_accounting_lands_in_registry(self, clean_registry):
+        ac_impedance(rlc_ladder(), FREQS, ("p", GROUND), workers=3)
+        snap = clean_registry.export()
+        assert snap["counters"]["pool.points"] == FREQS.size
+        assert snap["counters"]["pool.chunks"] >= 2
+        assert snap["gauges"]["pool.workers"] >= 2
+
+    def test_serial_sweep_records_no_chunks(self, clean_registry):
+        with tracing() as trace:
+            ac_impedance(rlc_ladder(), FREQS, ("p", GROUND), workers=1)
+        assert trace.complete
+        assert trace.find("circuit.ac.impedance") is not None
+        assert trace.find("sweep.chunk") is None
+        assert "pool.chunks" not in clean_registry.export()["counters"]
+
+    def test_chunk_spans_are_not_double_shipped(self, clean_registry):
+        # Persistent workers handle several chunks; each chunk runs under
+        # a fresh trace (and resets the worker registry), so the grafted
+        # forest must contain every chunk exactly once no matter how
+        # chunks land on workers.
+        with tracing() as trace:
+            ac_impedance(rlc_ladder(), FREQS, ("p", GROUND), workers=2)
+        chunks = [s for s in trace.iter_spans() if s.name == "sweep.chunk"]
+        ids = [c.attrs["chunk"] for c in chunks]
+        assert sorted(ids) == sorted(set(ids))
+        assert sum(c.attrs["points"] for c in chunks) == FREQS.size

@@ -206,6 +206,66 @@ class TestQA105SilentBroadExcept:
         assert findings == []
 
 
+class TestQA106AdHocTiming:
+    def test_time_module_call(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import time\n"
+            "t0 = time.perf_counter()\n"
+        ))
+        assert rules_fired(findings) == {"QA106"}
+
+    def test_from_import_alias(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "from time import perf_counter as pc\n"
+            "t0 = pc()\n"
+        ))
+        assert rules_fired(findings) == {"QA106"}
+
+    def test_module_alias(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import time as _t\n"
+            "t0 = _t.monotonic()\n"
+        ))
+        assert rules_fired(findings) == {"QA106"}
+
+    def test_sleep_is_clean(self, tmp_path):
+        # Only the clock reads are flagged, not the rest of the module.
+        findings = lint_source(tmp_path, (
+            "import time\n"
+            "time.sleep(0.1)\n"
+        ))
+        assert findings == []
+
+    def test_unrelated_name_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "def perf_counter():\n"
+            "    return 0\n"
+            "t0 = perf_counter()\n"
+        ))
+        assert findings == []
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        obs = tmp_path / "obs"
+        obs.mkdir()
+        path = obs / "trace.py"
+        path.write_text("import time\nt0 = time.perf_counter()\n")
+        assert lint_file(path) == []
+
+    def test_bench_module_is_exempt(self, tmp_path):
+        perf = tmp_path / "perf"
+        perf.mkdir()
+        path = perf / "bench.py"
+        path.write_text("import time\nt0 = time.perf_counter()\n")
+        assert lint_file(path) == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import time\n"
+            "t0 = time.perf_counter()  # qa: ignore[QA106]\n"
+        ))
+        assert findings == []
+
+
 class TestDriver:
     def test_syntax_error_reports_qa000(self, tmp_path):
         findings = lint_source(tmp_path, "def broken(:\n")

@@ -33,3 +33,48 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+    def test_trace_smoke(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--die", "250", "--json", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "flow.peec" in out
+        assert "trace: ok" in out
+
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["open_spans"] == 0
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for child in node.get("children", []):
+                walk(child)
+
+        for root in payload["spans"]:
+            walk(root)
+        assert {"flow.peec", "peec.assembly", "circuit.transient"} <= names
+        # The headline metrics are always present, even when zero.
+        counters = payload["metrics"]["counters"]
+        assert "extraction.cache.misses" in counters
+        assert "solver.escalated_solves" in counters
+
+    def test_run_is_an_alias_of_table1(self, capsys):
+        assert main(["run", "--die", "250", "--branches", "2"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_trace_json_wraps_a_command(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "loop_trace.json"
+        assert main(["loop", "--length", "300",
+                     "--trace-json", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(b)" in out
+        assert str(out_file) in out
+        payload = json.loads(out_file.read_text())
+        assert payload["open_spans"] == 0
+        roots = [s["name"] for s in payload["spans"]]
+        assert "loop.build" in roots
+        assert "loop.sweep" in roots
