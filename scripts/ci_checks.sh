@@ -31,4 +31,12 @@ python -m repro.cli bench --smoke --out /tmp/bench_ci_smoke.json \
     --baseline benchmarks/baseline_smoke.json --max-regression 2.0
 
 echo
+echo "== repro sweep --smoke (serial and sharded must be bit-identical) =="
+python -m repro.cli sweep --smoke --workers 1 --no-resume \
+    --store /tmp/sweep_ci_serial --out /tmp/sweep_ci_serial.json
+python -m repro.cli sweep --smoke --workers 2 --no-resume \
+    --store /tmp/sweep_ci_sharded --out /tmp/sweep_ci_sharded.json
+cmp /tmp/sweep_ci_serial.json /tmp/sweep_ci_sharded.json
+
+echo
 echo "ci_checks: all green"

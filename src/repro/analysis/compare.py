@@ -37,6 +37,14 @@ def compare_waveforms(
     va = np.asarray(values_a, dtype=float)
     tb = np.asarray(times_b, dtype=float)
     vb = np.asarray(values_b, dtype=float)
+    # Sort both series by time: np.interp silently returns garbage for
+    # descending or shuffled abscissae (a high-to-low sweep produces
+    # exactly that), and the overlap endpoints below assume ascending
+    # order too.  Same fix as LoopExtractionResult.at.
+    order_a = np.argsort(ta, kind="stable")
+    ta, va = ta[order_a], va[order_a]
+    order_b = np.argsort(tb, kind="stable")
+    tb, vb = tb[order_b], vb[order_b]
     lo = max(ta[0], tb[0])
     hi = min(ta[-1], tb[-1])
     if hi <= lo:

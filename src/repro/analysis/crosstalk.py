@@ -67,6 +67,16 @@ def worst_case_alignment(
         The best alignment found (exact when each response is unimodal).
     """
     t = np.asarray(times, dtype=float)
+    # Sort the time base and reorder every response with it: the peak
+    # search, the candidate linspace, and np.interp inside _shift all
+    # assume ascending times, and np.interp silently returns garbage on
+    # descending or shuffled grids (same fix as LoopExtractionResult.at).
+    order = np.argsort(t, kind="stable")
+    t = t[order]
+    responses = {
+        name: np.asarray(h, dtype=float)[order]
+        for name, h in responses.items()
+    }
     if set(responses) != set(windows):
         raise ValueError(
             f"responses/windows name mismatch: {sorted(responses)} vs "

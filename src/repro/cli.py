@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli resume run.ckpt [--info] [--out waves.csv]
     python -m repro.cli bench [--smoke] [--baseline benchmarks/baseline.json]
     python -m repro.cli trace [--die 300] [--json trace.json]
+    python -m repro.cli sweep spec.json [--workers 4] [--store DIR]
+                              [--no-resume] [--out results.json]
 
 ``table1`` (alias ``run``) runs the Section-6 model comparison, ``loop``
 the Figure-3 extraction sweep, ``design`` the Figure 5-9 studies, and
@@ -23,7 +25,9 @@ error-severity findings.  ``resume`` picks a crashed transient or loop
 sweep back up from its checkpoint file (see :mod:`repro.resilience`).
 ``bench`` times the hot paths (assembly, sparsification, loop sweep
 serial vs parallel, transient) and optionally gates against a checked-in
-baseline.  ``trace`` runs a small PEEC flow under the :mod:`repro.obs`
+baseline.  ``sweep`` runs a declarative scenario grid (design variant x
+geometry x sparsifier, see :mod:`repro.scenarios`) sharded over a
+process pool with per-scenario checkpointing and cross-run resume.  ``trace`` runs a small PEEC flow under the :mod:`repro.obs`
 span collector and prints the span tree plus the metrics registry,
 exiting non-zero on leaked (unclosed) spans or missing stages; the
 ``--trace-json`` flag on ``table1``/``run``/``loop``/``bench`` collects
@@ -291,6 +295,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import (
+        ResultStore,
+        format_comparison,
+        load_sweep_spec,
+        run_sweep,
+        smoke_spec,
+        write_results,
+    )
+
+    if args.smoke:
+        spec = smoke_spec()
+    elif args.spec:
+        try:
+            spec = load_sweep_spec(args.spec)
+        except ValueError as exc:
+            print(f"sweep: {exc}")
+            return 2
+    else:
+        print("sweep: need a spec file or --smoke")
+        return 2
+
+    store = ResultStore(Path(args.store)) if args.store else None
+    result = run_sweep(
+        spec, store=store, workers=args.workers, resume=args.resume
+    )
+    print(format_comparison(
+        result.records, title=f"scenario sweep -- {spec.name}"
+    ))
+    print(
+        f"sweep: {result.ok} ok, {result.failed} failed, "
+        f"{result.resumed} resumed, {result.computed} computed"
+    )
+    if not result.report.clean:
+        print(result.report.format())
+    if args.out:
+        write_results(result.records, args.out)
+        print(f"wrote {args.out}")
+    if result.records and result.failed == len(result.records):
+        return 1
+    if args.strict and result.failed:
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.qa import astlint
 
@@ -461,6 +512,30 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--json", default=None, metavar="PATH",
                          help="also write the span tree + metrics as JSON")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a declarative scenario sweep (JSON spec grid)"
+    )
+    p_sweep.add_argument("spec", nargs="?", default=None,
+                         help="sweep spec JSON (grid over scenario fields)")
+    p_sweep.add_argument("--smoke", action="store_true",
+                         help="run the built-in 4-scenario CI smoke grid")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool width (1 = serial; default "
+                              "REPRO_WORKERS, else CPU count)")
+    p_sweep.add_argument("--store", default=None, metavar="DIR",
+                         help="content-addressed result store directory "
+                              "(per-scenario checkpointing + resume)")
+    p_sweep.add_argument("--resume", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="serve scenarios already in the store "
+                              "instead of recomputing them")
+    p_sweep.add_argument("--out", default=None, metavar="PATH",
+                         help="write the canonical aggregated results JSON")
+    p_sweep.add_argument("--strict", action="store_true",
+                         help="exit non-zero if any scenario failed")
+    add_trace_json(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint")
     p_lint.add_argument("paths", nargs="*", default=["src"])

@@ -44,6 +44,7 @@ from repro.loop.extractor import LoopPort, extract_loop_impedance
 from repro.mor.combined import combined_reduction
 from repro.mor.ports import NodePort
 from repro.obs.trace import span
+from repro.peec.activity import DEFAULT_ACTIVITY_SEED, attach_switching_activity
 from repro.peec.model import PEECOptions, build_peec_model
 from repro.peec.package import PackageSpec, attach_package, attach_package_to_nodes
 from repro.resilience.report import RunReport, activate
@@ -63,6 +64,9 @@ class ClockNetTestCase:
         load_capacitance: Per-sink receiver load [F].
         t_stop: Transient horizon [s].
         dt: Transient step [s].
+        activity_seed: Seed for background switching-activity placement
+            and timing (``run_peec_flow(background_activity=...)``); part
+            of the test-case config so a flow run is reproducible.
     """
 
     layout: Layout
@@ -73,6 +77,7 @@ class ClockNetTestCase:
     load_capacitance: float = 30e-15
     t_stop: float = 1.2e-9
     dt: float = 2e-12
+    activity_seed: int = DEFAULT_ACTIVITY_SEED
 
     @property
     def input_ramp(self) -> Ramp:
@@ -238,6 +243,7 @@ def run_peec_flow(
     use_reduction: bool = False,
     reduction_order: int = 40,
     record_extra: tuple[str, ...] = (),
+    background_activity: int = 0,
 ) -> FlowResult:
     """Simulate the clock edge on the detailed PEEC model.
 
@@ -249,6 +255,10 @@ def run_peec_flow(
             simulate the reduced macromodel instead of the full circuit.
         reduction_order: PRIMA order when reducing.
         record_extra: Additional node names to record (advanced use).
+        background_activity: Number of background switching-activity
+            current sources to attach to the supply grids (0 = none);
+            placement and timing are seeded from ``case.activity_seed``,
+            so repeated runs of the same case are identical.
     """
     kind = "peec_rlc" if include_inductance else "peec_rc"
     report = RunReport()
@@ -270,6 +280,13 @@ def run_peec_flow(
                     f"Cload{k}", node, GROUND, case.load_capacitance
                 )
             drv_node = model.node_at(case.ports.driver)
+            if background_activity > 0:
+                attach_switching_activity(
+                    model,
+                    num_sources=background_activity,
+                    window=(0.0, min(0.5e-9, case.t_stop / 2)),
+                    seed=case.activity_seed,
+                )
             stats = dict(circuit.stats())
         build_seconds = build_sp.duration or 0.0
 

@@ -21,6 +21,37 @@ import scipy.optimize
 
 from repro.circuit.netlist import Circuit
 
+#: Relative tolerance within which a flat-or-slightly-inverted R(f)/L(f)
+#: trend is treated as boundary noise (clamped) rather than rejected.
+FLAT_REL_TOL = 1e-3
+
+#: Relative floor the clamped shunt-branch parameters are lifted to; tiny
+#: enough to leave the fitted Z(f) unchanged at any practical precision,
+#: positive enough to satisfy the ladder's strict positivity.
+POSITIVE_REL_FLOOR = 1e-9
+
+#: Smallest normal float; keeps log-space refinement exp() output positive.
+_TINY = float(np.finfo(float).tiny)
+
+#: Log-parameter bound for the refinement.  exp(+/-150) spans 1e-66 to
+#: 1e65 -- far beyond any physical R [ohm] or L [H] -- while keeping every
+#: product in Z(f) (r1 * s * l1 at s up to ~1e13) clear of float overflow.
+#: LM excursions beyond it carry no information about the fit.
+_LOG_BOUND = 150.0
+
+
+def _params_from_log(log_params: np.ndarray) -> np.ndarray:
+    """exp() of clipped log-parameters, lifted to the smallest normal.
+
+    The optimizer pushes a clamped boundary parameter hard toward +/-inf
+    in log space; unclipped, exp() overflows (warning -> error under the
+    test suite's warning filter) or underflows to 0.0 (violating the
+    ladder's strict positivity).
+    """
+    return np.maximum(
+        np.exp(np.clip(log_params, -_LOG_BOUND, _LOG_BOUND)), _TINY
+    )
+
 
 @dataclass(frozen=True)
 class LadderModel:
@@ -100,10 +131,16 @@ def fit_ladder(
     and, when ``refine`` is set, a least-squares polish makes the ladder
     interpolate both samples exactly (4 real equations, 4 unknowns).
 
+    Nearly frequency-independent samples -- R(f) and/or L(f) flat to
+    within :data:`FLAT_REL_TOL` -- sit on the boundary of what the ladder
+    can represent (R1 or L1 -> 0); the shunt-branch seed is clamped to a
+    tiny positive floor instead of raising, so extractions of structures
+    with negligible skin/proximity effect still fit.
+
     Raises:
-        ValueError: The samples do not show the rising-R / falling-L
-            signature the ladder can represent (e.g. both frequencies in
-            the same asymptotic regime).
+        ValueError: The samples show a clearly *inverted* trend the
+            ladder cannot represent (R falling or L rising with
+            frequency by more than :data:`FLAT_REL_TOL` relative).
     """
     if f_high <= f_low:
         raise ValueError("need f_high > f_low")
@@ -111,13 +148,19 @@ def fit_ladder(
     w_high = 2.0 * np.pi * f_high
     r_low, l_low = z_low.real, z_low.imag / w_low
     r_high, l_high = z_high.real, z_high.imag / w_high
-    if r_high <= r_low or l_high >= l_low:
+    dr = r_high - r_low
+    dl = l_low - l_high
+    r_scale = max(abs(r_low), abs(r_high))
+    l_scale = max(abs(l_low), abs(l_high))
+    if dr < -FLAT_REL_TOL * r_scale or dl < -FLAT_REL_TOL * l_scale:
         raise ValueError(
             f"samples not fittable by the ladder: need R rising "
             f"({r_low:.4g} -> {r_high:.4g}) and L falling "
             f"({l_low:.4g} -> {l_high:.4g}) with frequency"
         )
-    seed = np.array([r_low, l_high, r_high - r_low, l_low - l_high])
+    r1 = max(dr, POSITIVE_REL_FLOOR * r_scale, _TINY)
+    l1 = max(dl, POSITIVE_REL_FLOOR * l_scale, _TINY)
+    seed = np.array([r_low, l_high, r1, l1])
 
     if not refine:
         return LadderModel(*seed)
@@ -128,7 +171,7 @@ def fit_ladder(
     # Optimize in log space: parameters stay positive and the objective is
     # smooth (an abs() reparametrization has a kink that stalls LM).
     def residuals(log_params: np.ndarray) -> np.ndarray:
-        model = LadderModel(*np.exp(log_params))
+        model = LadderModel(*_params_from_log(log_params))
         z = model.impedance([f_low, f_high])
         return (
             np.array([z[0].real, z[0].imag, z[1].real, z[1].imag]) - targets
@@ -138,4 +181,4 @@ def fit_ladder(
         residuals, np.log(seed), method="lm",
         xtol=1e-15, ftol=1e-15, gtol=1e-15, max_nfev=5000,
     )
-    return LadderModel(*np.exp(sol.x))
+    return LadderModel(*_params_from_log(sol.x))

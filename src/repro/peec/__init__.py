@@ -11,7 +11,7 @@ pad/package RL models.
 from repro.peec.model import PEECModel, PEECOptions, build_peec_model
 from repro.peec.package import PackageSpec, attach_package, attach_package_to_nodes
 from repro.peec.decap import attach_decaps, estimate_decoupling_capacitance
-from repro.peec.activity import attach_switching_activity
+from repro.peec.activity import DEFAULT_ACTIVITY_SEED, attach_switching_activity
 from repro.peec.substrate import (
     SubstrateSpec,
     attach_nwell_capacitance,
@@ -28,6 +28,7 @@ __all__ = [
     "attach_decaps",
     "estimate_decoupling_capacitance",
     "attach_switching_activity",
+    "DEFAULT_ACTIVITY_SEED",
     "SubstrateSpec",
     "attach_substrate",
     "attach_nwell_capacitance",

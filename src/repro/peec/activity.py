@@ -20,6 +20,12 @@ import numpy as np
 from repro.circuit.waveforms import PWL
 from repro.peec.model import PEECModel
 
+#: Default seed for background-activity placement/timing.  Named (rather
+#: than an inline literal) so flow configs can reference the same value:
+#: table1/flow runs with background activity must be reproducible, and a
+#: silently unseeded generator here would make them differ run to run.
+DEFAULT_ACTIVITY_SEED = 101
+
 
 def triangular_pulse(
     start: float, peak_current: float, rise: float, fall: float
@@ -46,6 +52,7 @@ def attach_switching_activity(
     power_net: str = "VDD",
     ground_net: str = "GND",
     layer: str | None = None,
+    seed: int | None = None,
     rng: np.random.Generator | None = None,
 ) -> list[str]:
     """Attach randomized background-activity current sources.
@@ -61,7 +68,11 @@ def attach_switching_activity(
         ground_net: Ground net name (current injected here).
         layer: Attachment layer; ``None`` uses the lowest layer carrying
             both nets.
-        rng: Seeded generator for reproducible placement/timing.
+        seed: Seed for the default generator; ``None`` uses
+            :data:`DEFAULT_ACTIVITY_SEED` (so repeated runs place and
+            time the sources identically).
+        rng: Explicit generator for reproducible placement/timing;
+            overrides ``seed`` when given.
 
     Returns:
         Names of the current sources added.
@@ -70,7 +81,10 @@ def attach_switching_activity(
         raise ValueError("num_sources must be >= 1")
     if peak_current <= 0:
         raise ValueError("peak_current must be positive")
-    rng = rng or np.random.default_rng(101)
+    if rng is None:
+        rng = np.random.default_rng(
+            DEFAULT_ACTIVITY_SEED if seed is None else seed
+        )
     from repro.peec.decap import _lowest_common_layer
 
     layer = layer or _lowest_common_layer(model, power_net, ground_net)

@@ -23,6 +23,10 @@ QA106  ad-hoc wall-clock timing (``time.time()`` / ``time.perf_counter()`` /
        :mod:`repro.obs` and ``perf/bench.py`` -- wrap the stage in a
        ``repro.obs.trace.span`` instead so the measurement lands in the
        trace tree.
+QA107  unseeded ``numpy.random.default_rng()`` outside tests -- OS-entropy
+       seeding makes runs irreproducible (randomized source placement,
+       Monte-Carlo sweeps); pass an explicit seed, or a generator plumbed
+       from the caller's config.
 ====== ========================================================================
 
 Suppress a single line with a trailing ``# qa: ignore`` (all rules) or
@@ -48,6 +52,7 @@ LINT_RULES: dict[str, str] = {
     "QA104": "float() of a complex AC result (impedance/admittance/transfer)",
     "QA105": "broad except clause that silently passes",
     "QA106": "ad-hoc timing call outside repro.obs (use a span)",
+    "QA107": "unseeded default_rng() outside tests (pass a seed)",
 }
 
 #: ``time``-module functions QA106 treats as ad-hoc timers.
@@ -79,11 +84,16 @@ def _suppressed_rules(line: str) -> frozenset[str] | None:
 
 class _Visitor(ast.NodeVisitor):
     def __init__(
-        self, path: str, lines: Sequence[str], check_timing: bool = True
+        self,
+        path: str,
+        lines: Sequence[str],
+        check_timing: bool = True,
+        check_rng: bool = True,
     ) -> None:
         self.path = path
         self.lines = lines
         self.check_timing = check_timing
+        self.check_rng = check_rng
         self.findings: list[Diagnostic] = []
         # Names bound to numpy.linalg / scipy.linalg modules, and names
         # bound directly to their `inv` function.
@@ -92,6 +102,8 @@ class _Visitor(ast.NodeVisitor):
         # Names bound to the `time` module / its timing functions (QA106).
         self._time_aliases: set[str] = set()
         self._timing_func_aliases: set[str] = set()
+        # Names bound directly to numpy.random.default_rng (QA107).
+        self._rng_aliases: set[str] = set()
 
     # -- reporting ---------------------------------------------------------
 
@@ -132,6 +144,10 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _TIMING_FUNCS:
                     self._timing_func_aliases.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    self._rng_aliases.add(alias.asname or "default_rng")
         self.generic_visit(node)
 
     # -- QA101 / QA104 -----------------------------------------------------
@@ -179,7 +195,23 @@ class _Visitor(ast.NodeVisitor):
                 "sp.duration, so the measurement lands in the trace tree; "
                 "silence a deliberate raw timer with '# qa: ignore[QA106]'",
             )
+        if (self.check_rng and not node.args and not node.keywords
+                and self._is_default_rng(node.func)):
+            self._report(
+                "QA107", node,
+                "unseeded default_rng() draws from OS entropy, making the "
+                "run irreproducible",
+                "pass an explicit seed (or a generator plumbed from the "
+                "caller's config); silence deliberate entropy with "
+                "'# qa: ignore[QA107]'",
+            )
         self.generic_visit(node)
+
+    def _is_default_rng(self, func: ast.expr) -> bool:
+        """QA107: ``np.random.default_rng`` / bare imported ``default_rng``."""
+        if isinstance(func, ast.Name):
+            return func.id in self._rng_aliases
+        return isinstance(func, ast.Attribute) and func.attr == "default_rng"
 
     def _is_timing_call(self, func: ast.expr) -> bool:
         """QA106: ``time.perf_counter()`` / bare imported ``perf_counter()``."""
@@ -298,6 +330,18 @@ def _qa106_exempt(path: Path) -> bool:
     )
 
 
+def _qa107_exempt(path: Path) -> bool:
+    """Files allowed to call ``default_rng()`` unseeded: tests, where
+    fresh entropy is sometimes the point (fuzzing, property-based data)."""
+    posix = path.as_posix()
+    return (
+        "/tests/" in posix
+        or posix.startswith("tests/")
+        or path.name.startswith("test_")
+        or path.name.startswith("conftest")
+    )
+
+
 def lint_file(path: str | Path) -> list[Diagnostic]:
     """Lint one Python source file; returns its findings."""
     path = Path(path)
@@ -313,7 +357,11 @@ def lint_file(path: str | Path) -> list[Diagnostic]:
             location=f"{path}:{exc.lineno or 1}:{exc.offset or 0}",
             hint="fix the syntax error",
         )]
-    visitor = _Visitor(str(path), lines, check_timing=not _qa106_exempt(path))
+    visitor = _Visitor(
+        str(path), lines,
+        check_timing=not _qa106_exempt(path),
+        check_rng=not _qa107_exempt(path),
+    )
     visitor.visit(tree)
     findings = visitor.findings
     if path.name == "__init__.py":
@@ -350,7 +398,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa.astlint``."""
     parser = argparse.ArgumentParser(
         prog="repro.qa.astlint",
-        description="repo-specific AST lint (QA101-QA106)",
+        description="repo-specific AST lint (QA101-QA107)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

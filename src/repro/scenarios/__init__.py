@@ -1,0 +1,45 @@
+"""Declarative scenario sweeps over the paper's design variants.
+
+The batch engine behind ``repro sweep``: a JSON sweep spec declares a
+parameter grid (design variant x geometry size x sparsifier x
+frequency/transient settings), the scheduler shards the expanded
+scenarios across a process pool with per-scenario checkpointing into a
+content-addressed result store, and the aggregator renders the Table-1
+style comparison (loop R/L, delay, overshoot per variant) -- the paper's
+Section-6 evaluation as a resumable batch artifact.
+"""
+
+from repro.scenarios.aggregate import (
+    aggregate_records,
+    format_comparison,
+    write_results,
+)
+from repro.scenarios.runner import MAX_SEGMENT_LENGTH, evaluate_scenario
+from repro.scenarios.scheduler import SweepResult, run_sweep
+from repro.scenarios.spec import (
+    SPARSIFIER_FACTORIES,
+    Scenario,
+    SweepSpec,
+    load_sweep_spec,
+    smoke_spec,
+)
+from repro.scenarios.store import ResultStore
+from repro.scenarios.variants import VARIANTS, build_variant
+
+__all__ = [
+    "MAX_SEGMENT_LENGTH",
+    "SPARSIFIER_FACTORIES",
+    "VARIANTS",
+    "ResultStore",
+    "Scenario",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate_records",
+    "build_variant",
+    "evaluate_scenario",
+    "format_comparison",
+    "load_sweep_spec",
+    "run_sweep",
+    "smoke_spec",
+    "write_results",
+]

@@ -1,0 +1,161 @@
+"""Single-scenario evaluation: build, extract, sparsify, simulate.
+
+One scenario runs the paper's comparison pipeline end to end on its
+design variant:
+
+1. build the variant geometry at the scenario's length,
+2. extract the driver-port loop impedance at the scenario's frequency
+   (Section 5; FastHenry-style filament solve),
+3. optionally apply the scenario's Section-4 sparsifier to the dense
+   partial-inductance matrix and record the passivity verdict,
+4. drive the extracted loop R/L through a loaded transient and measure
+   the Table-1 observables (50% delay, overshoot).
+
+A scenario failure is *data*, not a batch abort: the record carries
+``status: "failed"`` plus the error, and resilience downgrades (e.g. a
+sparsifier refusing a matrix) are recorded per scenario instead of
+killing the sweep.  Records are pure functions of the scenario
+parameters -- no timings, no host- or process-dependent content -- so a
+sharded run reproduces the serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.metrics import delay_50, overshoot
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.transient import transient_analysis
+from repro.circuit.waveforms import Ramp
+from repro.extraction.partial_matrix import extract_partial_inductance
+from repro.geometry.segment import Direction
+from repro.loop.extractor import extract_loop_impedance
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.resilience.report import RunReport, activate
+from repro.scenarios.spec import SPARSIFIER_FACTORIES, Scenario
+from repro.scenarios.variants import build_variant
+from repro.sparsify.base import traced_apply
+from repro.sparsify.stability import min_eigenvalue
+
+#: Axial re-segmentation bound for extraction (finer capture of
+#: non-uniform axial current on long lines, at bounded cost).
+MAX_SEGMENT_LENGTH = 200e-6
+
+
+def _inplane_segments(layout, max_len: float) -> list:
+    segments = []
+    for seg in layout.segments:
+        if seg.direction == Direction.Z:
+            continue
+        if seg.length > max_len:
+            segments.extend(seg.split(int(math.ceil(seg.length / max_len))))
+        else:
+            segments.append(seg)
+    return segments
+
+
+def _sparsify_metrics(sc: Scenario, layout, report: RunReport) -> dict:
+    """Apply the scenario's sparsifier; degrade (never fail) on refusal."""
+    factory = SPARSIFIER_FACTORIES[sc.sparsifier]
+    if factory is None:
+        return {}
+    sparsifier = factory()
+    extraction = extract_partial_inductance(
+        _inplane_segments(layout, MAX_SEGMENT_LENGTH)
+    )
+    metrics: dict = {"sparsify_mutuals_total": int(extraction.num_mutuals)}
+    try:
+        blocks = traced_apply(sparsifier, extraction)
+    except ValueError as exc:
+        # A refused matrix (truncation guard, K-matrix passivity check)
+        # is a per-scenario degradation: the dense model stands in.
+        report.record_downgrade(
+            "sweep", f"sparsifier {sc.sparsifier}", "dense", str(exc)
+        )
+        metrics["sparsify_degraded"] = True
+        return metrics
+    metrics["sparsify_kind"] = blocks.kind
+    metrics["sparsify_mutuals_kept"] = int(blocks.num_mutuals)
+    if blocks.kind == "L":
+        eig = float(min_eigenvalue(blocks.to_dense(extraction.size)))
+        metrics["sparsify_min_eigenvalue"] = eig
+        metrics["sparsify_positive_definite"] = bool(eig > 0.0)
+    return metrics
+
+
+def _transient_metrics(sc: Scenario, z: complex) -> dict:
+    """Loaded-driver transient over the extracted loop R/L."""
+    omega = 2.0 * math.pi * sc.frequency
+    r_loop = max(float(z.real), 1e-6)
+    l_loop = max(float(z.imag) / omega, 1e-18)
+    circuit = Circuit("scenario")
+    ramp = Ramp(0.0, sc.vdd, 50e-12, sc.rise_time)
+    circuit.add_vsource("Vin", "vin", GROUND, ramp)
+    circuit.add_resistor("Rdrv", "vin", "drv", sc.driver_resistance)
+    circuit.add_series_rl("loop", "drv", "rcv", r_loop, l_loop)
+    circuit.add_capacitor("Cload", "rcv", GROUND, sc.load_capacitance)
+    result = transient_analysis(circuit, sc.t_stop, sc.dt, record=["rcv"])
+    v_out = result.voltage("rcv")
+    v_in = np.array([ramp(t) for t in result.times])
+    return {
+        "loop_resistance": r_loop,
+        "loop_inductance": l_loop,
+        "delay": float(delay_50(result.times, v_in, v_out, sc.vdd)),
+        "overshoot": float(overshoot(v_out, sc.vdd)),
+    }
+
+
+def evaluate_scenario(sc: Scenario) -> dict:
+    """Evaluate one scenario into a deterministic, JSON-ready record.
+
+    Returns a dict with ``id``, ``params``, ``status`` (``"ok"`` /
+    ``"failed"``), ``metrics``, ``notes`` (the scenario's resilience
+    events), and -- on failure -- ``error``.
+    """
+    report = RunReport()
+    metrics: dict = {}
+    status, error = "ok", None
+    with span(
+        "sweep.scenario",
+        scenario=sc.scenario_id,
+        variant=sc.variant,
+        sparsifier=sc.sparsifier,
+    ) as sp:
+        try:
+            with activate(report):
+                layout, port = build_variant(sc.variant, sc.length)
+                extraction = extract_loop_impedance(
+                    layout, port, [sc.frequency],
+                    max_segment_length=MAX_SEGMENT_LENGTH,
+                    workers=1,  # the sweep shards scenarios, not points
+                )
+                z = extraction.at(sc.frequency)
+                metrics["num_filaments"] = int(extraction.num_filaments)
+                metrics.update(_sparsify_metrics(sc, layout, report))
+                metrics.update(_transient_metrics(sc, z))
+        except Exception as exc:
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+        sp.attrs["status"] = status
+    obs_metrics.counter(f"sweep.scenarios.{status}").inc()
+    record = {
+        "id": sc.scenario_id,
+        "params": sc.params(),
+        "status": status,
+        "metrics": metrics,
+        # Span paths are deliberately excluded: a worker's span path
+        # differs from the serial one, and records must be identical.
+        "notes": [
+            {"kind": e.kind, "stage": e.stage, "detail": e.detail}
+            for e in report.events
+        ],
+    }
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+__all__ = ["MAX_SEGMENT_LENGTH", "evaluate_scenario"]

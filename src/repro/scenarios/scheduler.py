@@ -1,0 +1,249 @@
+"""Batch scheduler: shard scenario evaluations across a process pool.
+
+The scheduler reuses the :mod:`repro.perf.parallel` discipline wholesale:
+
+* scenarios are scheduled in contiguous index chunks
+  (:func:`~repro.perf.parallel.chunk_indices`), several per worker;
+* each worker runs its shard under a private trace and ships the
+  serialized span tree + metrics export back with the records, which the
+  parent grafts into its own collector;
+* records land in the result list **by index**, so a sharded sweep is
+  bit-identical to the serial one regardless of worker count or
+  completion order;
+* a pool that cannot be created (sandbox, fd exhaustion, an injected
+  ``"sweep.pool"`` fault) degrades to the serial path -- recorded as a
+  downgrade, never a failure -- and a pool that breaks mid-run finishes
+  the stranded shards serially;
+* every completed record is persisted to the
+  :class:`~repro.scenarios.store.ResultStore` as it lands (per-scenario
+  checkpointing), and on the next run stored records are resumed instead
+  of recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    detached_stack, export_spans, graft_spans, span, tracing,
+)
+from repro.resilience import faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.report import RunReport
+from repro.perf.parallel import chunk_indices, worker_count
+from repro.scenarios.runner import evaluate_scenario
+from repro.scenarios.spec import Scenario, SweepSpec
+from repro.scenarios.store import ResultStore
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep batch.
+
+    Attributes:
+        records: One record per scenario, in grid-expansion order.
+        report: Batch-level resilience log (pool downgrades, resumes).
+        resumed: Scenarios served from the result store.
+        computed: Scenarios evaluated this run.
+    """
+
+    records: list[dict]
+    report: RunReport = field(default_factory=RunReport)
+    resumed: int = 0
+    computed: int = 0
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r["status"] == "ok")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r["status"] == "failed")
+
+
+def _run_chunk(
+    chunk_id: int, scenarios: list[Scenario]
+) -> tuple[int, list[dict], list[dict], dict]:
+    """Worker body: evaluate one shard under a private trace.
+
+    Same contract as :func:`repro.perf.parallel._solve_chunk`: the
+    registry is reset per shard (pool workers persist across shards) and
+    the span stack is detached (a fork-started worker inherits the span
+    open in the parent at fork time), so the shipped span tree and
+    metrics cover exactly this shard.
+    """
+    obs_metrics.REGISTRY.reset()
+    with detached_stack(), tracing() as trace:
+        with span("sweep.shard", shard=chunk_id, scenarios=len(scenarios)):
+            records = [evaluate_scenario(sc) for sc in scenarios]
+    return chunk_id, records, export_spans(trace), obs_metrics.REGISTRY.export()
+
+
+def run_sweep(
+    spec: SweepSpec | list[Scenario],
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+    chunk: int | None = None,
+    report: RunReport | None = None,
+) -> SweepResult:
+    """Run a scenario sweep, sharded over a process pool.
+
+    Args:
+        spec: A sweep spec (expanded in deterministic order) or an
+            explicit scenario list.
+        store: Optional result store; completed records are persisted as
+            they land and (with ``resume``) served back on the next run.
+        workers: Pool width (:func:`repro.perf.parallel.worker_count`
+            resolution: argument, then ``REPRO_WORKERS``, then CPU
+            count); 1 forces the serial path.
+        resume: Serve scenarios already in ``store`` instead of
+            recomputing them.
+        chunk: Scenarios per shard; default auto
+            (:func:`~repro.perf.parallel.chunk_indices`).
+        report: Batch-level run report to append to; default fresh.
+
+    Returns:
+        The :class:`SweepResult`; ``records`` is ordered like the
+        expanded grid and is identical for any worker count.
+    """
+    scenarios = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    name = spec.name if isinstance(spec, SweepSpec) else "scenarios"
+    report = report if report is not None else RunReport()
+    records: list[dict | None] = [None] * len(scenarios)
+
+    with span("sweep.scenarios", batch=name, scenarios=len(scenarios)):
+        resumed = 0
+        if store is not None and resume:
+            done_ids = store.completed()
+            for i, sc in enumerate(scenarios):
+                sid = sc.scenario_id
+                if sid not in done_ids:
+                    continue
+                record = store.load(sid)
+                if record is None:
+                    continue  # corrupt record: recompute
+                records[i] = record
+                resumed += 1
+            if resumed:
+                obs_metrics.counter("sweep.scenarios.resumed").inc(resumed)
+                report.record_resume(
+                    "sweep",
+                    f"{resumed}/{len(scenarios)} scenarios already in "
+                    f"{store.directory}",
+                )
+
+        todo = np.array(
+            [i for i, r in enumerate(records) if r is None], dtype=int
+        )
+        num_workers = worker_count(workers)
+        chunks = chunk_indices(todo, num_workers, chunk)
+        obs_metrics.counter("sweep.shards").inc(len(chunks))
+
+        def finish(idx: np.ndarray, recs: list[dict]) -> None:
+            for i, record in zip(idx, recs):
+                records[i] = record
+                if store is not None:
+                    store.store(record)
+
+        def serial(shards: list[np.ndarray]) -> None:
+            for cid, idx in enumerate(shards):
+                with span("sweep.shard", shard=cid, scenarios=len(idx)):
+                    recs = [evaluate_scenario(scenarios[i]) for i in idx]
+                finish(idx, recs)
+
+        if num_workers == 1 or todo.size <= 1:
+            serial(chunks)
+        else:
+            _pooled(scenarios, chunks, num_workers, report, finish, serial)
+
+    return SweepResult(
+        records=records,  # type: ignore[arg-type]  # all filled above
+        report=report,
+        resumed=resumed,
+        computed=int(todo.size),
+    )
+
+
+def _pooled(
+    scenarios: list[Scenario],
+    chunks: list[np.ndarray],
+    workers: int,
+    report: RunReport,
+    finish,
+    serial,
+) -> None:
+    """Fan shards out over a process pool, mirroring ``parallel_sweep``."""
+    try:
+        faults.maybe_fail("sweep.pool")
+        from concurrent.futures import (
+            FIRST_EXCEPTION, ProcessPoolExecutor, wait,
+        )
+
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    except (InjectedFault, OSError, ImportError, PermissionError) as exc:
+        obs_metrics.counter("sweep.fallback_serial").inc()
+        report.record_downgrade(
+            "sweep",
+            f"sharded sweep ({workers} workers)",
+            "serial sweep",
+            f"process pool unavailable: {exc}",
+        )
+        serial(chunks)
+        return
+
+    obs_metrics.gauge("sweep.workers").set(min(workers, len(chunks)))
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    failure: BaseException | None = None
+    unfinished: list[np.ndarray] = []
+    try:
+        futures = {
+            executor.submit(
+                _run_chunk, cid, [scenarios[i] for i in idx]
+            ): idx
+            for cid, idx in enumerate(chunks)
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for fut in done:
+                idx = futures[fut]
+                try:
+                    _, recs, worker_spans, worker_metrics = fut.result()
+                except BaseException as exc:  # keep completed shards
+                    if failure is None:
+                        failure = exc
+                    unfinished.append(idx)
+                    continue
+                graft_spans(worker_spans)
+                obs_metrics.REGISTRY.merge(worker_metrics)
+                finish(idx, recs)
+            if failure is not None:
+                for fut in pending:
+                    fut.cancel()
+                    unfinished.append(futures[fut])
+                break
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    if isinstance(failure, BrokenProcessPool):
+        # The pool died out from under us; scenario evaluation is pure,
+        # so finish the stranded shards serially.
+        obs_metrics.counter("sweep.fallback_serial").inc()
+        report.record_downgrade(
+            "sweep",
+            f"sharded sweep ({workers} workers)",
+            "serial sweep",
+            f"process pool broke mid-sweep: {failure}",
+        )
+        serial(unfinished)
+        return
+    if failure is not None:
+        raise failure
+
+
+__all__ = ["SweepResult", "run_sweep"]

@@ -1,0 +1,213 @@
+"""Declarative sweep specifications and content-addressed scenario ids.
+
+A sweep spec is a parameter grid: each axis names a :class:`Scenario`
+field and lists the values to sweep; the cartesian product (expanded in
+deterministic sorted-axis order) is the scenario batch.  Every scenario
+carries a content address -- a SHA-256 fingerprint over its exact
+parameter values, bit-exact float encoding like
+:mod:`repro.perf.cache` -- so results can be stored, resumed, and shared
+across runs without ever serving a stale record: change any parameter
+and the id (hence the storage key) changes with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import struct
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.scenarios.variants import VARIANTS
+from repro.sparsify import (
+    BlockDiagonalSparsifier,
+    HaloSparsifier,
+    KMatrixSparsifier,
+    ShellSparsifier,
+    Sparsifier,
+    TruncationSparsifier,
+)
+
+#: Sparsifier axis vocabulary: name -> factory (``None`` = dense, no
+#: sparsification stage).  Factories build fresh instances so scenario
+#: evaluations never share mutable sparsifier state across processes.
+SPARSIFIER_FACTORIES: dict[str, Callable[[], Sparsifier] | None] = {
+    "none": None,
+    "truncation": TruncationSparsifier,
+    "blockdiag": BlockDiagonalSparsifier,
+    "shell": ShellSparsifier,
+    "halo": HaloSparsifier,
+    "kmatrix": KMatrixSparsifier,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a sweep grid: geometry x variant x model settings.
+
+    Attributes:
+        variant: Design-variant name (see
+            :data:`repro.scenarios.variants.VARIANTS`).
+        length: Interconnect length [m] handed to the variant builder.
+        frequency: Loop-extraction frequency [Hz].
+        sparsifier: Sparsifier axis value (see
+            :data:`SPARSIFIER_FACTORIES`); ``"none"`` skips the stage.
+        rise_time: Driver input edge rate [s].
+        driver_resistance: Thevenin driver resistance [ohm].
+        load_capacitance: Receiver load [F].
+        t_stop: Transient horizon [s].
+        dt: Transient step [s].
+        vdd: Supply swing [V].
+    """
+
+    variant: str = "baseline"
+    length: float = 400e-6
+    frequency: float = 2e9
+    sparsifier: str = "none"
+    rise_time: float = 40e-12
+    driver_resistance: float = 25.0
+    load_capacitance: float = 30e-15
+    t_stop: float = 1.0e-9
+    dt: float = 2e-12
+    vdd: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            known = ", ".join(sorted(VARIANTS))
+            raise ValueError(
+                f"unknown variant {self.variant!r}; known: {known}"
+            )
+        if self.sparsifier not in SPARSIFIER_FACTORIES:
+            known = ", ".join(sorted(SPARSIFIER_FACTORIES))
+            raise ValueError(
+                f"unknown sparsifier {self.sparsifier!r}; known: {known}"
+            )
+        for name in ("length", "frequency", "rise_time",
+                     "driver_resistance", "load_capacitance", "t_stop",
+                     "dt", "vdd"):
+            if not getattr(self, name) > 0:
+                raise ValueError(f"{name} must be positive")
+        if self.dt >= self.t_stop:
+            raise ValueError("dt must be smaller than t_stop")
+
+    @property
+    def scenario_id(self) -> str:
+        """Short content address over every result-affecting parameter."""
+        h = hashlib.sha256()
+        h.update(self.variant.encode())
+        h.update(b"\x00")
+        h.update(self.sparsifier.encode())
+        h.update(b"\x00")
+        floats = (
+            self.length, self.frequency, self.rise_time,
+            self.driver_resistance, self.load_capacitance, self.t_stop,
+            self.dt, self.vdd,
+        )
+        # Bit-exact little-endian packing (the perf.cache idiom): no
+        # decimal round-trip, so near-equal floats hash differently.
+        h.update(struct.pack(f"<{len(floats)}d", *floats))
+        return h.hexdigest()[:16]
+
+    def params(self) -> dict[str, Any]:
+        """Plain-dict view for records and reports."""
+        return dataclasses.asdict(self)
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(Scenario))
+
+
+def _check_fields(mapping: dict[str, Any], what: str) -> None:
+    unknown = sorted(set(mapping) - _FIELD_NAMES)
+    if unknown:
+        raise ValueError(
+            f"{what} refers to unknown scenario fields: {', '.join(unknown)}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named parameter grid over :class:`Scenario` fields.
+
+    Attributes:
+        name: Batch label (enters reports, not scenario ids).
+        grid: Field name -> list of values to sweep.
+        defaults: Field overrides applied to every scenario.
+    """
+
+    name: str
+    grid: dict[str, list[Any]]
+    defaults: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep spec needs a name")
+        _check_fields(self.grid, "grid")
+        _check_fields(self.defaults, "defaults")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"grid axis {axis!r} needs a non-empty list")
+
+    def expand(self) -> list[Scenario]:
+        """Deterministic cartesian expansion (sorted-axis order)."""
+        axes = sorted(self.grid)
+        combos = itertools.product(*(self.grid[a] for a in axes))
+        return [
+            Scenario(**{**self.defaults, **dict(zip(axes, combo))})
+            for combo in combos
+        ]
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+
+def load_sweep_spec(path: str | Path) -> SweepSpec:
+    """Load a sweep spec from a JSON file.
+
+    Format::
+
+        {
+          "name": "length-vs-shielding",
+          "defaults": {"frequency": 2e9},
+          "grid": {"variant": ["baseline", "shielded"],
+                   "length": [200e-6, 400e-6]}
+        }
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="ascii"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read sweep spec {path}: {exc}") from exc
+    if not isinstance(data, dict) or "grid" not in data:
+        raise ValueError(f"{path}: sweep spec needs a top-level 'grid' object")
+    return SweepSpec(
+        name=str(data.get("name", path.stem)),
+        grid=data["grid"],
+        defaults=data.get("defaults", {}),
+    )
+
+
+def smoke_spec() -> SweepSpec:
+    """Tiny 4-scenario grid for CI smoke runs (seconds, not minutes)."""
+    return SweepSpec(
+        name="smoke",
+        grid={
+            "variant": ["baseline", "shielded"],
+            "sparsifier": ["none", "truncation"],
+        },
+        defaults={"length": 150e-6, "t_stop": 0.6e-9},
+    )
+
+
+__all__ = [
+    "SPARSIFIER_FACTORIES",
+    "Scenario",
+    "SweepSpec",
+    "load_sweep_spec",
+    "smoke_spec",
+]

@@ -1,0 +1,137 @@
+"""Design-variant registry for scenario sweeps.
+
+Each variant is one of the paper's Section-6 interconnect styles (the
+Figure 5-9 design-technique structures plus the SINO-ordered channel),
+reduced to the one thing the sweep runner needs: *build me this geometry
+at a given length and hand back the loop-extraction port*.  The registry
+maps a stable name -- the value a sweep spec's ``variant`` axis takes --
+to a builder ``(length) -> (layout, LoopPort)``.
+
+Builders are pure functions of ``length`` (every randomized input is
+seeded), so a scenario's content-addressed identity covers everything
+that affects its results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.geometry.clocktree import TapPoint
+from repro.geometry.layout import Layout
+from repro.geometry.structures import (
+    StructurePorts,
+    build_ground_plane,
+    build_interdigitated_wire,
+    build_shielded_line,
+    build_signal_over_grid,
+    build_twisted_bundle,
+)
+from repro.loop.extractor import LoopPort
+
+#: Builder signature: layout plus the driver-side loop port.
+VariantBuilder = Callable[[float], tuple[Layout, LoopPort]]
+
+
+def _port_from_structure(ports: StructurePorts) -> LoopPort:
+    """Standard port wiring for the Figure 5-7 structure builders."""
+    return LoopPort(
+        signal=ports["driver"],
+        reference=ports["gnd_driver"],
+        short_signal=ports["receiver"],
+        short_reference=ports["gnd_receiver"],
+    )
+
+
+def _baseline(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_shielded_line(length=length, with_shields=False)
+    return layout, _port_from_structure(ports)
+
+
+def _shielded(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_shielded_line(length=length, with_shields=True)
+    return layout, _port_from_structure(ports)
+
+
+def _ground_plane(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_ground_plane(length=length)
+    return layout, _port_from_structure(ports)
+
+
+def _interdigitated(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_interdigitated_wire(length=length)
+    return layout, _port_from_structure(ports)
+
+
+def _signal_over_grid(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_signal_over_grid(length=length)
+    return layout, _port_from_structure(ports)
+
+
+def _staggered_pair(length: float) -> tuple[Layout, LoopPort]:
+    from repro.design.staggered import _build_pair_layout
+
+    pitch, wire_width, layer = 2e-6, 1e-6, "M6"
+    layout = _build_pair_layout(length, pitch, wire_width, layer)
+    return layout, LoopPort(
+        signal=TapPoint("victim", 0.0, 0.0, layer, "driver"),
+        reference=TapPoint("GND", 0.0, -pitch, layer, "gnd_driver"),
+        short_signal=TapPoint("victim", length, 0.0, layer, "receiver"),
+        short_reference=TapPoint("GND", length, -pitch, layer, "gnd_receiver"),
+    )
+
+
+def _twisted_bundle(length: float) -> tuple[Layout, LoopPort]:
+    layout, ports = build_twisted_bundle(
+        num_nets=2, num_regions=4, length=length
+    )
+    return layout, LoopPort(
+        signal=ports["n0:in"],
+        reference=ports["gnd:in"],
+        short_signal=ports["n0:out"],
+        short_reference=ports["gnd:out"],
+    )
+
+
+def _sino_channel(length: float) -> tuple[Layout, LoopPort]:
+    from repro.design.sino import greedy_sino, random_problem
+    from repro.design.sino_layout import solution_to_layout
+
+    solution = greedy_sino(random_problem(num_nets=6, seed=7))
+    layout, taps = solution_to_layout(solution, length=length)
+    net = solution.order[0]
+    layer = taps["gnd:in"].layer
+    return layout, LoopPort(
+        signal=taps[f"{net}:in"],
+        reference=taps["gnd:in"],
+        short_signal=taps[f"{net}:out"],
+        # The bottom edge ground runs the full channel at y = 0; its far
+        # terminal is the receiver-side return tap.
+        short_reference=TapPoint("GND", length, 0.0, layer, "gnd_out"),
+    )
+
+
+#: Variant name -> builder.  Names are the sweep-spec vocabulary; keep
+#: them stable (they enter every scenario's content address).
+VARIANTS: dict[str, VariantBuilder] = {
+    "baseline": _baseline,
+    "shielded": _shielded,
+    "ground_plane": _ground_plane,
+    "interdigitated": _interdigitated,
+    "signal_over_grid": _signal_over_grid,
+    "staggered_pair": _staggered_pair,
+    "twisted_bundle": _twisted_bundle,
+    "sino_channel": _sino_channel,
+}
+
+
+def build_variant(name: str, length: float) -> tuple[Layout, LoopPort]:
+    """Build the named variant at the given line length [m]."""
+    try:
+        builder = VARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(VARIANTS))
+        raise ValueError(f"unknown variant {name!r}; known: {known}") from None
+    return builder(length)
+
+
+__all__ = ["VARIANTS", "VariantBuilder", "build_variant"]

@@ -39,7 +39,24 @@ class TruncationSparsifier(Sparsifier):
 
     def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
         matrix = result.matrix.copy()
-        diag = np.sqrt(np.diagonal(matrix))
+        self_l = np.diagonal(matrix)
+        # Coupling coefficients divide by sqrt(L_ii L_jj): a zero or
+        # near-zero self inductance turns whole rows of the quotient into
+        # NaN/inf, and every `NaN < threshold` comparison is False -- the
+        # drop mask silently keeps those mutuals.  Refuse the malformed
+        # extraction instead of corrupting the mask.
+        floor = float(np.max(self_l, initial=0.0)) * 1e-12
+        bad = ~np.isfinite(self_l) | (self_l <= floor)
+        if np.any(bad):
+            offenders = np.nonzero(bad)[0]
+            shown = ", ".join(str(i) for i in offenders[:8])
+            more = "" if len(offenders) <= 8 else f", ... ({len(offenders)} total)"
+            raise ValueError(
+                "truncation sparsifier needs strictly positive self "
+                f"inductances; segment indices [{shown}{more}] have "
+                "zero, near-zero, or non-finite L_ii"
+            )
+        diag = np.sqrt(self_l)
         coupling = np.abs(matrix) / np.outer(diag, diag)
         drop = coupling < self.threshold
         np.fill_diagonal(drop, False)

@@ -61,3 +61,38 @@ class TestFormatTable:
     def test_empty_rows_ok(self):
         out = format_table(["a", "b"], [])
         assert "a" in out
+
+
+class TestUnsortedGrids:
+    """Regression: np.interp silently returns garbage on non-ascending
+    abscissae, so compare_waveforms must sort both series first."""
+
+    def test_descending_time_base_matches_ascending(self):
+        t = np.linspace(0, 1e-9, 101)
+        va = np.sin(2e9 * 2 * np.pi * t)
+        vb = va + 0.01
+        want = compare_waveforms(t, va, t, vb)
+        got = compare_waveforms(t[::-1], va[::-1], t[::-1], vb[::-1])
+        assert got.max_error == pytest.approx(want.max_error)
+        assert got.rms_error == pytest.approx(want.rms_error)
+        assert got.max_error_time == pytest.approx(want.max_error_time)
+
+    def test_shuffled_time_base_matches_sorted(self):
+        rng = np.random.default_rng(42)
+        t = np.linspace(0, 1e-9, 101)
+        va = np.cos(1e9 * 2 * np.pi * t)
+        vb = va * 1.02
+        perm = rng.permutation(t.size)
+        want = compare_waveforms(t, va, t, vb)
+        got = compare_waveforms(t[perm], va[perm], t, vb)
+        assert got.max_error == pytest.approx(want.max_error)
+        assert got.rms_error == pytest.approx(want.rms_error)
+
+    def test_descending_b_only(self):
+        # Mixed orientation: A ascending, B from a high-to-low sweep.
+        ta = np.linspace(0, 1e-9, 80)
+        tb = np.linspace(1e-9, 0, 120)
+        va = ta * 1e9
+        vb = tb * 1e9
+        cmp = compare_waveforms(ta, va, tb, vb)
+        assert cmp.max_error == pytest.approx(0.0, abs=1e-12)

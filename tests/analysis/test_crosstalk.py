@@ -136,3 +136,37 @@ class TestSimulatedResponses:
         )
         assert free.peak_noise >= fixed.peak_noise
         assert free.peak_noise > 1e-3
+
+
+class TestUnsortedTimeBase:
+    """Regression: worst_case_alignment interpolates shifted responses
+    with np.interp, which silently corrupts on non-ascending times."""
+
+    def test_descending_times_match_ascending(self, time_base):
+        t = time_base
+        responses = {
+            "a": gaussian_pulse(t, 0.2e-9, 0.05),
+            "b": gaussian_pulse(t, 0.5e-9, 0.04),
+        }
+        windows = {"a": (0.0, 0.6e-9), "b": (-0.4e-9, 0.3e-9)}
+        want = worst_case_alignment(t, responses, windows)
+        got = worst_case_alignment(
+            t[::-1], {k: v[::-1] for k, v in responses.items()}, windows
+        )
+        assert got.peak_noise == pytest.approx(want.peak_noise)
+        assert got.offsets == pytest.approx(want.offsets)
+
+    def test_shuffled_times_match_sorted(self, time_base):
+        t = time_base
+        rng = np.random.default_rng(7)
+        perm = rng.permutation(t.size)
+        responses = {
+            "a": gaussian_pulse(t, 0.3e-9, 0.03),
+            "b": gaussian_pulse(t, 0.35e-9, 0.02),
+        }
+        windows = {"a": (0.0, 0.0), "b": (0.0, 0.0)}
+        want = worst_case_alignment(t, responses, windows)
+        got = worst_case_alignment(
+            t[perm], {k: v[perm] for k, v in responses.items()}, windows
+        )
+        assert got.peak_noise == pytest.approx(want.peak_noise)

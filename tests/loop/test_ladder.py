@@ -105,3 +105,57 @@ class TestFit:
         z2 = complex(ladder.impedance([f2])[0])
         fitted = fit_ladder(f1, z1, f2, z2, refine=False)
         assert fitted.r0 == pytest.approx(z1.real, rel=1e-9)
+
+
+class TestFlatImpedanceClamp:
+    """Regression: a frequency-flat extraction (no skin/proximity effect)
+    used to crash the fit -- the asymptotic seed R1 = dR, L1 = dL went to
+    exactly zero and LadderModel rejected it.  Flat samples now clamp the
+    shunt branch to a tiny positive floor; clearly inverted trends still
+    raise."""
+
+    def test_perfectly_flat_samples_fit(self):
+        r, l = 8.0, 0.25e-9
+        f1, f2 = 1e8, 1e10
+        z1 = complex(r, 2 * np.pi * f1 * l)
+        z2 = complex(r, 2 * np.pi * f2 * l)
+        model = fit_ladder(f1, z1, f2, z2)
+        assert model.r0 > 0 and model.l0 > 0
+        assert model.r1 > 0 and model.l1 > 0
+        assert model.resistance([f1])[0] == pytest.approx(r, rel=1e-6)
+        assert model.inductance([f2])[0] == pytest.approx(l, rel=1e-6)
+
+    def test_flat_resistance_only(self):
+        # R flat, L falling: only the R1 branch needs the clamp.
+        f1, f2 = 1e8, 1e10
+        z1 = complex(5.0, 2 * np.pi * f1 * 0.30e-9)
+        z2 = complex(5.0, 2 * np.pi * f2 * 0.28e-9)
+        model = fit_ladder(f1, z1, f2, z2)
+        assert model.r1 > 0
+        assert model.l1 == pytest.approx(0.02e-9, rel=0.05)
+
+    def test_unrefined_flat_samples_fit(self):
+        f1, f2 = 1e8, 1e10
+        z = lambda f: complex(3.0, 2 * np.pi * f * 0.1e-9)  # noqa: E731
+        model = fit_ladder(f1, z(f1), f2, z(f2), refine=False)
+        assert min(model.r0, model.l0, model.r1, model.l1) > 0
+
+    def test_tiny_jitter_within_tolerance_fits(self):
+        # Numerical noise just below FLAT_REL_TOL must not raise.
+        from repro.loop.ladder import FLAT_REL_TOL
+
+        r, l = 8.0, 0.25e-9
+        eps = 0.5 * FLAT_REL_TOL
+        f1, f2 = 1e8, 1e10
+        z1 = complex(r, 2 * np.pi * f1 * l)
+        z2 = complex(r * (1 - eps), 2 * np.pi * f2 * l * (1 + eps))
+        model = fit_ladder(f1, z1, f2, z2)
+        assert min(model.r0, model.l0, model.r1, model.l1) > 0
+
+    def test_clearly_inverted_trend_still_raises(self):
+        f1, f2 = 1e8, 1e10
+        # R drops 50% with frequency: far beyond tolerance.
+        z1 = complex(10.0, 2 * np.pi * f1 * 0.3e-9)
+        z2 = complex(5.0, 2 * np.pi * f2 * 0.2e-9)
+        with pytest.raises(ValueError, match="not fittable"):
+            fit_ladder(f1, z1, f2, z2)

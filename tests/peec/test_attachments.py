@@ -134,3 +134,55 @@ class TestActivity:
             attach_switching_activity(grid_model, num_sources=0)
         with pytest.raises(ValueError):
             attach_switching_activity(grid_model, peak_current=-1.0)
+
+
+class TestActivitySeeding:
+    """Regression: attach_switching_activity used to call
+    np.random.default_rng() unseeded, so every flow run produced a
+    different background-noise floor and no IR/noise number was
+    reproducible."""
+
+    @staticmethod
+    def placements(model):
+        sources = [
+            s for s in model.circuit.isources if s.name.startswith("Iact")
+        ]
+        assert sources, "no activity sources attached"
+        return [(s.n_plus, s.n_minus, s.waveform.points) for s in sources]
+
+    def build(self, small_grid_layout):
+        return build_peec_model(
+            small_grid_layout, PEECOptions(include_inductance=False)
+        )
+
+    def test_default_is_deterministic(self, small_grid_layout):
+        m1, m2 = self.build(small_grid_layout), self.build(small_grid_layout)
+        attach_switching_activity(m1, num_sources=5)
+        attach_switching_activity(m2, num_sources=5)
+        assert self.placements(m1) == self.placements(m2)
+
+    def test_explicit_seed_matches_default_constant(self, small_grid_layout):
+        from repro.peec import DEFAULT_ACTIVITY_SEED
+
+        m1, m2 = self.build(small_grid_layout), self.build(small_grid_layout)
+        attach_switching_activity(m1, num_sources=5)
+        attach_switching_activity(
+            m2, num_sources=5, seed=DEFAULT_ACTIVITY_SEED
+        )
+        assert self.placements(m1) == self.placements(m2)
+
+    def test_different_seeds_differ(self, small_grid_layout):
+        m1, m2 = self.build(small_grid_layout), self.build(small_grid_layout)
+        attach_switching_activity(m1, num_sources=8, seed=1)
+        attach_switching_activity(m2, num_sources=8, seed=2)
+        assert self.placements(m1) != self.placements(m2)
+
+    def test_explicit_rng_overrides_seed(self, small_grid_layout):
+        m1, m2 = self.build(small_grid_layout), self.build(small_grid_layout)
+        attach_switching_activity(
+            m1, num_sources=5, seed=1, rng=np.random.default_rng(9)
+        )
+        attach_switching_activity(
+            m2, num_sources=5, seed=2, rng=np.random.default_rng(9)
+        )
+        assert self.placements(m1) == self.placements(m2)

@@ -302,6 +302,65 @@ class TestDriver:
             assert rule in out
 
 
+class TestQA107UnseededRng:
+    def test_attribute_form_fires(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        ))
+        assert rules_fired(findings) == {"QA107"}
+        assert ":2:" in findings[0].location
+
+    def test_from_import_form_fires(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "from numpy.random import default_rng\n"
+            "rng = default_rng()\n"
+        ))
+        assert rules_fired(findings) == {"QA107"}
+
+    def test_aliased_import_fires(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "from numpy.random import default_rng as make_rng\n"
+            "rng = make_rng()\n"
+        ))
+        assert rules_fired(findings) == {"QA107"}
+
+    def test_seeded_calls_are_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "a = np.random.default_rng(42)\n"
+            "b = np.random.default_rng(seed=None)\n"  # explicit opt-in
+        ))
+        assert "QA107" not in rules_fired(findings)
+
+    def test_unrelated_default_rng_name_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "def default_rng():\n"
+            "    return 1\n"
+            "x = default_rng()\n"
+        ))
+        assert "QA107" not in rules_fired(findings)
+
+    def test_test_files_are_exempt(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        assert "QA107" not in rules_fired(
+            lint_source(tmp_path, source, name="test_fuzz.py")
+        )
+        assert "QA107" not in rules_fired(
+            lint_source(tmp_path, source, name="conftest.py")
+        )
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_source(tmp_path, (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # qa: ignore[QA107]\n"
+        ))
+        assert "QA107" not in rules_fired(findings)
+
+
 class TestRepositoryIsClean:
     def test_src_tree_passes_the_lint(self):
         # The PR's own acceptance bar: the shipped tree has no findings.

@@ -1,0 +1,150 @@
+"""Sweep specs, grid expansion, and content-addressed scenario ids."""
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import (
+    SPARSIFIER_FACTORIES,
+    Scenario,
+    SweepSpec,
+    load_sweep_spec,
+    smoke_spec,
+)
+from repro.scenarios.variants import VARIANTS
+
+
+class TestScenario:
+    def test_id_is_stable(self):
+        a = Scenario(variant="baseline", length=200e-6)
+        b = Scenario(variant="baseline", length=200e-6)
+        assert a.scenario_id == b.scenario_id
+
+    def test_id_changes_with_any_parameter(self):
+        base = Scenario()
+        assert Scenario(variant="shielded").scenario_id != base.scenario_id
+        assert Scenario(sparsifier="shell").scenario_id != base.scenario_id
+        assert Scenario(length=401e-6).scenario_id != base.scenario_id
+        assert Scenario(dt=3e-12).scenario_id != base.scenario_id
+
+    def test_id_is_bit_exact_over_floats(self):
+        # A float perturbation far below any decimal rendering still
+        # changes the address (struct packing, not repr).
+        import numpy as np
+
+        eps = np.nextafter(400e-6, 1.0)
+        assert Scenario(length=eps).scenario_id != Scenario().scenario_id
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            Scenario(variant="bogus")
+
+    def test_unknown_sparsifier_rejected(self):
+        with pytest.raises(ValueError, match="unknown sparsifier"):
+            Scenario(sparsifier="bogus")
+
+    def test_nonpositive_field_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Scenario(length=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            Scenario(frequency=-1e9)
+
+    def test_dt_must_fit_horizon(self):
+        with pytest.raises(ValueError, match="dt"):
+            Scenario(dt=2e-9, t_stop=1e-9)
+
+    def test_params_roundtrip(self):
+        sc = Scenario(variant="shielded", sparsifier="halo")
+        params = sc.params()
+        assert Scenario(**params) == sc
+
+
+class TestSweepSpec:
+    def test_expand_is_deterministic_and_sorted(self):
+        spec = SweepSpec(
+            name="t",
+            grid={"variant": ["shielded", "baseline"], "length": [2e-4, 1e-4]},
+        )
+        scenarios = spec.expand()
+        assert len(scenarios) == len(spec) == 4
+        assert scenarios == spec.expand()
+        # axes iterate sorted (length before variant), values in given order
+        assert [(s.length, s.variant) for s in scenarios] == [
+            (2e-4, "shielded"), (2e-4, "baseline"),
+            (1e-4, "shielded"), (1e-4, "baseline"),
+        ]
+
+    def test_defaults_apply_to_every_scenario(self):
+        spec = SweepSpec(
+            name="t", grid={"variant": ["baseline"]},
+            defaults={"frequency": 5e9},
+        )
+        assert spec.expand()[0].frequency == 5e9
+
+    def test_unknown_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            SweepSpec(name="t", grid={"wavelength": [1.0]})
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            SweepSpec(name="t", grid={"variant": ["baseline"]},
+                      defaults={"color": "red"})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(name="t", grid={"variant": []})
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError, match="name"):
+            SweepSpec(name="", grid={"variant": ["baseline"]})
+
+
+class TestLoadSweepSpec:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "lengths",
+            "defaults": {"frequency": 1e9},
+            "grid": {"variant": ["baseline"], "length": [1e-4, 2e-4]},
+        }))
+        spec = load_sweep_spec(path)
+        assert spec.name == "lengths"
+        assert len(spec.expand()) == 2
+        assert spec.expand()[0].frequency == 1e9
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_sweep_spec(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="cannot read"):
+            load_sweep_spec(path)
+
+    def test_missing_grid(self, tmp_path):
+        path = tmp_path / "no_grid.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ValueError, match="grid"):
+            load_sweep_spec(path)
+
+
+class TestSmokeSpec:
+    def test_four_valid_scenarios(self):
+        scenarios = smoke_spec().expand()
+        assert len(scenarios) == 4
+        assert {s.variant for s in scenarios} == {"baseline", "shielded"}
+        assert {s.sparsifier for s in scenarios} == {"none", "truncation"}
+
+
+class TestVocabularies:
+    def test_sparsifier_factories_build(self):
+        for name, factory in SPARSIFIER_FACTORIES.items():
+            if factory is None:
+                assert name == "none"
+            else:
+                assert factory().name  # constructible with defaults
+
+    def test_every_variant_is_a_valid_axis_value(self):
+        for name in VARIANTS:
+            Scenario(variant=name)  # does not raise

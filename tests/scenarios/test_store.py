@@ -1,0 +1,60 @@
+"""Content-addressed result store: atomic writes, resume semantics."""
+
+from repro.scenarios.store import ResultStore
+
+
+def make_record(sid="abc123", status="ok"):
+    return {
+        "id": sid,
+        "params": {"variant": "baseline", "length": 1e-4},
+        "status": status,
+        "metrics": {"delay": 1e-12},
+        "notes": [],
+    }
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        record = make_record()
+        path = store.store(record)
+        assert path.name == "scenario_abc123.json"
+        assert store.load("abc123") == record
+
+    def test_creates_directory(self, tmp_path):
+        store = ResultStore(tmp_path / "a" / "b")
+        assert store.directory.is_dir()
+
+    def test_missing_record_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("nothere") is None
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("bad1").write_text("{truncated")
+        assert store.load("bad1") is None
+
+    def test_mismatched_id_is_a_miss(self, tmp_path):
+        # A record copied under the wrong filename must not be served.
+        store = ResultStore(tmp_path)
+        store.path_for("other").write_text('{"id": "abc123"}')
+        assert store.load("other") is None
+
+    def test_completed_lists_ids(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(make_record("id1"))
+        store.store(make_record("id2"))
+        assert store.completed() == {"id1", "id2"}
+        assert len(store) == 2
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(make_record(status="failed"))
+        store.store(make_record(status="ok"))
+        assert store.load("abc123")["status"] == "ok"
+        assert len(store) == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(make_record())
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -279,3 +279,49 @@ class TestKMatrix:
     def test_threshold_validation(self):
         with pytest.raises(ValueError):
             KMatrixSparsifier(threshold=-0.1)
+
+
+class TestTruncationDiagonalGuard:
+    """Regression: a zero/near-zero/non-finite L_ii used to flow into the
+    coupling quotient as NaN/inf, and `NaN < threshold` being False meant
+    the drop mask silently kept those mutuals.  Now the malformed
+    extraction is refused outright."""
+
+    def make_result(self, diag_override):
+        from repro.extraction.partial_matrix import PartialInductanceResult
+
+        segs = lines(num=4)
+        result = extract_partial_inductance(segs)
+        matrix = result.matrix.copy()
+        for i, value in diag_override.items():
+            matrix[i, i] = value
+        return PartialInductanceResult(segments=segs, matrix=matrix)
+
+    def test_zero_diagonal_rejected(self):
+        bad = self.make_result({1: 0.0})
+        with pytest.raises(ValueError, match="strictly positive self"):
+            TruncationSparsifier().apply(bad)
+
+    def test_near_zero_diagonal_rejected(self):
+        bad = self.make_result({2: 1e-30})
+        with pytest.raises(ValueError, match="segment indices \\[2\\]"):
+            TruncationSparsifier().apply(bad)
+
+    def test_nan_diagonal_rejected(self):
+        bad = self.make_result({0: float("nan")})
+        with pytest.raises(ValueError, match="non-finite"):
+            TruncationSparsifier().apply(bad)
+
+    def test_negative_diagonal_rejected(self):
+        bad = self.make_result({3: -1e-12})
+        with pytest.raises(ValueError, match="strictly positive"):
+            TruncationSparsifier().apply(bad)
+
+    def test_offender_list_is_capped(self):
+        bad = self.make_result({i: 0.0 for i in range(4)})
+        with pytest.raises(ValueError, match="0, 1, 2, 3"):
+            TruncationSparsifier().apply(bad)
+
+    def test_healthy_extraction_unaffected(self, extraction):
+        blocks = TruncationSparsifier(threshold=0.0).apply(extraction)
+        assert blocks.kind == "L"

@@ -78,3 +78,90 @@ class TestCLI:
         roots = [s["name"] for s in payload["spans"]]
         assert "loop.build" in roots
         assert "loop.sweep" in roots
+
+
+@pytest.mark.slow
+class TestSweepCLI:
+    def test_smoke_runs(self, capsys):
+        from repro.resilience.faults import inject_faults
+
+        with inject_faults():
+            assert main(["sweep", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep -- smoke" in out
+        assert "4 ok, 0 failed" in out
+
+    def test_needs_spec_or_smoke(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "need a spec file or --smoke" in capsys.readouterr().out
+
+    def test_bad_spec_reports_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_spec_file_runs(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "mini",
+            "defaults": {"length": 100e-6, "t_stop": 0.6e-9},
+            "grid": {"variant": ["baseline", "ground_plane"]},
+        }))
+        from repro.resilience.faults import inject_faults
+
+        with inject_faults():
+            assert main(["sweep", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep -- mini" in out
+        assert "2 ok" in out
+
+    def test_sharded_smoke_matches_serial(self, tmp_path, capsys):
+        from repro.resilience.faults import inject_faults
+
+        serial_out = tmp_path / "serial.json"
+        sharded_out = tmp_path / "sharded.json"
+        with inject_faults():
+            assert main(["sweep", "--smoke", "--workers", "1",
+                         "--out", str(serial_out)]) == 0
+            assert main(["sweep", "--smoke", "--workers", "2",
+                         "--out", str(sharded_out)]) == 0
+        capsys.readouterr()
+        assert serial_out.read_bytes() == sharded_out.read_bytes()
+
+    def test_resume_from_store(self, tmp_path, capsys):
+        from repro.resilience.faults import inject_faults
+
+        store = tmp_path / "store"
+        with inject_faults():
+            assert main(["sweep", "--smoke", "--store", str(store)]) == 0
+            capsys.readouterr()
+            assert main(["sweep", "--smoke", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 resumed, 0 computed" in out
+
+    def test_trace_json_wraps_sweep(self, tmp_path, capsys):
+        import json
+
+        from repro.resilience.faults import inject_faults
+
+        trace = tmp_path / "sweep_trace.json"
+        with inject_faults():
+            assert main(["sweep", "--smoke", "--trace-json",
+                         str(trace)]) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for child in node.get("children", []):
+                walk(child)
+
+        for root in payload["spans"]:
+            walk(root)
+        assert {"sweep.scenarios", "sweep.shard", "sweep.scenario"} <= names
+        counters = payload["metrics"]["counters"]
+        assert counters.get("sweep.scenarios.ok") == 4
