@@ -18,6 +18,15 @@ echo "== repro.qa.astlint over src =="
 python -m repro.qa.astlint src
 
 echo
+echo "== repro analyze over src/repro (baseline-ratcheted) =="
+# Fails on any finding not in qa/baseline.json; the JSON report is the
+# build artifact (inspect it to triage a red gate).
+python -m repro.cli analyze src/repro \
+    --baseline qa/baseline.json \
+    --format json --out /tmp/analyze_ci_report.json > /dev/null
+echo "analyze: clean against qa/baseline.json (report: /tmp/analyze_ci_report.json)"
+
+echo
 echo "== repro check over the examples =="
 python -m repro.cli check examples/*.py
 

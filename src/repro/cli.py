@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli export --out clocknet.sp
     python -m repro.cli check deck.sp script.py [--strict] [--sanitize]
     python -m repro.cli lint src [--suppress QA104]
+    python -m repro.cli analyze [src/repro] [--baseline qa/baseline.json]
+                                [--format json] [--out report.json]
     python -m repro.cli resume run.ckpt [--info] [--out waves.csv]
     python -m repro.cli bench [--smoke] [--baseline benchmarks/baseline.json]
     python -m repro.cli trace [--die 300] [--json trace.json]
@@ -21,7 +23,10 @@ the Figure-3 extraction sweep, ``design`` the Figure 5-9 studies, and
 SPICE deck.  ``check`` runs the :mod:`repro.qa` electrical rule check
 over SPICE decks and/or the circuits built by Python scripts, and
 ``lint`` runs the repo-specific AST lint -- both exit non-zero on
-error-severity findings.  ``resume`` picks a crashed transient or loop
+error-severity findings.  ``analyze`` runs the project-wide dataflow
+lint (:mod:`repro.qa.analyze`): the QA101-QA107 syntax rules plus the
+QA201-QA206 semantic rules, with a ``--baseline`` ratchet so only *new*
+findings fail the gate.  ``resume`` picks a crashed transient or loop
 sweep back up from its checkpoint file (see :mod:`repro.resilience`).
 ``bench`` times the hot paths (assembly, sparsification, loop sweep
 serial vs parallel, transient) and optionally gates against a checked-in
@@ -351,6 +356,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return astlint.main(argv)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.qa.analyze import main as analyze_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    for rule in args.suppress:
+        argv += ["--suppress", rule]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.explain:
+        argv += ["--explain", args.explain]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analyze_main(argv)
+
+
 #: Top-level spans the ``trace`` smoke command insists on seeing.
 _TRACE_EXPECTED = ("flow.peec", "peec.assembly", "circuit.transient")
 
@@ -542,6 +569,20 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--suppress", action="append", default=[],
                         metavar="RULE")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze", help="project-wide dataflow lint (QA101-QA206)")
+    p_an.add_argument("paths", nargs="*", default=["src/repro"])
+    p_an.add_argument("--format", choices=("text", "json"), default="text")
+    p_an.add_argument("--out", default=None, metavar="PATH")
+    p_an.add_argument("--baseline", default=None, metavar="FILE")
+    p_an.add_argument("--update-baseline", action="store_true")
+    p_an.add_argument("--suppress", action="append", default=[],
+                      metavar="RULE")
+    p_an.add_argument("--rules", default=None, metavar="ID[,ID...]")
+    p_an.add_argument("--explain", default=None, metavar="RULE")
+    p_an.add_argument("--list-rules", action="store_true")
+    p_an.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     trace_json = getattr(args, "trace_json", None)

@@ -200,7 +200,12 @@ _WORKER_SPEC: SweepSpec | None = None
 
 
 def _init_worker(spec: SweepSpec) -> None:
-    global _WORKER_SPEC
+    # The standard pool-initializer idiom: the spec is pickled once per
+    # worker process (not once per chunk) and parked in a module global
+    # that only that worker ever reads.  The parent never reads
+    # _WORKER_SPEC, so the per-process copies cannot diverge from
+    # anything.
+    global _WORKER_SPEC  # qa: ignore[QA203]
     _WORKER_SPEC = spec
 
 
@@ -220,10 +225,10 @@ def _solve_chunk(
     parent at fork time, and without the detach the chunk span would
     attach to that dead copy instead of the private trace.
     """
-    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.reset()  # qa: ignore[QA203] -- worker-private registry, exported below
     with detached_stack(), tracing() as trace:
         with span("sweep.chunk", chunk=chunk_id, points=len(freqs)):
-            rows, notes = solve_points(_WORKER_SPEC, freqs)
+            rows, notes = solve_points(_WORKER_SPEC, freqs)  # qa: ignore[QA203] -- set by _init_worker in this process
     return (
         chunk_id, rows, notes,
         export_spans(trace), obs_metrics.REGISTRY.export(),

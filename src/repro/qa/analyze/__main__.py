@@ -1,0 +1,7 @@
+"""``python -m repro.qa.analyze``."""
+
+import sys
+
+from repro.qa.analyze.main import main
+
+sys.exit(main())

@@ -1,0 +1,161 @@
+"""Baseline suppression: existing debt is ratcheted, not re-litigated.
+
+A baseline file is a JSON list of *triaged* findings -- each entry
+carries the rule id, the file, the message, a stable fingerprint, and a
+human justification for why it is accepted (or deliberate).  ``repro
+analyze --baseline qa/baseline.json`` subtracts baselined findings from
+the gate: the build stays green on day one and fails the moment a *new*
+finding of any baselined class appears -- the ratchet.
+
+Fingerprints hash ``rule | normalized path | message`` and deliberately
+exclude line numbers, so unrelated edits that shift a finding a few
+lines do not invalidate the baseline, while any change to what the
+finding *says* (a different variable, a different global) does.
+
+Stale entries (baselined findings that no longer occur) are reported so
+the file shrinks as debt is paid down; they never fail the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a report."""
+
+    new: list[Diagnostic] = field(default_factory=list)
+    baselined: list[Diagnostic] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+def _normalized_path(location: str) -> str:
+    """File part of a ``path:line:col`` location, posix separators.
+
+    Absolute paths are made relative to the working directory when
+    possible, so an analyzer run over ``/repo/src/repro`` and one over
+    ``src/repro`` fingerprint identically.
+    """
+    path = Path(location.split(":", 1)[0])
+    if path.is_absolute():
+        try:
+            path = path.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def finding_fingerprint(diag: Diagnostic) -> str:
+    """Stable id of a finding: rule + file + message (no line numbers)."""
+    payload = f"{diag.rule}|{_normalized_path(diag.location)}|{diag.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a baseline file (no 'entries' key)")
+    entries = []
+    for raw in data["entries"]:
+        entries.append(BaselineEntry(
+            fingerprint=raw["fingerprint"],
+            rule=raw.get("rule", ""),
+            path=raw.get("path", ""),
+            message=raw.get("message", ""),
+            justification=raw.get("justification", ""),
+        ))
+    return entries
+
+
+def apply_baseline(
+    report: DiagnosticReport, entries: Iterable[BaselineEntry]
+) -> BaselineResult:
+    """Split a report into new findings, baselined ones, and stale entries."""
+    by_fingerprint = {e.fingerprint: e for e in entries}
+    result = BaselineResult()
+    matched: set[str] = set()
+    for diag in report:
+        fp = finding_fingerprint(diag)
+        if fp in by_fingerprint:
+            matched.add(fp)
+            result.baselined.append(diag)
+        else:
+            result.new.append(diag)
+    result.stale = [
+        e for fp, e in sorted(by_fingerprint.items()) if fp not in matched
+    ]
+    return result
+
+
+def write_baseline(
+    report: DiagnosticReport,
+    path: str | Path,
+    previous: Iterable[BaselineEntry] = (),
+    default_justification: str = "TODO: triage (auto-added by "
+                                 "--update-baseline)",
+) -> list[BaselineEntry]:
+    """Write the current findings as the new baseline.
+
+    Justifications from ``previous`` entries are preserved by
+    fingerprint; genuinely new entries get ``default_justification`` so
+    a human has to come back and own them.
+    """
+    keep = {e.fingerprint: e.justification for e in previous}
+    entries: dict[str, BaselineEntry] = {}
+    for diag in report:
+        fp = finding_fingerprint(diag)
+        entries[fp] = BaselineEntry(
+            fingerprint=fp,
+            rule=diag.rule,
+            path=_normalized_path(diag.location),
+            message=diag.message,
+            justification=keep.get(fp, default_justification),
+        )
+    ordered = sorted(
+        entries.values(), key=lambda e: (e.path, e.rule, e.fingerprint)
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro analyze",
+        "entries": [asdict(e) for e in ordered],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                   encoding="utf-8")
+    return ordered
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineEntry",
+    "BaselineResult",
+    "finding_fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,618 @@
+"""Intraprocedural dataflow: reaching definitions + a small value lattice.
+
+Every QA200-series rule asks a question of the form "what kind of value
+reaches this expression?" -- is the array handed to ``np.interp`` known
+to be ascending, is this cache key a raw float, is a span still open on
+this ``return`` path.  :class:`FunctionDataflow` answers them by walking
+one function body in order, maintaining an environment mapping local
+names to *abstract values* -- frozensets of tags from the lattice:
+
+=============== =========================================================
+tag             meaning
+=============== =========================================================
+``sorted``      provably ascending (``np.sort``/``sorted``/``linspace``/
+                ``argsort``-reorder/ascending literal/diff guard)
+``argsort``     result of ``np.argsort`` (indexing with it sorts)
+``float``       computed float scalar (``float()``, division, ``.real``)
+``quantized``   passed through ``round``/``int``/floor -- safe cache key
+``complex``     complex scalar (``complex()``, ``1j`` arithmetic)
+``rng-seeded``  ``default_rng(seed)``; ``rng-unseeded`` without a seed
+``cm``          un-entered context manager from ``repro.obs.trace``
+``span-open``   manually ``__enter__``-ed span, not yet exited
+``param``       function parameter -- unknown provenance
+=============== =========================================================
+
+Joins at control-flow merges are tag-wise: *must* properties (``sorted``,
+``quantized``, ``rng-seeded``) survive only when both branches agree;
+*may* properties (``complex``, ``float``, ``span-open``, ...) union, so a
+hazard on either path is kept.  Loop bodies are walked once against an
+entry environment where loop-assigned names lose their must tags, which
+is the classic one-pass widening.  ``if``/``assert`` guards of the shape
+``np.all(np.diff(x) > 0)`` (or the negated ``np.any(np.diff(x) < 0)``)
+refine ``x`` to ``sorted`` on the passing branch.
+
+The walker also records reaching definitions (name -> line numbers of
+the assignments that may reach each use), the environment snapshot at
+every call site, manual ``__enter__`` sites, and every exit point
+(``return``/``raise``/fall-through) with its environment -- the raw
+material for QA201/QA202/QA204/QA205.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.qa.analyze.symbols import SymbolTable
+
+Value = frozenset[str]
+
+EMPTY: Value = frozenset()
+SORTED: Value = frozenset({"sorted"})
+PARAM: Value = frozenset({"param"})
+
+#: Tags that must hold on *both* sides of a join to survive.
+_MUST_TAGS = frozenset({"sorted", "argsort", "quantized", "rng-seeded"})
+
+#: Tags that describe array shape/order and die under arithmetic.
+_ORDER_TAGS = frozenset({"sorted", "argsort", "cm", "span-open"})
+
+#: Canonical callables whose result is an ascending array.
+_SORTED_PRODUCERS = frozenset({
+    "sorted",
+    "numpy.sort",
+    "numpy.unique",
+    "numpy.linspace",
+    "numpy.logspace",
+    "numpy.geomspace",
+    "numpy.arange",
+    "numpy.sort_complex",
+    "numpy.msort",
+})
+
+#: Canonical callables that pass their first argument through unchanged
+#: (for the tags we track).
+_PASSTHROUGH = frozenset({
+    "numpy.asarray",
+    "numpy.array",
+    "numpy.asanyarray",
+    "numpy.ascontiguousarray",
+    "numpy.asfortranarray",
+    "numpy.atleast_1d",
+    "numpy.copy",
+})
+
+#: Canonical callables that quantize a float into a safe key component.
+_QUANTIZERS = frozenset({
+    "int",
+    "round",
+    "math.floor",
+    "math.ceil",
+    "math.trunc",
+    "numpy.round",
+    "numpy.rint",
+    "numpy.floor",
+    "numpy.ceil",
+})
+
+#: Canonical callables yielding a computed float.
+_FLOAT_PRODUCERS = frozenset({"float", "numpy.float64", "numpy.float32"})
+
+#: Context managers from the obs layer (QA204's subjects).
+SPAN_CONTEXTS = frozenset({
+    "repro.obs.trace.span",
+    "repro.obs.trace.tracing",
+    "repro.obs.trace.detached_stack",
+})
+
+
+def join_values(a: Value, b: Value) -> Value:
+    """Tag-wise join: may-tags union, must-tags intersect."""
+    return ((a | b) - _MUST_TAGS) | (a & b & _MUST_TAGS)
+
+
+def join_envs(a: dict[str, Value], b: dict[str, Value]) -> dict[str, Value]:
+    out: dict[str, Value] = {}
+    for name in set(a) | set(b):
+        out[name] = join_values(a.get(name, EMPTY), b.get(name, EMPTY))
+    return out
+
+
+@dataclass
+class ExitPoint:
+    """One way out of the function, with the environment at that point."""
+
+    node: ast.stmt | None  # Return/Raise; None = fall-through end
+    env: dict[str, Value] = field(default_factory=dict)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0) if self.node else 0
+
+
+class FunctionDataflow:
+    """One-pass abstract interpretation of a single function body."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+        symbols: SymbolTable,
+    ) -> None:
+        self.func = func
+        self.symbols = symbols
+        #: env snapshot live at each Call node encountered.
+        self.env_at_call: dict[ast.Call, dict[str, Value]] = {}
+        #: reaching definitions live at each Call node (name -> linenos).
+        self.defs_at_call: dict[ast.Call, dict[str, frozenset[int]]] = {}
+        #: manual ``cm.__enter__()`` sites: (call node, variable name).
+        self.enter_sites: list[tuple[ast.Call, str | None]] = []
+        #: span-context creations -> consumed by with/enter_context/enter.
+        self.cm_sites: dict[ast.Call, bool] = {}
+        self.exit_points: list[ExitPoint] = []
+        #: names whose ``__exit__``/``close`` runs in a ``finally``.
+        self.finally_managed: set[str] = self._scan_finally(func)
+        self._defs: dict[str, frozenset[int]] = {}
+        self._cm_origin: dict[str, ast.Call] = {}
+
+        env: dict[str, Value] = {}
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = func.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+                env[arg.arg] = PARAM
+            if args.vararg:
+                env[args.vararg.arg] = PARAM
+            if args.kwarg:
+                env[args.kwarg.arg] = PARAM
+        out = self._walk(func.body, env)
+        self.exit_points.append(ExitPoint(None, out))
+
+    # -- statement walk ----------------------------------------------------
+
+    def _walk(
+        self, body: list[ast.stmt], env: dict[str, Value]
+    ) -> dict[str, Value]:
+        for stmt in body:
+            env = self._stmt(stmt, env)
+        return env
+
+    def _stmt(self, stmt: ast.stmt, env: dict[str, Value]) -> dict[str, Value]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return env  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                env = self._bind(target, stmt.value, value, env,
+                                 stmt.lineno)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                env = self._bind(stmt.target, stmt.value, value, env,
+                                 stmt.lineno)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                old = env.get(stmt.target.id, EMPTY)
+                env = dict(env)
+                env[stmt.target.id] = (old | value) - _ORDER_TAGS
+                self._defs[stmt.target.id] = frozenset({stmt.lineno})
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+            return self._effect_of_call(stmt.value, env)
+        if isinstance(stmt, ast.If):
+            then_env = self._refine(stmt.test, dict(env), True)
+            else_env = self._refine(stmt.test, dict(env), False)
+            then_out = self._walk(stmt.body, then_env)
+            else_out = self._walk(stmt.orelse, else_env)
+            if self._always_exits(stmt.body):
+                return else_out
+            if stmt.orelse and self._always_exits(stmt.orelse):
+                return then_out
+            return join_envs(then_out, else_out)
+        if isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            return self._refine(stmt.test, dict(env), True)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self.eval(stmt.iter, env)
+            widened = self._widen_for_loop(stmt, env)
+            if isinstance(stmt.target, ast.Name):
+                widened[stmt.target.id] = iter_value & frozenset({"complex"})
+            after = self._walk(stmt.body, widened)
+            after = self._walk(stmt.orelse, after)
+            return join_envs(env, after)
+        if isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            widened = self._widen_for_loop(stmt, env)
+            after = self._walk(stmt.body, widened)
+            after = self._walk(stmt.orelse, after)
+            return join_envs(env, after)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            env = dict(env)
+            for item in stmt.items:
+                value = self.eval(item.context_expr, env)
+                self._mark_cm_used(item.context_expr, env)
+                if item.optional_vars is not None and isinstance(
+                        item.optional_vars, ast.Name):
+                    # with-managed: closes on every exit, so no span-open.
+                    env[item.optional_vars.id] = value - frozenset(
+                        {"cm", "span-open"}
+                    )
+            return self._walk(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            body_out = self._walk(stmt.body, dict(env))
+            out = body_out
+            for handler in stmt.handlers:
+                handler_env = join_envs(env, body_out)
+                if handler.name:
+                    handler_env[handler.name] = EMPTY
+                out = join_envs(out, self._walk(handler.body, handler_env))
+            out = self._walk(stmt.orelse, out)
+            return self._walk(stmt.finalbody, out)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if "cm" in self.eval(stmt.value, env):
+                    # Returned to the caller: a factory, not a leak.
+                    self._mark_cm_used(stmt.value, env)
+            self.exit_points.append(ExitPoint(stmt, dict(env)))
+            return env
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+            self.exit_points.append(ExitPoint(stmt, dict(env)))
+            return env
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        # Import/Global/Nonlocal/Pass/Break/Continue/Match: evaluate any
+        # embedded expressions conservatively and move on.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return env
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value_expr: ast.expr,
+        value: Value,
+        env: dict[str, Value],
+        lineno: int,
+    ) -> dict[str, Value]:
+        env = dict(env)
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            self._defs[target.id] = frozenset({lineno})
+            if "cm" in value and isinstance(value_expr, ast.Call):
+                self._cm_origin[target.id] = value_expr
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = (
+                value_expr.elts
+                if isinstance(value_expr, (ast.Tuple, ast.List))
+                and len(value_expr.elts) == len(target.elts)
+                else None
+            )
+            for i, sub in enumerate(target.elts):
+                sub_value = self.eval(elts[i], env) if elts else EMPTY
+                env = self._bind(
+                    sub, elts[i] if elts else value_expr, sub_value, env,
+                    lineno,
+                )
+        # Subscript/Attribute stores don't change what we track.
+        return env
+
+    def _always_exits(self, body: list[ast.stmt]) -> bool:
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    def _widen_for_loop(
+        self, loop: ast.stmt, env: dict[str, Value]
+    ) -> dict[str, Value]:
+        """Drop must-tags from names the loop body may reassign."""
+        assigned: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            assigned.add(sub.id)
+        widened = dict(env)
+        for name in assigned:
+            if name in widened:
+                widened[name] = widened[name] - _MUST_TAGS
+        return widened
+
+    # -- guard refinement --------------------------------------------------
+
+    def _refine(
+        self, test: ast.expr, env: dict[str, Value], branch: bool
+    ) -> dict[str, Value]:
+        """Apply ascending-order guards to the given branch's env."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._refine(test.operand, env, not branch)
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And) \
+                and branch:
+            for sub in test.values:
+                env = self._refine(sub, env, True)
+            return env
+        name = self._ascending_guard(test, positive=True)
+        if name is not None and branch:
+            env[name] = env.get(name, EMPTY) | SORTED
+            return env
+        name = self._ascending_guard(test, positive=False)
+        if name is not None and not branch:
+            env[name] = env.get(name, EMPTY) | SORTED
+        return env
+
+    def _ascending_guard(
+        self, test: ast.expr, positive: bool
+    ) -> str | None:
+        """Name asserted ascending by ``np.all(np.diff(x) > 0)`` guards.
+
+        ``positive=True`` matches the affirmative form (``np.all(diff >
+        0)`` true => sorted); ``positive=False`` the negated form
+        (``np.any(diff < 0)`` false => sorted).
+        """
+        if not (isinstance(test, ast.Call) and test.args):
+            return None
+        outer = self.symbols.canonical(test.func)
+        wanted = "numpy.all" if positive else "numpy.any"
+        if outer != wanted:
+            return None
+        cmp = test.args[0]
+        if not (isinstance(cmp, ast.Compare) and len(cmp.ops) == 1):
+            return None
+        ok_ops = (ast.Gt, ast.GtE) if positive else (ast.Lt, ast.LtE)
+        if not isinstance(cmp.ops[0], ok_ops):
+            return None
+        inner = cmp.left
+        if not (isinstance(inner, ast.Call)
+                and self.symbols.canonical(inner.func) == "numpy.diff"
+                and inner.args
+                and isinstance(inner.args[0], ast.Name)):
+            return None
+        comparator = cmp.comparators[0]
+        if not (isinstance(comparator, ast.Constant)
+                and comparator.value == 0):
+            return None
+        return inner.args[0].id
+
+    # -- expression evaluation ---------------------------------------------
+
+    def eval(self, node: ast.expr, env: dict[str, Value]) -> Value:
+        """Abstract value of an expression in the given environment."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, complex):
+                return frozenset({"complex"})
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            tags = EMPTY
+            for elt in node.elts:
+                tags = tags | self.eval(elt, env)
+            if self._is_ascending_literal(node):
+                tags = tags | SORTED
+            return tags
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            tags = (self.eval(node.left, env)
+                    | self.eval(node.right, env)) - _ORDER_TAGS
+            if isinstance(node.op, ast.Div):
+                tags = tags | frozenset({"float"})
+            return tags
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env) - _ORDER_TAGS
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value, env)
+            if node.attr in ("real", "imag") and "complex" in base:
+                return frozenset({"float"})
+            dotted = self.symbols.canonical(node)
+            if dotted in _SORTED_PRODUCERS:  # e.g. bound alias use
+                return EMPTY
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return join_values(self.eval(node.body, env),
+                               self.eval(node.orelse, env))
+        if isinstance(node, ast.BoolOp):
+            for sub in node.values:
+                self.eval(sub, env)
+            return EMPTY
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for sub in node.comparators:
+                self.eval(sub, env)
+            return EMPTY
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return EMPTY
+        if isinstance(node, ast.JoinedStr):
+            return EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return EMPTY
+
+    def _eval_call(self, node: ast.Call, env: dict[str, Value]) -> Value:
+        self.env_at_call[node] = dict(env)
+        self.defs_at_call[node] = dict(self._defs)
+        for arg in node.args:
+            if "cm" in self.eval(arg, env):
+                # Handed to another function: that callee owns closing it.
+                self._mark_cm_used(arg, env)
+        for kw in node.keywords:
+            if "cm" in self.eval(kw.value, env):
+                self._mark_cm_used(kw.value, env)
+
+        dotted = self.symbols.canonical(node.func)
+        if dotted is None and isinstance(node.func, ast.Name):
+            # Untracked bare name: assume the builtin (sorted, round,
+            # complex, ...); a local shadowing one of these is on its own.
+            dotted = node.func.id
+        if dotted in _SORTED_PRODUCERS:
+            return SORTED
+        if dotted == "numpy.argsort":
+            return frozenset({"argsort"})
+        if dotted in _PASSTHROUGH and node.args:
+            return self.eval(node.args[0], env) & frozenset(
+                {"sorted", "argsort", "complex", "float", "param"}
+            )
+        if dotted in _QUANTIZERS:
+            return frozenset({"quantized"})
+        if dotted in _FLOAT_PRODUCERS:
+            return frozenset({"float"})
+        if dotted == "complex":
+            return frozenset({"complex"})
+        if dotted == "numpy.random.default_rng":
+            seeded = bool(node.args) or bool(node.keywords)
+            return frozenset({"rng-seeded" if seeded else "rng-unseeded"})
+        if dotted in SPAN_CONTEXTS:
+            self.cm_sites.setdefault(node, False)
+            return frozenset({"cm"})
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if node.func.attr == "__enter__":
+                base_value = self.eval(base, env)
+                if "cm" in base_value:
+                    name = base.id if isinstance(base, ast.Name) else None
+                    self.enter_sites.append((node, name))
+                    self._mark_cm_used(base, env)
+                    return frozenset({"span-open"})
+            if node.func.attr == "enter_context" and node.args:
+                # ExitStack-managed: closed by the stack on every exit.
+                self._mark_cm_used(node.args[0], env)
+                return self.eval(node.args[0], env) - frozenset(
+                    {"cm", "span-open"}
+                )
+        return EMPTY
+
+    def _eval_subscript(
+        self, node: ast.Subscript, env: dict[str, Value]
+    ) -> Value:
+        base = self.eval(node.value, env)
+        index = self.eval(node.slice, env)
+        scalar_tags = base & frozenset({"complex"})
+        if "argsort" in index:
+            # x[np.argsort(...)] reorders ascending (by the sort key).
+            return SORTED | scalar_tags
+        if isinstance(node.slice, ast.Slice):
+            step = node.slice.step
+            forward = step is None or (
+                isinstance(step, ast.Constant)
+                and isinstance(step.value, int) and step.value > 0
+            )
+            if forward:
+                return base & frozenset({"sorted", "complex", "float"})
+            return scalar_tags
+        return scalar_tags
+
+    # -- helpers -----------------------------------------------------------
+
+    def _is_ascending_literal(self, node: ast.expr) -> bool:
+        if not isinstance(node, (ast.Tuple, ast.List)) or not node.elts:
+            return False
+        values = []
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, (int, float))):
+                return False
+            values.append(elt.value)
+        return all(a <= b for a, b in zip(values, values[1:]))
+
+    def _effect_of_call(
+        self, expr: ast.expr, env: dict[str, Value]
+    ) -> dict[str, Value]:
+        """Side effects of a statement-level call (``x.sort()`` etc.)."""
+        if not (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and isinstance(expr.func.value, ast.Name)):
+            return env
+        name = expr.func.value.id
+        if expr.func.attr == "sort":
+            env = dict(env)
+            env[name] = env.get(name, EMPTY) | SORTED
+        elif expr.func.attr == "__enter__":
+            if "cm" in env.get(name, EMPTY):
+                env = dict(env)
+                env[name] = (env[name] - frozenset({"cm"})) | frozenset(
+                    {"span-open"}
+                )
+        elif expr.func.attr in ("__exit__", "close"):
+            env = dict(env)
+            env[name] = env.get(name, EMPTY) - frozenset({"span-open"})
+        return env
+
+    def _mark_cm_used(
+        self, expr: ast.expr, env: dict[str, Value]
+    ) -> None:
+        """Record that a span context manager reached a safe consumer."""
+        if isinstance(expr, ast.Call) and expr in self.cm_sites:
+            self.cm_sites[expr] = True
+        elif isinstance(expr, ast.Name):
+            origin = self._cm_origin.get(expr.id)
+            if origin is not None and origin in self.cm_sites:
+                self.cm_sites[origin] = True
+
+    def _scan_finally(self, func: ast.AST) -> set[str]:
+        """Names whose cleanup provably runs in a ``finally`` block."""
+        managed: set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in ("__exit__", "close")
+                            and isinstance(sub.func.value, ast.Name)):
+                        managed.add(sub.func.value.id)
+        return managed
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in a module with its dotted qualname, outer first."""
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                out.append((qualname, child))
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+
+    visit(tree, "")
+    return out
+
+
+__all__ = [
+    "Value",
+    "EMPTY",
+    "SORTED",
+    "PARAM",
+    "SPAN_CONTEXTS",
+    "join_values",
+    "join_envs",
+    "ExitPoint",
+    "FunctionDataflow",
+    "iter_functions",
+]

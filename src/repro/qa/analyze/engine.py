@@ -1,0 +1,224 @@
+"""The analyzer engine: rule framework + project driver.
+
+A :class:`Rule` packages one checker: a stable id (the unit of
+suppression and baselining), a one-line title, a severity, a fix hint,
+and a ``docs`` string rendered by ``repro analyze --explain QAnnn``.
+Rules are registered in :data:`RULES` (populated by
+:mod:`~repro.qa.analyze.rules_syntax` and
+:mod:`~repro.qa.analyze.rules_semantic` at import time) and run once per
+module against a :class:`ModuleContext`, which lazily exposes the
+expensive shared passes -- symbol table, per-function dataflow, the
+project call graph -- so each is computed once however many rules
+consume it.
+
+``# qa: ignore[...]`` suppression comments are honored centrally in
+:meth:`ModuleContext.report`, so every rule (ported QA1xx and semantic
+QA2xx alike) gets identical suppression semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.qa.analyze.callgraph import CallGraph
+from repro.qa.analyze.dataflow import FunctionDataflow, iter_functions
+from repro.qa.analyze.ignores import is_suppressed
+from repro.qa.analyze.project import Module, Project
+from repro.qa.analyze.symbols import SymbolTable
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered checker.
+
+    Attributes:
+        id: Stable rule id (``"QA201"``); the unit of suppression.
+        title: One-line summary (``--list-rules`` output).
+        severity: Reported severity of every finding.
+        hint: Default fix hint attached to findings.
+        docs: Longer description with examples (``--explain`` output).
+        check: ``check(ctx)`` yielding findings for one module.
+    """
+
+    id: str
+    title: str
+    severity: Severity
+    hint: str
+    docs: str
+    check: Callable[["ModuleContext"], Iterable[Diagnostic]]
+
+
+#: Registered rules, id -> Rule; populated on rules-module import.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule
+
+
+class ModuleContext:
+    """Everything a rule may ask about one module (lazily computed)."""
+
+    def __init__(
+        self,
+        module: Module,
+        project: Project | None = None,
+        symbols: SymbolTable | None = None,
+        callgraph: CallGraph | None = None,
+    ) -> None:
+        self.module = module
+        self.project = project
+        self.symbols = symbols if symbols is not None else SymbolTable(
+            module, project
+        )
+        self.callgraph = callgraph
+        self._dataflow: dict[ast.AST, FunctionDataflow] = {}
+        self._functions: list[tuple[str, ast.AST]] | None = None
+        self._module_flow: FunctionDataflow | None = None
+
+    # -- shared passes -----------------------------------------------------
+
+    def functions(self) -> list[tuple[str, ast.AST]]:
+        """Every function in the module with its dotted qualname."""
+        if self._functions is None:
+            self._functions = (
+                list(iter_functions(self.module.tree))
+                if self.module.tree is not None else []
+            )
+        return self._functions
+
+    def dataflow(self, func: ast.AST) -> FunctionDataflow:
+        """Memoized per-function dataflow analysis."""
+        flow = self._dataflow.get(func)
+        if flow is None:
+            flow = FunctionDataflow(func, self.symbols)  # type: ignore[arg-type]
+            self._dataflow[func] = flow
+        return flow
+
+    def module_flow(self) -> FunctionDataflow | None:
+        """Dataflow over the module's top-level statements."""
+        if self._module_flow is None and self.module.tree is not None:
+            self._module_flow = FunctionDataflow(
+                self.module.tree, self.symbols
+            )
+        return self._module_flow
+
+    def all_flows(self) -> list[FunctionDataflow]:
+        flows = [self.dataflow(func) for _, func in self.functions()]
+        top = self.module_flow()
+        return ([top] if top is not None else []) + flows
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST | None,
+        message: str,
+        hint: str | None = None,
+    ) -> Diagnostic | None:
+        """Build a finding unless an ignore comment suppresses it."""
+        line_no = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        lines = self.module.lines
+        line = lines[line_no - 1] if 0 <= line_no - 1 < len(lines) else ""
+        if is_suppressed(rule.id, line):
+            return None
+        return Diagnostic(
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+            location=f"{self.module.path}:{line_no}:{col}",
+            hint=hint if hint is not None else rule.hint,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one engine run."""
+
+    report: DiagnosticReport
+    project: Project
+    #: rule id -> number of findings (pre-baseline).
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rule modules populates RULES via register().
+    from repro.qa.analyze import rules_semantic, rules_syntax  # noqa: F401
+
+
+def analyze_project(
+    project: Project,
+    rules: Iterable[str] | None = None,
+    suppress: Iterable[str] = (),
+) -> AnalysisResult:
+    """Run the engine over a loaded project.
+
+    Args:
+        project: Modules under analysis (import graph included).
+        rules: Rule ids to run; default all registered.
+        suppress: Rule ids whose findings are dropped (counted).
+    """
+    _ensure_rules_loaded()
+    selected = [
+        RULES[rid] for rid in (rules if rules is not None else sorted(RULES))
+    ]
+    report = DiagnosticReport(suppress=suppress)
+    counts: dict[str, int] = {}
+    tables = {mod.name: SymbolTable(mod, project) for mod in project}
+    graph = CallGraph(project, tables)
+    for mod in project:
+        if mod.tree is None:
+            exc = mod.syntax_error
+            report.add(Diagnostic(
+                rule="QA000",
+                severity=Severity.ERROR,
+                message=f"file does not parse: "
+                        f"{exc.msg if exc else 'unknown syntax error'}",
+                location=f"{mod.path}:"
+                         f"{(exc.lineno if exc else 1) or 1}:"
+                         f"{(exc.offset if exc else 0) or 0}",
+                hint="fix the syntax error",
+            ))
+            counts["QA000"] = counts.get("QA000", 0) + 1
+            continue
+        ctx = ModuleContext(
+            mod, project, symbols=tables[mod.name], callgraph=graph
+        )
+        findings: list[Diagnostic] = []
+        for rule in selected:
+            for diag in rule.check(ctx):
+                findings.append(diag)
+                counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        findings.sort(key=lambda d: (d.location, d.rule))
+        report.extend(findings)
+    return AnalysisResult(report=report, project=project, counts=counts)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[str] | None = None,
+    suppress: Iterable[str] = (),
+) -> AnalysisResult:
+    """Load every ``*.py`` under the given paths and run the engine."""
+    return analyze_project(Project.load(paths), rules=rules,
+                           suppress=suppress)
+
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "register",
+    "ModuleContext",
+    "AnalysisResult",
+    "analyze_project",
+    "analyze_paths",
+]

@@ -1,0 +1,51 @@
+"""``# qa: ignore[...]`` suppression-comment parsing.
+
+One syntax serves every QA layer (the per-file AST lint and the
+project-wide analyzer):
+
+* ``# qa: ignore`` -- blanket: silences every rule on that line;
+* ``# qa: ignore[QA101]`` -- silences one rule;
+* ``# qa: ignore[QA101,QA203]`` -- silences a comma-separated list
+  (spaces after the commas are fine).
+
+Rule ids are matched case-sensitively.  A malformed bracket payload
+(empty, or containing something that is not a rule id) is treated as *no
+suppression at all* rather than a blanket one, so a typo cannot silently
+disable checking.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IGNORE_RE = re.compile(r"#\s*qa:\s*ignore(?:\[([^\]]*)\])?")
+
+_RULE_ID_RE = re.compile(r"^[A-Za-z][A-Za-z0-9._-]*$")
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rules silenced on this source line; ``None`` = no suppression.
+
+    An empty frozenset means a blanket ``# qa: ignore`` (all rules).
+    """
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return None
+    payload = match.group(1)
+    if payload is None:
+        return frozenset()
+    rules = frozenset(r.strip() for r in payload.split(",") if r.strip())
+    if not rules or not all(_RULE_ID_RE.match(r) for r in rules):
+        # "# qa: ignore[]" or garbage inside the brackets: refuse to
+        # treat a typo as a blanket waiver.
+        return None
+    return rules
+
+
+def is_suppressed(rule: str, line: str) -> bool:
+    """True when ``rule`` is silenced by a comment on ``line``."""
+    rules = suppressed_rules(line)
+    return rules is not None and (not rules or rule in rules)
+
+
+__all__ = ["suppressed_rules", "is_suppressed"]

@@ -1,0 +1,188 @@
+"""``repro analyze`` / ``python -m repro.qa.analyze`` entry point.
+
+Text output for humans, ``--format json`` (and ``--out``) for machines,
+``--explain QAnnn`` for the per-rule reference, ``--baseline`` for the
+ratchet, and an exit-code gate: 0 when no new error-severity finding
+survives the baseline, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.qa.analyze.baseline import (
+    BaselineResult,
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.qa.analyze.engine import RULES, AnalysisResult, analyze_paths
+from repro.qa.diagnostics import Diagnostic, Severity
+
+
+def _ensure_rules() -> None:
+    from repro.qa.analyze import rules_semantic, rules_syntax  # noqa: F401
+
+
+def _json_payload(
+    result: AnalysisResult, applied: BaselineResult
+) -> dict:
+    baselined_fps = {finding_fingerprint(d) for d in applied.baselined}
+
+    def encode(diag: Diagnostic) -> dict:
+        fp = finding_fingerprint(diag)
+        return {
+            "rule": diag.rule,
+            "severity": str(diag.severity),
+            "message": diag.message,
+            "location": diag.location,
+            "hint": diag.hint,
+            "fingerprint": fp,
+            "baselined": fp in baselined_fps,
+        }
+
+    return {
+        "version": 1,
+        "tool": "repro analyze",
+        "summary": {
+            "modules": len(result.project),
+            "findings": len(result.report),
+            "new": len(applied.new),
+            "baselined": len(applied.baselined),
+            "stale_baseline_entries": len(applied.stale),
+            "by_rule": dict(sorted(result.counts.items())),
+        },
+        "findings": [encode(d) for d in result.report],
+        "stale_baseline_entries": [
+            {"fingerprint": e.fingerprint, "rule": e.rule, "path": e.path}
+            for e in applied.stale
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro analyze``."""
+    _ensure_rules()
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="project-wide dataflow lint (QA101-QA107 syntax rules "
+                    "+ QA201-QA206 semantic rules)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="stdout format")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report to this file "
+                             "(the CI artifact)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON of triaged findings; only "
+                             "non-baselined findings fail the gate")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from the "
+                             "current findings (keeps justifications)")
+    parser.add_argument("--suppress", action="append", default=[],
+                        metavar="RULE", help="drop findings of this rule id")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="print one rule's reference doc and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].title}")
+        return 0
+    if args.explain:
+        rule = RULES.get(args.explain)
+        if rule is None:
+            print(f"error: unknown rule {args.explain!r} "
+                  f"(try --list-rules)", file=sys.stderr)
+            return 2
+        print(f"{rule.id}: {rule.title}\nseverity: {rule.severity}\n")
+        print(rule.docs)
+        print(f"\nfix hint: {rule.hint}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in RULES]
+        if unknown:
+            print(f"error: unknown rule(s) {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        result = analyze_paths(args.paths, rules=rule_ids,
+                               suppress=args.suppress)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    entries = []
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        written = write_baseline(result.report, args.baseline,
+                                 previous=entries)
+        print(f"wrote {args.baseline}: {len(written)} baselined "
+              f"finding(s)")
+        return 0
+
+    applied = apply_baseline(result.report, entries)
+    payload = _json_payload(result, applied)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n",
+                       encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for diag in applied.new:
+            print(diag.format())
+        summary = (
+            f"analyze: {len(result.project)} module(s), "
+            f"{len(applied.new)} new finding(s), "
+            f"{len(applied.baselined)} baselined"
+        )
+        if applied.stale:
+            summary += (
+                f", {len(applied.stale)} stale baseline entr"
+                f"{'y' if len(applied.stale) == 1 else 'ies'} "
+                "(debt paid down -- prune the baseline)"
+            )
+        if result.report.num_suppressed:
+            summary += f", {result.report.num_suppressed} suppressed"
+        print(summary)
+        if args.out:
+            print(f"wrote {args.out}")
+
+    has_new_errors = any(
+        d.severity >= Severity.ERROR for d in applied.new
+    )
+    return 1 if has_new_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["main"]

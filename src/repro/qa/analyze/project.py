@@ -1,0 +1,194 @@
+"""Module loading and the project import graph.
+
+The analyzer's unit of work is a :class:`Module` -- one parsed source
+file plus the bookkeeping every pass needs (dotted name, source lines
+for suppression comments).  A :class:`Project` is the set of modules
+under analysis plus the import graph between them, which is what makes
+the engine *project-wide*: rules can ask "who imports this module" or
+resolve a name imported from a sibling module instead of guessing from
+syntax alone.
+
+Dotted names are derived from the filesystem: a file under a directory
+chain containing ``repro`` gets its real package name
+(``.../src/repro/loop/extractor.py`` -> ``repro.loop.extractor``); a
+loose file (rule fixtures in tests) gets its stem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass
+class Module:
+    """One parsed source file.
+
+    Attributes:
+        name: Dotted module name (``"repro.loop.extractor"``).
+        path: Source path as given to the loader.
+        source: Raw file contents.
+        lines: ``source.splitlines()`` (suppression-comment lookups).
+        tree: Parsed AST; None when the file does not parse.
+        syntax_error: The ``SyntaxError`` when ``tree`` is None.
+    """
+
+    name: str
+    path: Path
+    source: str
+    lines: list[str]
+    tree: ast.Module | None
+    syntax_error: SyntaxError | None = None
+
+    @classmethod
+    def parse(cls, path: str | Path, name: str | None = None) -> "Module":
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        tree: ast.Module | None = None
+        error: SyntaxError | None = None
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            error = exc
+        return cls(
+            name=name if name is not None else module_name_for(path),
+            path=path,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+            syntax_error=error,
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a source path.
+
+    Walks the parent chain looking for a package root (a directory whose
+    ancestors stop containing ``__init__.py``); everything from the root
+    down becomes the dotted name.  Falls back to the bare stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+    return sorted(out)
+
+
+class Project:
+    """Every module under analysis plus the import graph between them."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        self.modules: dict[str, Module] = {}
+        for mod in modules:
+            self.modules[mod.name] = mod
+        #: importer -> set of imported *project* module names.
+        self.imports: dict[str, set[str]] = {}
+        #: imported module -> set of project modules importing it.
+        self.imported_by: dict[str, set[str]] = {}
+        for mod in self.modules.values():
+            deps = self._module_imports(mod)
+            self.imports[mod.name] = deps
+            for dep in deps:
+                self.imported_by.setdefault(dep, set()).add(mod.name)
+
+    @classmethod
+    def load(cls, paths: Iterable[str | Path]) -> "Project":
+        """Parse every ``*.py`` under the given files/directories."""
+        return cls(Module.parse(p) for p in iter_python_files(paths))
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def get(self, name: str) -> Module | None:
+        return self.modules.get(name)
+
+    def _module_imports(self, mod: Module) -> set[str]:
+        """Project-internal modules this module imports."""
+        deps: set[str] = set()
+        if mod.tree is None:
+            return deps
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._resolve_target(alias.name):
+                        deps.add(self._resolve_target(alias.name))  # type: ignore[arg-type]
+            elif isinstance(node, ast.ImportFrom):
+                base = absolute_import_base(mod, node)
+                if base is None:
+                    continue
+                resolved_base = self._resolve_target(base)
+                if resolved_base:
+                    deps.add(resolved_base)
+                for alias in node.names:
+                    sub = self._resolve_target(f"{base}.{alias.name}")
+                    if sub:
+                        deps.add(sub)
+        deps.discard(mod.name)
+        return deps
+
+    def _resolve_target(self, dotted: str | None) -> str | None:
+        """The loaded module (or package __init__) a dotted name hits."""
+        if not dotted:
+            return None
+        if dotted in self.modules:
+            return dotted
+        # "from repro.loop import extractor" names the package; also
+        # accept a prefix that is a loaded module.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix
+        return None
+
+
+def absolute_import_base(mod: Module, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted base of a ``from X import ...`` statement.
+
+    Relative imports climb from the importer's package; an over-deep
+    relative import (more dots than packages) resolves to None.
+    """
+    if node.level == 0:
+        return node.module
+    pkg_parts = mod.name.split(".")
+    if mod.path.name != "__init__.py":
+        pkg_parts = pkg_parts[:-1]
+    climb = node.level - 1
+    if climb > len(pkg_parts):
+        return None
+    base_parts = pkg_parts[: len(pkg_parts) - climb]
+    if node.module:
+        base_parts += node.module.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+__all__ = [
+    "Module",
+    "Project",
+    "module_name_for",
+    "iter_python_files",
+    "absolute_import_base",
+]
+

@@ -1,0 +1,143 @@
+"""Per-module symbol resolution: what does this name *actually* mean?
+
+The per-file lint tracks ``numpy``/``time`` aliases ad hoc inside its
+visitor; the project engine needs one shared answer, so this module
+builds a :class:`SymbolTable` per module mapping every locally-bound
+name to its *canonical dotted path*:
+
+* ``import numpy as np``                      -> ``np`` = ``numpy``
+* ``from numpy.random import default_rng``    -> ``default_rng`` =
+  ``numpy.random.default_rng``
+* ``from repro.obs import metrics as m``      -> ``m`` =
+  ``repro.obs.metrics``
+* ``interp = np.interp``                      -> ``interp`` =
+  ``numpy.interp`` (simple alias assignments are followed)
+
+:meth:`SymbolTable.canonical` then turns an expression like
+``np.random.default_rng`` into ``"numpy.random.default_rng"``.  With a
+:class:`~repro.qa.analyze.project.Project` attached, repro-internal
+re-exports are followed across modules (``from repro.scenarios import
+ResultStore`` resolves through the package ``__init__`` to
+``repro.scenarios.store.ResultStore``), bounded to a few hops so import
+cycles cannot loop the resolver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.qa.analyze.project import Module, absolute_import_base
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qa.analyze.project import Project
+
+#: Re-export hops followed when resolving through package __init__ files.
+_MAX_HOPS = 4
+
+
+class SymbolTable:
+    """Canonical dotted targets for the names bound in one module."""
+
+    def __init__(self, module: Module, project: "Project | None" = None):
+        self.module = module
+        self.project = project
+        #: local name -> canonical dotted path.
+        self.bindings: dict[str, str] = {}
+        if module.tree is not None:
+            self._collect(module.tree)
+
+    # -- construction ------------------------------------------------------
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = absolute_import_base(self.module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{base}.{alias.name}"
+        # Simple alias assignments (x = np, f = np.interp), one pass in
+        # source order so chains like a = np; b = a.interp resolve.
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                target = self.canonical(node.value, follow=False)
+                if target is not None:
+                    self.bindings[node.targets[0].id] = target
+
+    # -- queries -----------------------------------------------------------
+
+    def resolve(self, name: str) -> str | None:
+        """Canonical dotted path of a bare local name, if known."""
+        return self._follow(self.bindings.get(name))
+
+    def canonical(self, expr: ast.expr, follow: bool = True) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, if known.
+
+        Returns None when the chain's root is not a tracked binding --
+        an unknown object's method is *not* resolved to anything.
+        """
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.bindings.get(node.id)
+        if root is None:
+            return None
+        dotted = ".".join([root] + parts)
+        return self._follow(dotted) if follow else dotted
+
+    def canonical_call(self, call: ast.Call) -> str | None:
+        """Canonical dotted path of a call's target, if known."""
+        return self.canonical(call.func)
+
+    def _follow(self, dotted: str | None) -> str | None:
+        """Follow repro-internal re-exports through loaded modules."""
+        if dotted is None or self.project is None:
+            return dotted
+        seen: set[str] = set()
+        for _ in range(_MAX_HOPS):
+            if dotted in seen:
+                break
+            seen.add(dotted)
+            head, _, tail = dotted.rpartition(".")
+            mod = self.project.get(head) if head else None
+            if mod is None or mod is self.module:
+                break
+            table = _table_for(mod, self.project)
+            target = table.bindings.get(tail)
+            if target is None or target == dotted:
+                break
+            dotted = target
+        return dotted
+
+
+_TABLES: dict[tuple[int, str], SymbolTable] = {}
+
+
+def _table_for(mod: Module, project: "Project | None") -> SymbolTable:
+    """Memoized per-(project, module) symbol table (re-export hops)."""
+    key = (id(project), mod.name)
+    table = _TABLES.get(key)
+    if table is None:
+        # Build without a project to avoid mutual recursion; one level of
+        # raw bindings is all a re-export hop needs.
+        table = SymbolTable(mod, project=None)
+        _TABLES[key] = table
+    return table
+
+
+__all__ = ["SymbolTable"]

@@ -1,7 +1,12 @@
 """Repo-specific AST lint: ``python -m repro.qa.astlint src``.
 
-Generic linters don't know this codebase's numerics discipline; these
-rules encode it:
+This is now a thin compatibility shim: the QA101-QA107 rules live in
+:mod:`repro.qa.analyze.rules_syntax` and run inside the project-wide
+analyzer engine (``repro analyze``), which also adds the semantic
+QA201-QA206 rules.  This module keeps the original per-file API
+(:func:`lint_file`, :func:`lint_paths`, :data:`LINT_RULES`) and the
+``python -m repro.qa.astlint`` CLI with identical exit codes, so
+existing tooling keeps working.
 
 ====== ========================================================================
 rule   what it flags
@@ -29,359 +34,50 @@ QA107  unseeded ``numpy.random.default_rng()`` outside tests -- OS-entropy
        from the caller's config.
 ====== ========================================================================
 
-Suppress a single line with a trailing ``# qa: ignore`` (all rules) or
-``# qa: ignore[QA101]`` (one rule) comment.
+Suppress a single line with a trailing ``# qa: ignore`` (all rules),
+``# qa: ignore[QA101]`` (one rule), or ``# qa: ignore[QA101,QA106]``
+(a comma-separated list) comment.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
-import re
 import sys
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable
 
+from repro.qa.analyze.engine import RULES, ModuleContext
+from repro.qa.analyze.ignores import suppressed_rules as _suppressed_rules  # noqa: F401  (compat re-export)
+from repro.qa.analyze.project import Module, iter_python_files
+from repro.qa.analyze.rules_syntax import SYNTAX_RULE_IDS
 from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
 
 #: rule id -> one-line description (printed by ``--list-rules``).
 LINT_RULES: dict[str, str] = {
-    "QA101": "explicit dense-matrix inverse; prefer factor-and-solve",
-    "QA102": "mutable default argument",
-    "QA103": "package __init__.py re-exports names without __all__",
-    "QA104": "float() of a complex AC result (impedance/admittance/transfer)",
-    "QA105": "broad except clause that silently passes",
-    "QA106": "ad-hoc timing call outside repro.obs (use a span)",
-    "QA107": "unseeded default_rng() outside tests (pass a seed)",
+    rule_id: RULES[rule_id].title for rule_id in SYNTAX_RULE_IDS
 }
-
-#: ``time``-module functions QA106 treats as ad-hoc timers.
-_TIMING_FUNCS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
-
-#: Attribute names that carry complex AC results in this codebase.
-_COMPLEX_ATTRS = frozenset({"impedance", "admittance", "transfer"})
-
-#: Modules whose ``inv`` is an explicit dense inverse.
-_LINALG_MODULES = frozenset({"numpy.linalg", "scipy.linalg"})
-
-_IGNORE_RE = re.compile(r"#\s*qa:\s*ignore(?:\[([A-Za-z0-9, ]+)\])?")
-
-_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
-
-
-def _suppressed_rules(line: str) -> frozenset[str] | None:
-    """Rules silenced on this source line; None = no suppression comment.
-
-    An empty frozenset means a blanket ``# qa: ignore`` (all rules).
-    """
-    match = _IGNORE_RE.search(line)
-    if match is None:
-        return None
-    if match.group(1) is None:
-        return frozenset()
-    return frozenset(r.strip() for r in match.group(1).split(","))
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        path: str,
-        lines: Sequence[str],
-        check_timing: bool = True,
-        check_rng: bool = True,
-    ) -> None:
-        self.path = path
-        self.lines = lines
-        self.check_timing = check_timing
-        self.check_rng = check_rng
-        self.findings: list[Diagnostic] = []
-        # Names bound to numpy.linalg / scipy.linalg modules, and names
-        # bound directly to their `inv` function.
-        self._linalg_aliases: set[str] = set()
-        self._inv_aliases: set[str] = set()
-        # Names bound to the `time` module / its timing functions (QA106).
-        self._time_aliases: set[str] = set()
-        self._timing_func_aliases: set[str] = set()
-        # Names bound directly to numpy.random.default_rng (QA107).
-        self._rng_aliases: set[str] = set()
-
-    # -- reporting ---------------------------------------------------------
-
-    def _report(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
-        line_no = getattr(node, "lineno", 1)
-        line = self.lines[line_no - 1] if line_no - 1 < len(self.lines) else ""
-        suppressed = _suppressed_rules(line)
-        if suppressed is not None and (not suppressed or rule in suppressed):
-            return
-        self.findings.append(Diagnostic(
-            rule=rule,
-            severity=Severity.ERROR,
-            message=message,
-            location=f"{self.path}:{line_no}:{getattr(node, 'col_offset', 0)}",
-            hint=hint,
-        ))
-
-    # -- import tracking ---------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.name in _LINALG_MODULES:
-                self._linalg_aliases.add(alias.asname or alias.name)
-            elif alias.name == "time":
-                self._time_aliases.add(alias.asname or "time")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module in _LINALG_MODULES:
-            for alias in node.names:
-                if alias.name == "inv":
-                    self._inv_aliases.add(alias.asname or "inv")
-        elif node.module in ("numpy", "scipy"):
-            for alias in node.names:
-                if alias.name == "linalg":
-                    self._linalg_aliases.add(alias.asname or "linalg")
-        elif node.module == "time":
-            for alias in node.names:
-                if alias.name in _TIMING_FUNCS:
-                    self._timing_func_aliases.add(alias.asname or alias.name)
-        elif node.module == "numpy.random":
-            for alias in node.names:
-                if alias.name == "default_rng":
-                    self._rng_aliases.add(alias.asname or "default_rng")
-        self.generic_visit(node)
-
-    # -- QA101 / QA104 -----------------------------------------------------
-
-    def _is_linalg_inv(self, func: ast.expr) -> bool:
-        if isinstance(func, ast.Name):
-            return func.id in self._inv_aliases
-        if not (isinstance(func, ast.Attribute) and func.attr == "inv"):
-            return False
-        value = func.value
-        # np.linalg.inv / numpy.linalg.inv / <anything>.linalg.inv
-        if isinstance(value, ast.Attribute) and value.attr == "linalg":
-            return True
-        # sla.inv where sla = scipy.linalg (or `from numpy import linalg`)
-        if isinstance(value, ast.Name):
-            return value.id in self._linalg_aliases or value.id == "linalg"
-        return False
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if self._is_linalg_inv(node.func):
-            self._report(
-                "QA101", node,
-                "explicit matrix inverse on a potentially dense matrix",
-                "factor once and solve (scipy.linalg.lu_factor/lu_solve, or "
-                "cho_factor for SPD); silence a deliberate full inverse with "
-                "'# qa: ignore[QA101]'",
-            )
-        if (isinstance(node.func, ast.Name) and node.func.id == "float"
-                and node.args):
-            for sub in ast.walk(node.args[0]):
-                if (isinstance(sub, ast.Attribute)
-                        and sub.attr in _COMPLEX_ATTRS):
-                    self._report(
-                        "QA104", node,
-                        f"float() of complex-valued '.{sub.attr}' discards "
-                        "the imaginary part (or raises on numpy complex)",
-                        "use .real, .imag, or abs() explicitly",
-                    )
-                    break
-        if self.check_timing and self._is_timing_call(node.func):
-            self._report(
-                "QA106", node,
-                "ad-hoc wall-clock timing outside repro.obs",
-                "wrap the stage in repro.obs.trace.span(...) and read "
-                "sp.duration, so the measurement lands in the trace tree; "
-                "silence a deliberate raw timer with '# qa: ignore[QA106]'",
-            )
-        if (self.check_rng and not node.args and not node.keywords
-                and self._is_default_rng(node.func)):
-            self._report(
-                "QA107", node,
-                "unseeded default_rng() draws from OS entropy, making the "
-                "run irreproducible",
-                "pass an explicit seed (or a generator plumbed from the "
-                "caller's config); silence deliberate entropy with "
-                "'# qa: ignore[QA107]'",
-            )
-        self.generic_visit(node)
-
-    def _is_default_rng(self, func: ast.expr) -> bool:
-        """QA107: ``np.random.default_rng`` / bare imported ``default_rng``."""
-        if isinstance(func, ast.Name):
-            return func.id in self._rng_aliases
-        return isinstance(func, ast.Attribute) and func.attr == "default_rng"
-
-    def _is_timing_call(self, func: ast.expr) -> bool:
-        """QA106: ``time.perf_counter()`` / bare imported ``perf_counter()``."""
-        if isinstance(func, ast.Name):
-            return func.id in self._timing_func_aliases
-        return (
-            isinstance(func, ast.Attribute)
-            and func.attr in _TIMING_FUNCS
-            and isinstance(func.value, ast.Name)
-            and func.value.id in self._time_aliases
-        )
-
-    # -- QA102 -------------------------------------------------------------
-
-    def _check_defaults(self, node) -> None:
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None
-        ]
-        for default in defaults:
-            mutable = isinstance(
-                default,
-                (ast.List, ast.Dict, ast.Set,
-                 ast.ListComp, ast.DictComp, ast.SetComp),
-            ) or (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in _MUTABLE_CONSTRUCTORS
-            )
-            if mutable:
-                self._report(
-                    "QA102", default,
-                    f"mutable default argument in {node.name}() is shared "
-                    "across calls",
-                    "default to None and create the object in the body "
-                    "(or use dataclasses.field(default_factory=...))",
-                )
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    # -- QA105 -------------------------------------------------------------
-
-    def _is_broad_handler(self, handler: ast.ExceptHandler) -> bool:
-        if handler.type is None:
-            return True
-        names = []
-        if isinstance(handler.type, ast.Name):
-            names = [handler.type.id]
-        elif isinstance(handler.type, ast.Tuple):
-            names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
-        return any(n in ("Exception", "BaseException") for n in names)
-
-    def visit_Try(self, node: ast.Try) -> None:
-        for handler in node.handlers:
-            body_is_silent = all(
-                isinstance(stmt, ast.Pass)
-                or (isinstance(stmt, ast.Expr)
-                    and isinstance(stmt.value, ast.Constant)
-                    and stmt.value.value is ...)
-                for stmt in handler.body
-            )
-            if body_is_silent and self._is_broad_handler(handler):
-                self._report(
-                    "QA105", handler,
-                    "broad except clause silently swallows every failure",
-                    "catch the narrow exception type, re-raise, or at least "
-                    "record what was ignored (e.g. in a RunReport)",
-                )
-        self.generic_visit(node)
-
-
-def _check_init_all(path: Path, tree: ast.Module, lines: Sequence[str],
-                    findings: list[Diagnostic]) -> None:
-    """QA103: __init__.py with imports at module level needs __all__."""
-    has_imports = any(
-        isinstance(stmt, (ast.Import, ast.ImportFrom)) for stmt in tree.body
-    )
-    if not has_imports:
-        return
-    for stmt in tree.body:
-        targets: list[ast.expr] = []
-        if isinstance(stmt, ast.Assign):
-            targets = stmt.targets
-        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
-            targets = [stmt.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                return
-    first = lines[0] if lines else ""
-    if _suppressed_rules(first) is not None:
-        return
-    findings.append(Diagnostic(
-        rule="QA103",
-        severity=Severity.ERROR,
-        message="package __init__.py re-exports names but defines no "
-                "__all__",
-        location=f"{path}:1:0",
-        hint="list the public surface explicitly in __all__",
-    ))
-
-
-def _qa106_exempt(path: Path) -> bool:
-    """Files allowed to call raw timers: the obs layer itself (it *is* the
-    timing machinery) and the benchmark harness (whose product is raw
-    wall-clock numbers)."""
-    posix = path.as_posix()
-    return (
-        "/obs/" in posix
-        or posix.endswith("perf/bench.py")
-        or path.parent.name == "obs"
-    )
-
-
-def _qa107_exempt(path: Path) -> bool:
-    """Files allowed to call ``default_rng()`` unseeded: tests, where
-    fresh entropy is sometimes the point (fuzzing, property-based data)."""
-    posix = path.as_posix()
-    return (
-        "/tests/" in posix
-        or posix.startswith("tests/")
-        or path.name.startswith("test_")
-        or path.name.startswith("conftest")
-    )
 
 
 def lint_file(path: str | Path) -> list[Diagnostic]:
     """Lint one Python source file; returns its findings."""
-    path = Path(path)
-    source = path.read_text(encoding="utf-8")
-    lines = source.splitlines()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
+    mod = Module.parse(path)
+    if mod.tree is None:
+        exc = mod.syntax_error
         return [Diagnostic(
             rule="QA000",
             severity=Severity.ERROR,
-            message=f"file does not parse: {exc.msg}",
-            location=f"{path}:{exc.lineno or 1}:{exc.offset or 0}",
+            message=f"file does not parse: "
+                    f"{exc.msg if exc else 'unknown syntax error'}",
+            location=f"{mod.path}:{(exc.lineno if exc else 1) or 1}:"
+                     f"{(exc.offset if exc else 0) or 0}",
             hint="fix the syntax error",
         )]
-    visitor = _Visitor(
-        str(path), lines,
-        check_timing=not _qa106_exempt(path),
-        check_rng=not _qa107_exempt(path),
-    )
-    visitor.visit(tree)
-    findings = visitor.findings
-    if path.name == "__init__.py":
-        _check_init_all(path, tree, lines, findings)
+    ctx = ModuleContext(mod)
+    findings: list[Diagnostic] = []
+    for rule_id in SYNTAX_RULE_IDS:
+        findings.extend(RULES[rule_id].check(ctx))
     findings.sort(key=lambda d: d.location)
     return findings
-
-
-def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``*.py`` files."""
-    out: set[Path] = set()
-    for item in paths:
-        p = Path(item)
-        if p.is_dir():
-            out.update(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            out.add(p)
-        else:
-            raise FileNotFoundError(f"not a Python file or directory: {p}")
-    return sorted(out)
 
 
 def lint_paths(
@@ -398,7 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.qa.astlint``."""
     parser = argparse.ArgumentParser(
         prog="repro.qa.astlint",
-        description="repo-specific AST lint (QA101-QA107)",
+        description="repo-specific AST lint (QA101-QA107); see "
+                    "'repro analyze' for the project-wide semantic rules",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

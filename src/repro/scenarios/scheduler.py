@@ -75,7 +75,7 @@ def _run_chunk(
     open in the parent at fork time), so the shipped span tree and
     metrics cover exactly this shard.
     """
-    obs_metrics.REGISTRY.reset()
+    obs_metrics.REGISTRY.reset()  # qa: ignore[QA203] -- worker-private registry, exported below
     with detached_stack(), tracing() as trace:
         with span("sweep.shard", shard=chunk_id, scenarios=len(scenarios)):
             records = [evaluate_scenario(sc) for sc in scenarios]

@@ -1,0 +1,222 @@
+"""Tests for the baseline ratchet and the ``repro analyze`` CLI."""
+
+import json
+import textwrap
+
+from repro.qa.analyze import analyze_paths
+from repro.qa.analyze.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.qa.analyze.main import main
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+BUGGY = textwrap.dedent("""
+    import numpy as np
+
+    def at(freq, freqs, values):
+        return complex(np.interp(freq, freqs, values))
+""")
+
+CLEAN = textwrap.dedent("""
+    import numpy as np
+
+    def at(freq, freqs, values):
+        order = np.argsort(freqs, kind="stable")
+        return complex(np.interp(freq, freqs[order], values[order]))
+""")
+
+
+def diag(rule="QA201", message="bad", location="src/x.py:10:4"):
+    return Diagnostic(rule=rule, severity=Severity.ERROR,
+                      message=message, location=location)
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        a = diag(location="src/x.py:10:4")
+        b = diag(location="src/x.py:99:0")
+        assert finding_fingerprint(a) == finding_fingerprint(b)
+
+    def test_changes_with_rule_path_or_message(self):
+        base = finding_fingerprint(diag())
+        assert finding_fingerprint(diag(rule="QA202")) != base
+        assert finding_fingerprint(diag(message="other")) != base
+        assert finding_fingerprint(
+            diag(location="src/y.py:10:4")
+        ) != base
+
+
+class TestBaselineRoundTrip:
+    def test_apply_splits_new_baselined_stale(self):
+        known, fresh = diag(message="known"), diag(message="fresh")
+        entries = [
+            BaselineEntry(
+                fingerprint=finding_fingerprint(known), rule=known.rule,
+                path="src/x.py", message=known.message, justification="ok",
+            ),
+            BaselineEntry(
+                fingerprint="0" * 16, rule="QA202", path="src/gone.py",
+                message="paid down", justification="was ok",
+            ),
+        ]
+        result = apply_baseline(DiagnosticReport([known, fresh]), entries)
+        assert [d.message for d in result.baselined] == ["known"]
+        assert [d.message for d in result.new] == ["fresh"]
+        assert [e.path for e in result.stale] == ["src/gone.py"]
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        written = write_baseline(DiagnosticReport([diag()]), path)
+        loaded = load_baseline(path)
+        assert loaded == written
+        assert loaded[0].rule == "QA201"
+        assert "triage" in loaded[0].justification
+
+    def test_rewrite_preserves_existing_justifications(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = write_baseline(DiagnosticReport([diag()]), path)
+        triaged = BaselineEntry(
+            fingerprint=first[0].fingerprint, rule=first[0].rule,
+            path=first[0].path, message=first[0].message,
+            justification="deliberate, see docs/qa_rules.md",
+        )
+        rewritten = write_baseline(
+            DiagnosticReport([diag(), diag(message="newer")]), path,
+            previous=[triaged],
+        )
+        by_msg = {e.message: e.justification for e in rewritten}
+        assert by_msg["bad"] == "deliberate, see docs/qa_rules.md"
+        assert "triage" in by_msg["newer"]
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_non_baseline_json_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"findings": []}', encoding="utf-8")
+        import pytest
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestAnalyzeCli:
+    def _fixture(self, tmp_path, source=BUGGY):
+        path = tmp_path / "fixture.py"
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def test_findings_exit_1_and_print_the_rule(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "[QA201]" in out
+        assert "new finding(s)" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        path = self._fixture(tmp_path, CLEAN)
+        assert main([str(path)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_json_format_payload(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        assert main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["by_rule"] == {"QA201": 1}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "QA201"
+        assert finding["baselined"] is False
+        assert len(finding["fingerprint"]) == 16
+
+    def test_out_writes_the_json_artifact(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        artifact = tmp_path / "report" / "analyze.json"
+        main([str(path), "--out", str(artifact)])
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["summary"]["findings"] == 1
+
+    def test_baseline_ratchet(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(path), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Baselined debt keeps the gate green...
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...until a *new* finding appears.
+        other = tmp_path / "second.py"
+        other.write_text(BUGGY, encoding="utf-8")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "second.py" in out
+
+    def test_stale_entries_are_reported_not_fatal(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(path), "--baseline", str(baseline), "--update-baseline"])
+        path.write_text(CLEAN, encoding="utf-8")
+        capsys.readouterr()
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_update_baseline_requires_baseline(self, tmp_path):
+        path = self._fixture(tmp_path)
+        assert main([str(path), "--update-baseline"]) == 2
+
+    def test_rules_filter(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        assert main([str(path), "--rules", "QA205"]) == 0
+        capsys.readouterr()
+        assert main([str(path), "--rules", "QA201"]) == 1
+
+    def test_unknown_rule_filter_is_a_usage_error(self, tmp_path):
+        path = self._fixture(tmp_path, CLEAN)
+        assert main([str(path), "--rules", "QA999"]) == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "missing")]) == 2
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["--explain", "QA203"]) == 0
+        out = capsys.readouterr().out
+        assert "QA203" in out
+        assert "fix hint:" in out
+
+    def test_explain_unknown_rule(self):
+        assert main(["--explain", "QA999"]) == 2
+
+    def test_list_rules_covers_both_series(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("QA101", "QA107", "QA201", "QA206"):
+            assert rule in out
+
+    def test_suppress_drops_findings(self, tmp_path, capsys):
+        path = self._fixture(tmp_path)
+        assert main([str(path), "--suppress", "QA201"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestRepositoryIsCleanAgainstBaseline:
+    def test_src_repro_has_no_new_findings(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        result = analyze_paths([repo_root / "src" / "repro"])
+        entries = load_baseline(repo_root / "qa" / "baseline.json")
+        applied = apply_baseline(result.report, entries)
+        assert applied.new == [], "\n".join(
+            d.format() for d in applied.new
+        )
+        # Every baselined entry must still exist and carry a real
+        # justification -- prune stale debt, own the rest.
+        assert applied.stale == []
+        assert all(
+            e.justification and "TODO" not in e.justification
+            for e in entries
+        )

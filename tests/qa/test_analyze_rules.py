@@ -1,0 +1,424 @@
+"""Fixture tests for the semantic rules QA201-QA206.
+
+Every rule gets (at least) one *failing* fixture -- a deliberately
+re-introduced instance of the bug class it encodes, including the
+historical unsorted-``np.interp`` grid and raw-float factor-cache key --
+and one *clean* fixture showing the blessed fix, which must not be
+flagged.
+"""
+
+import textwrap
+
+from repro.qa.analyze import analyze_paths
+from repro.qa.analyze.project import Project
+from repro.qa.analyze.symbols import SymbolTable
+
+
+def run_rules(tmp_path, source, rules, name="fixture.py"):
+    """Analyze one fixture module; return the fired (rule, line) pairs."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    result = analyze_paths([path], rules=list(rules))
+    return [
+        (d.rule, int(d.location.rsplit(":", 2)[-2]))
+        for d in result.report
+    ]
+
+
+def fired(tmp_path, source, rule):
+    return [r for r, _ in run_rules(tmp_path, source, [rule])]
+
+
+class TestQA201UnsortedInterp:
+    def test_flags_the_reintroduced_extractor_bug(self, tmp_path):
+        # The original LoopExtractionResult.at bug: interpolating over
+        # the stored frequency grid without sorting it first.
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def at(freq, freqs, values):
+                return complex(np.interp(freq, freqs, values))
+        """, "QA201") == ["QA201"]
+
+    def test_argsort_reorder_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def at(freq, freqs, values):
+                order = np.argsort(freqs, kind="stable")
+                freqs = freqs[order]
+                values = values[order]
+                return complex(np.interp(freq, freqs, values))
+        """, "QA201") == []
+
+    def test_np_sort_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def resample(grid, t, v):
+                t = np.sort(t)
+                return np.interp(grid, t, v)
+        """, "QA201") == []
+
+    def test_ascending_guard_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def resample(grid, t, v):
+                if not np.all(np.diff(t) > 0):
+                    raise ValueError("time base must be ascending")
+                return np.interp(grid, t, v)
+        """, "QA201") == []
+
+    def test_linspace_grid_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def sample(v):
+                t = np.linspace(0.0, 1.0, 64)
+                return np.interp(0.5, t, v)
+        """, "QA201") == []
+
+    def test_aliased_numpy_import_is_still_seen(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as xp_lib
+
+            def at(freq, freqs, values):
+                return xp_lib.interp(freq, freqs, values)
+        """, "QA201") == ["QA201"]
+
+    def test_ignore_comment_silences(self, tmp_path):
+        assert fired(tmp_path, """
+            import numpy as np
+
+            def at(freq, freqs, values):
+                return np.interp(freq, freqs, values)  # qa: ignore[QA201]
+        """, "QA201") == []
+
+
+class TestQA202RawFloatCacheKey:
+    def test_flags_the_reintroduced_factor_cache_bug(self, tmp_path):
+        # The PR 3 bug: the factor cache keyed on a computed alpha, so
+        # ulp-level differences missed the cache every time.
+        assert fired(tmp_path, """
+            _FACTOR_CACHE = {}
+
+            def factorize(n, dt, c):
+                alpha = dt / c
+                key = (n, alpha)
+                if key not in _FACTOR_CACHE:
+                    _FACTOR_CACHE[key] = object()
+                return _FACTOR_CACHE[key]
+        """, "QA202") != []
+
+    def test_quantized_key_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            _FACTOR_CACHE = {}
+
+            def factorize(n, dt, c):
+                alpha = dt / c
+                key = (n, round(alpha, 12))
+                if key not in _FACTOR_CACHE:
+                    _FACTOR_CACHE[key] = object()
+                return _FACTOR_CACHE[key]
+        """, "QA202") == []
+
+    def test_int_key_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            _CACHE = {}
+
+            def lookup(n):
+                _CACHE[n] = n + 1
+                return _CACHE[n]
+        """, "QA202") == []
+
+    def test_get_method_on_cache_is_checked(self, tmp_path):
+        assert fired(tmp_path, """
+            class Memo:
+                pass
+
+            def lookup(memo, x):
+                alpha = x / 3.0
+                return memo.get(alpha)
+        """, "QA202") != []
+
+    def test_non_cache_subscript_is_not_flagged(self, tmp_path):
+        assert fired(tmp_path, """
+            def lookup(table, x):
+                alpha = x / 3.0
+                return table[alpha]
+        """, "QA202") == []
+
+
+class TestQA203ForkUnsafeWorker:
+    def test_flags_global_mutation_in_submitted_worker(self, tmp_path):
+        rules = fired(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _COUNT = 0
+
+            def _work(x):
+                global _COUNT
+                _COUNT = _COUNT + x
+                return _COUNT
+
+            def run(items):
+                with ProcessPoolExecutor() as ex:
+                    futs = [ex.submit(_work, i) for i in items]
+                    return [f.result() for f in futs]
+        """, "QA203")
+        assert "QA203" in rules
+
+    def test_flags_read_of_mutable_global_in_worker(self, tmp_path):
+        assert "QA203" in fired(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _CONFIG = {"tol": 1e-9}
+
+            def _work(x):
+                return x * _CONFIG["tol"]
+
+            def run(items):
+                with ProcessPoolExecutor() as ex:
+                    return list(ex.map(_work, items))
+        """, "QA203")
+
+    def test_argument_passing_worker_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _work(x, tol):
+                return x * tol
+
+            def run(items, tol):
+                with ProcessPoolExecutor() as ex:
+                    futs = [ex.submit(_work, i, tol) for i in items]
+                    return [f.result() for f in futs]
+        """, "QA203") == []
+
+    def test_unsubmitted_function_is_not_a_worker(self, tmp_path):
+        # Same global access, but never shipped to a pool: not QA203's
+        # business (plain module state has other owners).
+        assert fired(tmp_path, """
+            _COUNT = 0
+
+            def bump(x):
+                global _COUNT
+                _COUNT = _COUNT + x
+                return _COUNT
+        """, "QA203") == []
+
+    def test_ignore_comment_silences_the_initializer_idiom(self, tmp_path):
+        assert fired(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _SPEC = None
+
+            def _init(spec):
+                global _SPEC  # qa: ignore[QA203]
+                _SPEC = spec
+
+            def _work(x):
+                return x + _SPEC  # qa: ignore[QA203]
+
+            def run(spec, items):
+                with ProcessPoolExecutor(initializer=_init,
+                                         initargs=(spec,)) as ex:
+                    futs = [ex.submit(_work, i) for i in items]
+                    return [f.result() for f in futs]
+        """, "QA203") == []
+
+
+class TestQA204SpanLifecycle:
+    def test_flags_span_created_but_never_entered(self, tmp_path):
+        assert "QA204" in fired(tmp_path, """
+            from repro.obs.trace import span
+
+            def timed(x):
+                sp = span("stage")
+                return x + 1
+        """, "QA204")
+
+    def test_flags_manual_enter_leaked_by_early_return(self, tmp_path):
+        assert "QA204" in fired(tmp_path, """
+            from repro.obs.trace import span
+
+            def leaky(flag):
+                sp = span("stage")
+                sp.__enter__()
+                if flag:
+                    return None
+                sp.__exit__(None, None, None)
+                return 1
+        """, "QA204")
+
+    def test_with_statement_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            from repro.obs.trace import span
+
+            def timed(x):
+                with span("stage"):
+                    return x + 1
+        """, "QA204") == []
+
+    def test_enter_context_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import contextlib
+
+            from repro.obs.trace import span
+
+            def timed(x):
+                with contextlib.ExitStack() as stack:
+                    stack.enter_context(span("stage"))
+                    return x + 1
+        """, "QA204") == []
+
+    def test_returning_the_context_manager_is_clean(self, tmp_path):
+        # A factory handing the span to its caller is not a leak.
+        assert fired(tmp_path, """
+            from repro.obs.trace import span
+
+            def make_span(name):
+                sp = span(name)
+                return sp
+        """, "QA204") == []
+
+
+class TestQA205ComplexNarrowing:
+    def test_flags_float_of_dataflow_complex(self, tmp_path):
+        assert fired(tmp_path, """
+            def mag(omega, ell):
+                z = 1j * omega * ell + 2.0
+                return float(z)
+        """, "QA205") == ["QA205"]
+
+    def test_flags_int_of_complex_constructor(self, tmp_path):
+        assert fired(tmp_path, """
+            def narrowed(re, im):
+                z = complex(re, im)
+                return int(z)
+        """, "QA205") == ["QA205"]
+
+    def test_real_part_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def mag(omega, ell):
+                z = 1j * omega * ell + 2.0
+                return float(z.real)
+        """, "QA205") == []
+
+    def test_abs_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def mag(omega, ell):
+                z = 1j * omega * ell + 2.0
+                return float(abs(z))
+        """, "QA205") == []
+
+    def test_plain_float_conversion_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def widen(x):
+                y = x * 2.5
+                return float(y)
+        """, "QA205") == []
+
+
+class TestQA206SilentDegradation:
+    def test_flags_unrecorded_fallback_in_public_function(self, tmp_path):
+        assert fired(tmp_path, """
+            def evaluate(x):
+                try:
+                    return 1.0 / x
+                except Exception:
+                    result = 0.0
+                return result
+        """, "QA206") == ["QA206"]
+
+    def test_warned_fallback_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            import warnings
+
+            def evaluate(x):
+                try:
+                    return 1.0 / x
+                except Exception:
+                    warnings.warn("degraded to 0.0")
+                    result = 0.0
+                return result
+        """, "QA206") == []
+
+    def test_reraise_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def evaluate(x):
+                try:
+                    return 1.0 / x
+                except Exception:
+                    raise ValueError("bad x") from None
+        """, "QA206") == []
+
+    def test_record_call_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def evaluate(x, report):
+                try:
+                    return 1.0 / x
+                except Exception:
+                    report.record_downgrade("evaluate", "fallback to 0")
+                    result = 0.0
+                return result
+        """, "QA206") == []
+
+    def test_private_function_is_not_flagged(self, tmp_path):
+        assert fired(tmp_path, """
+            def _evaluate(x):
+                try:
+                    return 1.0 / x
+                except Exception:
+                    result = 0.0
+                return result
+        """, "QA206") == []
+
+    def test_narrow_handler_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def evaluate(x):
+                try:
+                    return 1.0 / x
+                except ZeroDivisionError:
+                    result = 0.0
+                return result
+        """, "QA206") == []
+
+
+class TestProjectPasses:
+    def test_import_graph_links_fixture_modules(self, tmp_path):
+        (tmp_path / "alpha.py").write_text(
+            "import beta\n", encoding="utf-8"
+        )
+        (tmp_path / "beta.py").write_text("X = 1\n", encoding="utf-8")
+        project = Project.load([tmp_path])
+        assert "beta" in project.imports.get("alpha", set())
+        assert "alpha" in project.imported_by.get("beta", set())
+
+    def test_symbol_table_resolves_aliases(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import numpy as np\n"
+            "from numpy import interp as terp\n",
+            encoding="utf-8",
+        )
+        project = Project.load([tmp_path])
+        table = SymbolTable(project.get("mod"), project)
+        assert table.resolve("np") == "numpy"
+        assert table.resolve("terp") == "numpy.interp"
+
+    def test_unparseable_file_yields_qa000(self, tmp_path):
+        (tmp_path / "broken.py").write_text(
+            "def broken(:\n", encoding="utf-8"
+        )
+        result = analyze_paths([tmp_path])
+        assert [d.rule for d in result.report] == ["QA000"]
+
+    def test_ported_syntax_rules_run_in_the_engine(self, tmp_path):
+        pairs = run_rules(tmp_path, """
+            import numpy as np
+
+            def bad(a, opts=[]):
+                return np.linalg.inv(a)
+        """, ["QA101", "QA102"])
+        assert sorted(r for r, _ in pairs) == ["QA101", "QA102"]

@@ -1,0 +1,108 @@
+"""Tests for repro.qa.collect: circuit capture and script execution."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.qa.collect import capture_circuits, collect_circuits_from_script
+from repro.qa.diagnostics import DiagnosticReport
+
+
+class TestCaptureCircuits:
+    def test_records_every_instance_in_creation_order(self):
+        with capture_circuits() as created:
+            a = Circuit("a")
+            b = Circuit("b")
+        assert created == [a, b]
+
+    def test_nothing_recorded_outside_the_block(self):
+        with capture_circuits() as created:
+            pass
+        Circuit("after")
+        assert created == []
+
+    def test_init_is_restored_after_the_block(self):
+        original = Circuit.__init__
+        with capture_circuits():
+            assert Circuit.__init__ is not original
+        assert Circuit.__init__ is original
+
+    def test_init_is_restored_even_when_the_body_raises(self):
+        original = Circuit.__init__
+        with pytest.raises(RuntimeError):
+            with capture_circuits():
+                raise RuntimeError("boom")
+        assert Circuit.__init__ is original
+
+    def test_captured_circuits_are_fully_constructed(self):
+        with capture_circuits() as created:
+            c = Circuit("rc")
+            c.add_resistor("R1", "in", "out", 50.0)
+        assert created[0] is c
+        assert len(created[0].resistors) == 1
+
+
+class TestCollectCircuitsFromScript:
+    def _write(self, tmp_path, body, name="script.py"):
+        path = tmp_path / name
+        path.write_text(body, encoding="utf-8")
+        return path
+
+    def test_collects_circuits_built_by_the_script(self, tmp_path):
+        path = self._write(tmp_path, (
+            "from repro.circuit.netlist import Circuit\n"
+            "c = Circuit('from_script')\n"
+            "c.add_resistor('R1', 'a', 'b', 1.0)\n"
+        ))
+        circuits, runtime = collect_circuits_from_script(path)
+        assert [c.name for c in circuits] == ["from_script"]
+        assert isinstance(runtime, DiagnosticReport)
+        assert len(runtime) == 0
+
+    def test_script_runs_as_main(self, tmp_path):
+        path = self._write(tmp_path, (
+            "from repro.circuit.netlist import Circuit\n"
+            "if __name__ == '__main__':\n"
+            "    Circuit('guarded')\n"
+        ))
+        circuits, _ = collect_circuits_from_script(path)
+        assert [c.name for c in circuits] == ["guarded"]
+
+    def test_stdout_is_swallowed(self, tmp_path, capsys):
+        path = self._write(tmp_path, "print('noise')\n")
+        collect_circuits_from_script(path)
+        assert capsys.readouterr().out == ""
+
+    def test_clean_sys_exit_is_fine(self, tmp_path):
+        path = self._write(tmp_path, (
+            "import sys\n"
+            "from repro.circuit.netlist import Circuit\n"
+            "Circuit('done')\n"
+            "sys.exit(0)\n"
+        ))
+        circuits, _ = collect_circuits_from_script(path)
+        assert [c.name for c in circuits] == ["done"]
+
+    def test_failing_sys_exit_propagates(self, tmp_path):
+        path = self._write(tmp_path, "import sys\nsys.exit(3)\n")
+        with pytest.raises(SystemExit):
+            collect_circuits_from_script(path)
+
+    def test_script_exceptions_propagate(self, tmp_path):
+        path = self._write(tmp_path, "raise ValueError('broken example')\n")
+        with pytest.raises(ValueError, match="broken example"):
+            collect_circuits_from_script(path)
+
+    def test_missing_script_raises(self, tmp_path):
+        with pytest.raises((FileNotFoundError, OSError)):
+            collect_circuits_from_script(tmp_path / "nope.py")
+
+    def test_sanitized_run_returns_live_runtime_report(self, tmp_path):
+        path = self._write(tmp_path, (
+            "from repro.circuit.netlist import Circuit\n"
+            "Circuit('sane')\n"
+        ))
+        circuits, runtime = collect_circuits_from_script(
+            path, run_sanitized=True
+        )
+        assert [c.name for c in circuits] == ["sane"]
+        assert isinstance(runtime, DiagnosticReport)

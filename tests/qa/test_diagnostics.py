@@ -1,0 +1,102 @@
+"""Tests for repro.qa.diagnostics: formatting, suppression, exit codes."""
+
+from repro.qa.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+
+def diag(rule="QA101", severity=Severity.ERROR, message="bad thing",
+         location="src/x.py:3:0", hint=""):
+    return Diagnostic(rule=rule, severity=severity, message=message,
+                      location=location, hint=hint)
+
+
+class TestSeverity:
+    def test_ordering_is_by_badness(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+        assert str(Severity.INFO) == "info"
+
+
+class TestDiagnosticFormat:
+    def test_full_line(self):
+        d = diag(hint="do the fix")
+        assert d.format() == (
+            "src/x.py:3:0: error [QA101] bad thing  (hint: do the fix)"
+        )
+
+    def test_no_location_drops_the_prefix(self):
+        d = diag(location="")
+        assert d.format() == "error [QA101] bad thing"
+
+    def test_no_hint_drops_the_suffix(self):
+        assert "(hint:" not in diag().format()
+
+    def test_is_frozen(self):
+        import dataclasses
+
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            diag().rule = "QA999"
+
+
+class TestDiagnosticReport:
+    def test_collects_in_order(self):
+        report = DiagnosticReport([diag(rule="QA101"), diag(rule="QA102")])
+        assert [d.rule for d in report] == ["QA101", "QA102"]
+        assert len(report) == 2
+
+    def test_suppression_drops_and_counts(self):
+        report = DiagnosticReport(suppress=["QA101"])
+        report.add(diag(rule="QA101"))
+        report.add(diag(rule="QA102"))
+        assert [d.rule for d in report] == ["QA102"]
+        assert report.num_suppressed == 1
+
+    def test_extend_respects_suppression(self):
+        report = DiagnosticReport(suppress=["QA102"])
+        report.extend([diag(rule="QA101"), diag(rule="QA102")])
+        assert len(report) == 1
+        assert report.num_suppressed == 1
+
+    def test_severity_buckets(self):
+        report = DiagnosticReport([
+            diag(severity=Severity.ERROR),
+            diag(severity=Severity.WARNING),
+            diag(severity=Severity.WARNING),
+            diag(severity=Severity.INFO),
+        ])
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 2
+        assert len(report.by_severity(Severity.INFO)) == 1
+
+    def test_ok_tracks_errors_only(self):
+        assert DiagnosticReport([diag(severity=Severity.WARNING)]).ok
+        assert not DiagnosticReport([diag(severity=Severity.ERROR)]).ok
+
+    def test_exit_code(self):
+        errors = DiagnosticReport([diag(severity=Severity.ERROR)])
+        warnings = DiagnosticReport([diag(severity=Severity.WARNING)])
+        clean = DiagnosticReport()
+        assert errors.exit_code() == 1
+        assert warnings.exit_code() == 0
+        assert warnings.exit_code(strict=True) == 1
+        assert clean.exit_code(strict=True) == 0
+
+    def test_format_has_one_line_per_finding_plus_summary(self):
+        report = DiagnosticReport(
+            [diag(severity=Severity.ERROR), diag(severity=Severity.WARNING)],
+        )
+        lines = report.format().splitlines()
+        assert len(lines) == 3
+        assert lines[-1] == "1 error(s), 1 warning(s)"
+
+    def test_format_summary_mentions_suppressed(self):
+        report = DiagnosticReport(suppress=["QA101"])
+        report.add(diag(rule="QA101"))
+        assert report.format() == "0 error(s), 0 warning(s), 1 suppressed"
+
+    def test_repr(self):
+        report = DiagnosticReport([diag()])
+        assert repr(report) == "DiagnosticReport(1 errors, 0 warnings, 1 total)"
