@@ -11,7 +11,9 @@ python -m pytest -x -q
 
 echo
 echo "== fault-injection chaos pytest (REPRO_FAULTS=chaos-1234) =="
-REPRO_FAULTS=chaos-1234 python -m pytest -x -q
+# REPRO_HANG_SECONDS=2 keeps the rare chaos 'hang' faults short enough
+# for the suite's own deadlines.
+REPRO_FAULTS=chaos-1234 REPRO_HANG_SECONDS=2 python -m pytest -x -q
 
 echo
 echo "== repro.qa.astlint over src =="
@@ -46,6 +48,21 @@ python -m repro.cli sweep --smoke --workers 1 --no-resume \
 python -m repro.cli sweep --smoke --workers 2 --no-resume \
     --store /tmp/sweep_ci_sharded --out /tmp/sweep_ci_sharded.json
 cmp /tmp/sweep_ci_serial.json /tmp/sweep_ci_sharded.json
+
+echo
+echo "== chaos-hang sweep (hung workers must be quarantined, never stall) =="
+# Every pool worker hangs for 120s, far past the 2s chunk deadline.  The
+# supervisor must kill the hung workers, quarantine (or serially finish)
+# the affected scenarios, and exit 0 -- well inside the coreutils
+# timeout(1) backstop.
+REPRO_FAULTS='*.worker=hang' REPRO_HANG_SECONDS=120 \
+timeout 300 python -m repro.cli sweep --smoke --no-resume --workers 2 \
+    --deadline 2 --out /tmp/sweep_ci_hang.json | tee /tmp/sweep_ci_hang.log
+grep -q "quarantined" /tmp/sweep_ci_hang.log
+if grep -q " 0 quarantined" /tmp/sweep_ci_hang.log; then
+    echo "chaos-hang sweep: expected at least one quarantined scenario" >&2
+    exit 1
+fi
 
 echo
 echo "ci_checks: all green"

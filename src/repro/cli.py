@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli trace [--die 300] [--json trace.json]
     python -m repro.cli sweep spec.json [--workers 4] [--store DIR]
                               [--no-resume] [--out results.json]
+                              [--deadline S] [--time-budget S]
 
 ``table1`` (alias ``run``) runs the Section-6 model comparison, ``loop``
 the Figure-3 extraction sweep, ``design`` the Figure 5-9 studies, and
@@ -25,7 +26,7 @@ over SPICE decks and/or the circuits built by Python scripts, and
 ``lint`` runs the repo-specific AST lint -- both exit non-zero on
 error-severity findings.  ``analyze`` runs the project-wide dataflow
 lint (:mod:`repro.qa.analyze`): the QA101-QA107 syntax rules plus the
-QA201-QA206 semantic rules, with a ``--baseline`` ratchet so only *new*
+QA201-QA207 semantic rules, with a ``--baseline`` ratchet so only *new*
 findings fail the gate.  ``resume`` picks a crashed transient or loop
 sweep back up from its checkpoint file (see :mod:`repro.resilience`).
 ``bench`` times the hot paths (assembly, sparsification, loop sweep
@@ -324,15 +325,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("sweep: need a spec file or --smoke")
         return 2
 
+    from repro.resilience import SupervisorConfig
+
+    try:
+        config = SupervisorConfig.from_env(
+            deadline=args.deadline, time_budget=args.time_budget
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}")
+        return 2
     store = ResultStore(Path(args.store)) if args.store else None
     result = run_sweep(
-        spec, store=store, workers=args.workers, resume=args.resume
+        spec, store=store, workers=args.workers, resume=args.resume,
+        config=config,
     )
     print(format_comparison(
         result.records, title=f"scenario sweep -- {spec.name}"
     ))
     print(
         f"sweep: {result.ok} ok, {result.failed} failed, "
+        f"{result.quarantined} quarantined, "
         f"{result.resumed} resumed, {result.computed} computed"
     )
     if not result.report.clean:
@@ -342,7 +354,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     if result.records and result.failed == len(result.records):
         return 1
-    if args.strict and result.failed:
+    if args.strict and (result.failed or result.quarantined):
         return 1
     return 0
 
@@ -559,8 +571,20 @@ def main(argv: list[str] | None = None) -> int:
                               "instead of recomputing them")
     p_sweep.add_argument("--out", default=None, metavar="PATH",
                          help="write the canonical aggregated results JSON")
+    p_sweep.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-shard wall-clock deadline; hung workers "
+                              "are killed and their shards reissued "
+                              "(default REPRO_DEADLINE, else derived from "
+                              "the time budget)")
+    p_sweep.add_argument("--time-budget", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget for the whole sweep; "
+                              "unfinished scenarios are quarantined when "
+                              "it runs out (default REPRO_TIME_BUDGET)")
     p_sweep.add_argument("--strict", action="store_true",
-                         help="exit non-zero if any scenario failed")
+                         help="exit non-zero if any scenario failed or "
+                              "was quarantined")
     add_trace_json(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -571,7 +595,7 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.set_defaults(func=_cmd_lint)
 
     p_an = sub.add_parser(
-        "analyze", help="project-wide dataflow lint (QA101-QA206)")
+        "analyze", help="project-wide dataflow lint (QA101-QA207)")
     p_an.add_argument("paths", nargs="*", default=["src/repro"])
     p_an.add_argument("--format", choices=("text", "json"), default="text")
     p_an.add_argument("--out", default=None, metavar="PATH")

@@ -20,7 +20,15 @@ out over a process pool:
   size, or completion order;
 * a pool that cannot be created (sandboxed environment, exhausted fds,
   an injected ``"perf.pool"`` fault) degrades gracefully to the serial
-  path, recorded as a downgrade -- never a failure.
+  path, recorded as a downgrade -- never a failure;
+* a *running* pool executes under the
+  :class:`~repro.resilience.supervisor.Supervisor`: chunks get
+  wall-clock deadlines, hung or killed workers are detected by the
+  watchdog and their chunks reissued to a restarted pool, poison points
+  are bisected out and quarantined as NaN rows, and a circuit breaker
+  trips to the serial path after ``max_pool_restarts`` (see
+  ``SupervisorConfig`` for the knobs, all overridable via
+  ``REPRO_DEADLINE`` / ``REPRO_TIME_BUDGET`` / ``REPRO_WORKER_RLIMIT_MB``).
 
 Worker count resolves from the ``workers=`` argument, else the
 ``REPRO_WORKERS`` environment variable, else ``os.cpu_count()``.
@@ -45,6 +53,9 @@ from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.policy import ResiliencePolicy, default_policy
 from repro.resilience.report import RunReport
+from repro.resilience.supervisor import (
+    Supervisor, SupervisorConfig, supervised_init,
+)
 
 #: Target chunks handed out per worker; >1 so stragglers rebalance.
 OVERSUBSCRIBE = 4
@@ -58,11 +69,16 @@ def explicit_workers(requested: int | None = None) -> bool:
     """True when a worker count was asked for (arg or ``REPRO_WORKERS``).
 
     An explicit request always wins; only the implicit CPU-count default
-    is subject to the :data:`MIN_PARALLEL_SIZE` worth-it heuristic.
+    is subject to the :data:`MIN_PARALLEL_SIZE` worth-it heuristic.  A
+    present-but-invalid ``REPRO_WORKERS`` raises here, at the gate,
+    rather than as a raw ``int()`` crash from deep inside a sweep.
     """
-    return requested is not None or bool(
-        os.environ.get("REPRO_WORKERS", "").strip()
-    )
+    if requested is not None:
+        return True
+    if not os.environ.get("REPRO_WORKERS", "").strip():
+        return False
+    worker_count(None)  # validates REPRO_WORKERS with a clear error
+    return True
 
 
 def worker_count(requested: int | None = None) -> int:
@@ -70,9 +86,17 @@ def worker_count(requested: int | None = None) -> int:
 
     Precedence: explicit argument, then ``REPRO_WORKERS``, then the CPU
     count.  A count of 1 means "stay serial" (no pool is created).
+    Invalid or non-positive requests raise :class:`ValueError` naming
+    the offending value and where it came from.
     """
     if requested is not None:
-        count = int(requested)
+        try:
+            count = int(requested)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"worker count must be an integer, got {requested!r}"
+            ) from None
+        source = f"workers={requested!r}"
     else:
         raw = os.environ.get("REPRO_WORKERS", "").strip()
         if raw:
@@ -82,10 +106,14 @@ def worker_count(requested: int | None = None) -> int:
                 raise ValueError(
                     f"REPRO_WORKERS must be an integer, got {raw!r}"
                 ) from None
+            source = f"REPRO_WORKERS={raw!r}"
         else:
             count = os.cpu_count() or 1
+            source = "cpu count"
     if count < 1:
-        raise ValueError(f"worker count must be >= 1, got {count}")
+        raise ValueError(
+            f"worker count must be >= 1, got {count} (from {source})"
+        )
     return count
 
 
@@ -224,7 +252,13 @@ def _solve_chunk(
     reason: a fork-started worker inherits the span that was open in the
     parent at fork time, and without the detach the chunk span would
     attach to that dead copy instead of the private trace.
+
+    The ``"perf.worker"`` disruption hook fires only here, in the pool
+    worker -- never on the serial path -- so injected hangs/crashes
+    exercise the supervisor without being able to stall a serial or
+    circuit-breaker fallback.
     """
+    faults.maybe_disrupt("perf.worker")
     obs_metrics.REGISTRY.reset()  # qa: ignore[QA203] -- worker-private registry, exported below
     with detached_stack(), tracing() as trace:
         with span("sweep.chunk", chunk=chunk_id, points=len(freqs)):
@@ -244,6 +278,7 @@ def parallel_sweep(
     chunk: int | None = None,
     report: RunReport | None = None,
     on_chunk: Callable[[np.ndarray], None] | None = None,
+    config: SupervisorConfig | None = None,
 ) -> np.ndarray:
     """Solve sweep points in parallel, filling ``out`` by index.
 
@@ -257,22 +292,31 @@ def parallel_sweep(
             completed ones); default all.
         workers: Worker count (see :func:`worker_count`).
         chunk: Points per scheduled chunk; default auto.
-        report: Run report receiving worker retry notes, the downgrade
+        report: Run report receiving worker retry notes, supervision
+            events (timeouts, restarts, quarantines), the downgrade
             record if the pool cannot be created, and chunk checkpoints'
             bookkeeping (via ``on_chunk``).
         on_chunk: Called with each completed chunk's indices *after* its
             results are stored in ``out`` -- the checkpoint hook.
+            Quarantined points pass through it too (their rows are NaN),
+            so the checkpoint stream stays complete.
+        config: Supervision knobs; default
+            :meth:`SupervisorConfig.from_env`.
 
     Returns:
         ``out``.  If any point fails even after retries, the exception
         propagates after all already-completed chunk results have been
         stored and reported via ``on_chunk`` (so an emergency checkpoint
-        sees every finished point).
+        sees every finished point).  Process-level failures -- hung or
+        killed workers, worker ``MemoryError`` -- do *not* propagate:
+        the supervisor reissues the work and, as a last resort,
+        quarantines the offending point as a NaN row.
     """
     all_indices = (
         np.arange(len(freqs)) if indices is None else np.asarray(indices, int)
     )
     workers = worker_count(workers)
+    cfg = config if config is not None else SupervisorConfig.from_env()
 
     def fill(idx: np.ndarray, rows: np.ndarray) -> None:
         if spec.port is not None:
@@ -295,15 +339,20 @@ def parallel_sweep(
     if workers == 1 or all_indices.size <= 1:
         return serial(chunks)
 
+    pool_width = min(workers, len(chunks))
+
+    def make_executor():
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=pool_width,
+            initializer=supervised_init,
+            initargs=(cfg.rlimit_mb, _init_worker, (spec,)),
+        )
+
     try:
         faults.maybe_fail("perf.pool")
-        from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-
-        executor = ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(spec,),
-        )
+        executor = make_executor()
     except (InjectedFault, OSError, ImportError, PermissionError) as exc:
         obs_metrics.counter("pool.fallback_serial").inc()
         if report is not None:
@@ -315,60 +364,43 @@ def parallel_sweep(
             )
         return serial(chunks)
 
-    obs_metrics.gauge("pool.workers").set(min(workers, len(chunks)))
+    obs_metrics.gauge("pool.workers").set(pool_width)
     obs_metrics.counter("pool.chunks").inc(len(chunks))
     obs_metrics.counter("pool.points").inc(int(all_indices.size))
 
-    from concurrent.futures.process import BrokenProcessPool
+    def submit(pool, key: int, idx: np.ndarray):
+        return pool.submit(_solve_chunk, key, freqs[idx])
 
-    failure: BaseException | None = None
-    unfinished: list[np.ndarray] = []
-    try:
-        futures = {
-            executor.submit(_solve_chunk, cid, freqs[idx]): idx
-            for cid, idx in enumerate(chunks)
-        }
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-            for fut in done:
-                idx = futures[fut]
-                try:
-                    _, rows, notes, worker_spans, worker_metrics = fut.result()
-                except BaseException as exc:  # keep completed work, then raise
-                    if failure is None:
-                        failure = exc
-                    unfinished.append(idx)
-                    continue
-                graft_spans(worker_spans)
-                obs_metrics.REGISTRY.merge(worker_metrics)
-                for note in notes:
-                    if report is not None:
-                        report.record_retry(spec.site, note)
-                fill(idx, rows)
-                if on_chunk is not None:
-                    on_chunk(idx)
-            if failure is not None:
-                for fut in pending:
-                    fut.cancel()
-                    unfinished.append(futures[fut])
-                break
-    finally:
-        executor.shutdown(wait=True, cancel_futures=True)
-    if isinstance(failure, BrokenProcessPool):
-        # The pool died out from under us (a worker was killed); the math
-        # is still sound, so finish the stranded chunks serially.
-        obs_metrics.counter("pool.fallback_serial").inc()
-        if report is not None:
-            report.record_downgrade(
-                "perf",
-                f"parallel sweep ({workers} workers)",
-                "serial sweep",
-                f"process pool broke mid-sweep: {failure}",
-            )
-        return serial(unfinished)
-    if failure is not None:
-        raise failure
+    def on_result(idx: np.ndarray, payload) -> None:
+        _, rows, notes, worker_spans, worker_metrics = payload
+        graft_spans(worker_spans)
+        obs_metrics.REGISTRY.merge(worker_metrics)
+        for note in notes:
+            if report is not None:
+                report.record_retry(spec.site, note)
+        fill(idx, rows)
+        if on_chunk is not None:
+            on_chunk(idx)
+
+    def quarantine(point: int, reason: str) -> None:
+        # A poison point becomes a NaN row -- degraded data, not a sweep
+        # abort -- and still reaches the checkpoint stream via on_chunk.
+        out[point] = np.nan * (1.0 + 1.0j)
+        if on_chunk is not None:
+            on_chunk(np.array([point], dtype=int))
+
+    Supervisor(
+        executor=executor,
+        make_executor=make_executor,
+        submit=submit,
+        on_result=on_result,
+        solve_serial=lambda idx: serial([idx]),
+        quarantine=quarantine,
+        workers=pool_width,
+        config=cfg,
+        report=report,
+        stage="perf",
+    ).run(chunks)
     return out
 
 

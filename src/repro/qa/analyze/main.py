@@ -70,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro analyze",
         description="project-wide dataflow lint (QA101-QA107 syntax rules "
-                    "+ QA201-QA206 semantic rules)",
+                    "+ QA201-QA207 semantic rules)",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyze "

@@ -20,6 +20,8 @@ QA205  complex scalar narrowed by ``float()``/``int()`` -- resolved by
        name heuristic.
 QA206  public function catches a broad exception and degrades without
        recording it (RunReport event, obs metric, warning, log).
+QA207  pool future ``result()`` / executor ``map()`` waited on without a
+       timeout outside the supervisor -- one hung worker stalls forever.
 ====== =====================================================================
 """
 
@@ -502,9 +504,98 @@ substitute a fallback value but tells nobody.""",
 ))
 
 
-SEMANTIC_RULE_IDS = ("QA201", "QA202", "QA203", "QA204", "QA205", "QA206")
+# -- QA207: unbounded pool wait ----------------------------------------------
+
+#: The one module allowed to block on pool futures without a timeout:
+#: its watchdog thread is what guarantees those waits terminate.
+_SUPERVISOR_MODULE = "repro.resilience.supervisor"
+
+_FUTURE_TOKENS = ("fut", "future")
+_POOL_TOKENS = ("executor", "pool")
+
+
+def _name_has_token(expr: ast.expr, tokens: tuple[str, ...]) -> bool:
+    text = _describe(expr).lower()
+    return any(token in text for token in tokens)
+
+
+def _check_qa207(ctx: ModuleContext) -> Iterable[Diagnostic]:
+    if ctx.module.name == _SUPERVISOR_MODULE:
+        return
+    tree = ctx.module.tree
+    if tree is None:
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        receiver = node.func.value
+        has_timeout = bool(node.args) or any(
+            kw.arg == "timeout" for kw in node.keywords
+        )
+        if (node.func.attr == "result"
+                and _name_has_token(receiver, _FUTURE_TOKENS)):
+            if has_timeout:
+                continue
+            diag = ctx.report(
+                QA207, node,
+                f"'{_describe(receiver)}.result()' blocks without a "
+                "timeout -- a hung pool worker stalls this wait forever",
+            )
+            if diag:
+                yield diag
+        elif (node.func.attr == "map"
+              and _name_has_token(receiver, _POOL_TOKENS)):
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            diag = ctx.report(
+                QA207, node,
+                f"'{_describe(receiver)}.map(...)' iterates results "
+                "without a timeout -- a hung pool worker stalls the "
+                "iteration forever",
+            )
+            if diag:
+                yield diag
+
+
+QA207 = register(Rule(
+    id="QA207",
+    title="pool future waited on without a timeout outside the supervisor",
+    severity=Severity.ERROR,
+    hint="run the pool under repro.resilience.supervisor.Supervisor "
+         "(deadlines + watchdog), or pass an explicit timeout to "
+         ".result()/.map(); silence a wait that something else provably "
+         "bounds with '# qa: ignore[QA207]' and say what bounds it",
+    docs="""\
+``Future.result()`` with no timeout (and ``executor.map``, which calls
+it internally) blocks until the worker responds -- and a worker stuck in
+a pathological solve, an injected hang, or a deadlocked import never
+responds.  The supervised runtime exists so no sweep ever makes that
+bet: its watchdog kills expired workers, which is what makes *its own*
+untimed waits terminate, so :mod:`repro.resilience.supervisor` is the
+one module exempt from this rule.
+
+Everywhere else, either route the pool through the supervisor (the
+``parallel_sweep``/``run_sweep`` paths already are) or make the wait
+bounded explicitly:
+
+    rows = fut.result(timeout=deadline)       # bounded wait
+    for rec in executor.map(f, items, timeout=deadline):
+        ...
+
+The check is name-heuristic (receivers mentioning ``fut``/``future``
+for ``.result()``, ``executor``/``pool`` for ``.map()``), mirroring the
+cache-shaped heuristic of QA202; a wait bounded by other means can be
+silenced with '# qa: ignore[QA207]' stating what bounds it.""",
+    check=_check_qa207,
+))
+
+
+SEMANTIC_RULE_IDS = (
+    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207",
+)
 
 __all__ = [
     "SEMANTIC_RULE_IDS",
-    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206",
+    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207",
 ]

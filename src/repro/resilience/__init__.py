@@ -16,6 +16,11 @@ runs alive through all of that:
   resume for transients and frequency sweeps (``repro resume``).
 * :mod:`~repro.resilience.degrade` -- sparsifier fallback chain
   (requested -> block-diagonal -> dense) with logged downgrades.
+* :mod:`~repro.resilience.supervisor` / :mod:`~repro.resilience.budget`
+  -- the supervised execution runtime over the process-pool sweeps:
+  per-chunk deadlines from a sweep time budget, a hung/killed-worker
+  watchdog with pool restarts, poison-point quarantine, and a
+  pool-to-serial circuit breaker.
 
 The escalation chain itself lives in
 :class:`repro.circuit.linalg.ResilientFactorization`, next to the raw
@@ -45,6 +50,13 @@ from repro.resilience.report import (
     activate,
     current_run_report,
 )
+from repro.resilience.budget import TimeBudget
+from repro.resilience.supervisor import (
+    SupervisionStats,
+    Supervisor,
+    SupervisorConfig,
+    supervised_init,
+)
 
 __all__ = [
     "Checkpoint",
@@ -67,4 +79,9 @@ __all__ = [
     "SolveReport",
     "activate",
     "current_run_report",
+    "SupervisionStats",
+    "Supervisor",
+    "SupervisorConfig",
+    "TimeBudget",
+    "supervised_init",
 ]

@@ -1,0 +1,105 @@
+"""Wall-clock budgets for supervised sweeps.
+
+A :class:`TimeBudget` owns two related pieces of timing state:
+
+* the **sweep-level budget** -- an optional total wall-clock allowance
+  for the whole batch (``repro sweep --time-budget``).  ``remaining()``
+  counts it down from the first observation and ``exhausted()`` is the
+  signal the supervisor acts on (quarantine what is left rather than
+  blow the allowance);
+* the **per-point cost estimate** -- refined online from completed
+  chunks (exponential moving average seeded by the first observation),
+  which is what turns a coarse budget into *per-chunk* deadlines: a
+  chunk that runs many multiples of the going per-point rate is hung,
+  not slow.
+
+The clock is injectable so tests can drive time deterministically; the
+default is :func:`time.monotonic` (wall-clock deadlines must not jump
+with NTP adjustments).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Weight of the newest observation in the per-point moving average.
+EWMA_ALPHA = 0.4
+
+
+class TimeBudget:
+    """Sweep-level time allowance plus an online per-point cost model.
+
+    Args:
+        total: Wall-clock budget for the whole sweep [s]; ``None`` means
+            unbounded (the estimate machinery still works).
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        total: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total is not None and not total > 0:
+            raise ValueError(f"time budget must be positive, got {total}")
+        self.total = total
+        self._clock = clock
+        self._start: float | None = None
+        self._per_point: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Anchor the budget clock (idempotent; auto-called on first use)."""
+        if self._start is None:
+            self._start = self._clock()
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the clock is anchored)."""
+        if self._start is None:
+            return 0.0
+        return max(0.0, self._clock() - self._start)
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget; ``None`` when unbounded."""
+        if self.total is None:
+            return None
+        self.start()
+        return max(0.0, self.total - self.elapsed())
+
+    def exhausted(self) -> bool:
+        """True once the sweep has used up its whole allowance."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    # -- per-point cost model ----------------------------------------------
+
+    def observe(self, points: int, seconds: float) -> None:
+        """Fold one completed chunk into the per-point estimate."""
+        if points < 1 or seconds < 0:
+            return
+        sample = seconds / points
+        if self._per_point is None:
+            self._per_point = sample
+        else:
+            self._per_point += EWMA_ALPHA * (sample - self._per_point)
+
+    @property
+    def per_point(self) -> float | None:
+        """Current per-point estimate [s]; ``None`` before any observation."""
+        return self._per_point
+
+    def estimate(self, points: int) -> float | None:
+        """Predicted wall-clock for ``points`` points, if known yet."""
+        if self._per_point is None:
+            return None
+        return self._per_point * points
+
+    def __repr__(self) -> str:
+        total = "unbounded" if self.total is None else f"{self.total:g}s"
+        est = "?" if self._per_point is None else f"{self._per_point:.3g}s/pt"
+        return f"TimeBudget({total}, {est})"
+
+
+__all__ = ["EWMA_ALPHA", "TimeBudget"]

@@ -16,6 +16,16 @@ Fault kinds:
 * ``"singular"`` -- replace the matrix handed to that site with a
   singular copy (first row zeroed), so that *this rung's* factorization
   fails while later rungs still see clean data.
+* ``"hang"``     -- sleep for ``REPRO_HANG_SECONDS`` (default 30) at the
+  site, then continue normally: without supervision the call is merely
+  late, under a supervisor deadline it is a hung worker.
+* ``"crash"``    -- ``os._exit`` the process at the site (a killed pool
+  worker; breaks the whole pool, exercising reissue-to-restarted-pool).
+* ``"bigalloc"`` -- attempt a ``REPRO_BIGALLOC_MB`` (default 1024)
+  allocation and raise :class:`MemoryError` at the site; under a
+  ``REPRO_WORKER_RLIMIT_MB`` ceiling the allocation itself fails, and
+  without one the error is raised deterministically after the probe so
+  the supervised ``MemoryError`` path fires either way.
 
 Sites are dotted names (``"transient.lu"``, ``"dc.newton.equilibrated"``,
 ``"loop.freq"``); specs match them with :mod:`fnmatch` patterns, so
@@ -29,8 +39,11 @@ Activation is either programmatic::
 or process-wide chaos via the environment: ``REPRO_FAULTS=chaos-1234``
 installs a low-probability injector over the recoverable sites, which CI
 uses to run the whole suite with every fallback path genuinely
-exercised.  ``with inject_faults():`` (no specs) suppresses any ambient
-injector for precision-sensitive blocks.
+exercised.  Deterministic rule lists are also accepted --
+``REPRO_FAULTS='*.worker=hang@0.5,loop.freq=raise'`` -- which is how the
+CI chaos-hang job makes specific supervision paths fire on demand.
+``with inject_faults():`` (no specs) suppresses any ambient injector for
+precision-sensitive blocks.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import threading
+import time
 from dataclasses import dataclass
 from contextlib import contextmanager
 from typing import Iterator
@@ -72,8 +86,10 @@ class FaultSpec:
     max_hits: int | None = 1
     after: int = 0
 
+    KINDS = ("raise", "nan", "singular", "hang", "crash", "bigalloc")
+
     def __post_init__(self) -> None:
-        if self.kind not in ("raise", "nan", "singular"):
+        if self.kind not in self.KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 < self.probability <= 1.0:
             raise ValueError("probability must be in (0, 1]")
@@ -121,14 +137,48 @@ def chaos_specs() -> tuple[FaultSpec, ...]:
         FaultSpec("adaptive.step", "raise", probability=0.003, max_hits=None),
         FaultSpec("loop.freq", "raise", probability=0.02, max_hits=None),
         FaultSpec("perf.pool", "raise", probability=0.05, max_hits=None),
+        # Worker-process faults, recovered by the execution supervisor
+        # (reissue after deadline kill / pool restart / MemoryError
+        # strike).  Kept rare: each hit costs a deadline or a pool
+        # generation, not just a retry.
+        FaultSpec("*.worker", "hang", probability=0.003, max_hits=None),
+        FaultSpec("*.worker", "crash", probability=0.003, max_hits=None),
+        FaultSpec("*.worker", "bigalloc", probability=0.003, max_hits=None),
     )
+
+
+def _parse_rule(item: str) -> FaultSpec:
+    """One ``site=kind[@prob]`` clause of a deterministic rule list."""
+    site, _, rest = item.partition("=")
+    site = site.strip()
+    kind, _, prob = rest.partition("@")
+    kind = kind.strip()
+    if not site or not kind:
+        raise ValueError(
+            f"REPRO_FAULTS rule must look like 'site=kind[@prob]', got {item!r}"
+        )
+    probability = 1.0
+    if prob:
+        try:
+            probability = float(prob)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_FAULTS probability must be a number, got {item!r}"
+            ) from None
+    try:
+        return FaultSpec(site, kind, probability=probability, max_hits=None)
+    except ValueError as exc:
+        raise ValueError(f"bad REPRO_FAULTS rule {item!r}: {exc}") from None
 
 
 def injector_from_env(value: str | None = None) -> FaultInjector | None:
     """Build the ambient injector described by ``REPRO_FAULTS``.
 
     Grammar: empty / ``off`` -> None; ``chaos`` -> chaos rules with seed
-    0; ``chaos-<seed>`` -> chaos rules with that seed.
+    0; ``chaos-<seed>`` -> chaos rules with that seed; otherwise a
+    comma-separated deterministic rule list, each clause
+    ``site=kind[@prob]`` (probability defaults to 1.0, unlimited hits),
+    e.g. ``'*.worker=hang@0.5,loop.freq=raise'``.
     """
     raw = value if value is not None else os.environ.get("REPRO_FAULTS", "")
     raw = raw.strip().lower()
@@ -144,8 +194,14 @@ def injector_from_env(value: str | None = None) -> FaultInjector | None:
                 f"REPRO_FAULTS seed must be an integer, got {raw!r}"
             ) from None
         return FaultInjector(chaos_specs(), seed=seed)
+    if "=" in raw:
+        specs = tuple(
+            _parse_rule(item) for item in raw.split(",") if item.strip()
+        )
+        return FaultInjector(specs, seed=0)
     raise ValueError(
-        f"REPRO_FAULTS must be 'off', 'chaos', or 'chaos-<seed>', got {raw!r}"
+        "REPRO_FAULTS must be 'off', 'chaos', 'chaos-<seed>', or a "
+        f"'site=kind[@prob]' rule list, got {raw!r}"
     )
 
 
@@ -178,6 +234,54 @@ def inject_faults(
 
 
 # -- hooks called from solver internals -------------------------------------
+
+#: Bound on injected hangs [s]; even unsupervised code paths are merely
+#: late, never stalled forever.  CI sets this low so chaos stays fast.
+HANG_ENV = "REPRO_HANG_SECONDS"
+DEFAULT_HANG_SECONDS = 30.0
+
+#: Size of the ``bigalloc`` probe allocation [MiB].
+BIGALLOC_ENV = "REPRO_BIGALLOC_MB"
+DEFAULT_BIGALLOC_MB = 1024
+
+
+def _env_number(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {raw!r}")
+    return value
+
+
+def maybe_disrupt(site: str) -> None:
+    """Fire any worker-process fault (hang / crash / bigalloc) due here.
+
+    Called from inside pool-worker chunk bodies only -- serial paths do
+    not pass through it, so a circuit-breaker fallback can always finish
+    the sweep even when every worker is sabotaged.
+    """
+    injector = active_injector()
+    if injector is None:
+        return
+    spec = injector.fires(site, ("hang", "crash", "bigalloc"))
+    if spec is None:
+        return
+    if spec.kind == "hang":
+        time.sleep(_env_number(HANG_ENV, DEFAULT_HANG_SECONDS))
+    elif spec.kind == "crash":
+        os._exit(13)
+    else:  # bigalloc
+        mb = int(_env_number(BIGALLOC_ENV, DEFAULT_BIGALLOC_MB))
+        # MiB -> float64 element count; under an rlimit ceiling the
+        # allocation itself raises, otherwise we raise after the probe.
+        probe = np.ones(mb << 17)
+        del probe
+        raise MemoryError(f"injected bigalloc of {mb} MiB at site {site!r}")
 
 
 def maybe_fail(site: str) -> None:
@@ -221,6 +325,7 @@ __all__ = [
     "injector_from_env",
     "active_injector",
     "inject_faults",
+    "maybe_disrupt",
     "maybe_fail",
     "corrupt_matrix",
     "corrupt_solution",

@@ -98,7 +98,10 @@ class RunEvent:
 
     Attributes:
         kind: ``"downgrade"`` / ``"retry"`` / ``"step-halving"`` /
-            ``"checkpoint"`` / ``"resume"`` / ``"source-stepping"``.
+            ``"checkpoint"`` / ``"resume"`` / ``"source-stepping"``, plus
+            the supervision kinds ``"timeout"`` / ``"worker-lost"`` /
+            ``"restart"`` / ``"bisect"`` / ``"quarantine"`` /
+            ``"breaker"`` / ``"budget-exhausted"``.
         stage: Where it happened (``"sparsify"``, ``"transient"``, ...).
         detail: Human-readable specifics.
         span: Open-span path at recording time (``"flow.peec/flow.solve/
@@ -155,6 +158,18 @@ class RunReport:
     def record_resume(self, stage: str, detail: str) -> None:
         self.record("resume", stage, detail)
 
+    def record_timeout(self, stage: str, detail: str) -> None:
+        self.record("timeout", stage, detail)
+
+    def record_restart(self, stage: str, detail: str) -> None:
+        self.record("restart", stage, detail)
+
+    def record_quarantine(self, stage: str, detail: str) -> None:
+        self.record("quarantine", stage, detail)
+
+    def record_breaker(self, stage: str, detail: str) -> None:
+        self.record("breaker", stage, detail)
+
     def attach_solve_report(self, report: SolveReport) -> None:
         self.solve_reports.append(report)
 
@@ -170,6 +185,14 @@ class RunReport:
     @property
     def retries(self) -> list[RunEvent]:
         return self.by_kind("retry")
+
+    @property
+    def timeouts(self) -> list[RunEvent]:
+        return self.by_kind("timeout")
+
+    @property
+    def quarantines(self) -> list[RunEvent]:
+        return self.by_kind("quarantine")
 
     @property
     def clean(self) -> bool:

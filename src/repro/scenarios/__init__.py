@@ -14,7 +14,11 @@ from repro.scenarios.aggregate import (
     format_comparison,
     write_results,
 )
-from repro.scenarios.runner import MAX_SEGMENT_LENGTH, evaluate_scenario
+from repro.scenarios.runner import (
+    MAX_SEGMENT_LENGTH,
+    evaluate_scenario,
+    quarantined_record,
+)
 from repro.scenarios.scheduler import SweepResult, run_sweep
 from repro.scenarios.spec import (
     SPARSIFIER_FACTORIES,
@@ -39,6 +43,7 @@ __all__ = [
     "evaluate_scenario",
     "format_comparison",
     "load_sweep_spec",
+    "quarantined_record",
     "run_sweep",
     "smoke_spec",
     "write_results",

@@ -158,4 +158,24 @@ def evaluate_scenario(sc: Scenario) -> dict:
     return record
 
 
-__all__ = ["MAX_SEGMENT_LENGTH", "evaluate_scenario"]
+def quarantined_record(sc: Scenario, reason: str) -> dict:
+    """Degraded record for a scenario the supervisor had to quarantine.
+
+    Shaped like an :func:`evaluate_scenario` record (same keys, status
+    ``"quarantined"``) so it flows through the store, resume, and the
+    aggregator untouched -- a poison scenario is data, not a batch abort.
+    """
+    obs_metrics.counter("sweep.scenarios.quarantined").inc()
+    return {
+        "id": sc.scenario_id,
+        "params": sc.params(),
+        "status": "quarantined",
+        "metrics": {},
+        "notes": [
+            {"kind": "quarantine", "stage": "sweep", "detail": reason}
+        ],
+        "error": reason,
+    }
+
+
+__all__ = ["MAX_SEGMENT_LENGTH", "evaluate_scenario", "quarantined_record"]

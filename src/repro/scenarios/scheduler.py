@@ -12,8 +12,12 @@ The scheduler reuses the :mod:`repro.perf.parallel` discipline wholesale:
   completion order;
 * a pool that cannot be created (sandbox, fd exhaustion, an injected
   ``"sweep.pool"`` fault) degrades to the serial path -- recorded as a
-  downgrade, never a failure -- and a pool that breaks mid-run finishes
-  the stranded shards serially;
+  downgrade, never a failure -- and a *running* pool executes under the
+  :class:`~repro.resilience.supervisor.Supervisor`: shards get
+  wall-clock deadlines, hung or killed workers are detected and their
+  shards reissued to a restarted pool, poison scenarios are bisected out
+  and quarantined as ``status: "quarantined"`` records, and a circuit
+  breaker trips to the serial path after ``max_pool_restarts``;
 * every completed record is persisted to the
   :class:`~repro.scenarios.store.ResultStore` as it lands (per-scenario
   checkpointing), and on the next run stored records are resumed instead
@@ -33,8 +37,11 @@ from repro.obs.trace import (
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.report import RunReport
+from repro.resilience.supervisor import (
+    Supervisor, SupervisorConfig, supervised_init,
+)
 from repro.perf.parallel import chunk_indices, worker_count
-from repro.scenarios.runner import evaluate_scenario
+from repro.scenarios.runner import evaluate_scenario, quarantined_record
 from repro.scenarios.spec import Scenario, SweepSpec
 from repro.scenarios.store import ResultStore
 
@@ -45,7 +52,8 @@ class SweepResult:
 
     Attributes:
         records: One record per scenario, in grid-expansion order.
-        report: Batch-level resilience log (pool downgrades, resumes).
+        report: Batch-level resilience log (pool downgrades, resumes,
+            supervision events).
         resumed: Scenarios served from the result store.
         computed: Scenarios evaluated this run.
     """
@@ -63,6 +71,12 @@ class SweepResult:
     def failed(self) -> int:
         return sum(1 for r in self.records if r["status"] == "failed")
 
+    @property
+    def quarantined(self) -> int:
+        return sum(
+            1 for r in self.records if r["status"] == "quarantined"
+        )
+
 
 def _run_chunk(
     chunk_id: int, scenarios: list[Scenario]
@@ -73,8 +87,10 @@ def _run_chunk(
     registry is reset per shard (pool workers persist across shards) and
     the span stack is detached (a fork-started worker inherits the span
     open in the parent at fork time), so the shipped span tree and
-    metrics cover exactly this shard.
+    metrics cover exactly this shard.  The ``"sweep.worker"`` disruption
+    hook fires only here, never on the serial path.
     """
+    faults.maybe_disrupt("sweep.worker")
     obs_metrics.REGISTRY.reset()  # qa: ignore[QA203] -- worker-private registry, exported below
     with detached_stack(), tracing() as trace:
         with span("sweep.shard", shard=chunk_id, scenarios=len(scenarios)):
@@ -89,6 +105,7 @@ def run_sweep(
     resume: bool = True,
     chunk: int | None = None,
     report: RunReport | None = None,
+    config: SupervisorConfig | None = None,
 ) -> SweepResult:
     """Run a scenario sweep, sharded over a process pool.
 
@@ -105,6 +122,9 @@ def run_sweep(
         chunk: Scenarios per shard; default auto
             (:func:`~repro.perf.parallel.chunk_indices`).
         report: Batch-level run report to append to; default fresh.
+        config: Supervision knobs (deadlines, time budget, restart
+            budget, worker rlimit); default
+            :meth:`SupervisorConfig.from_env`.
 
     Returns:
         The :class:`SweepResult`; ``records`` is ordered like the
@@ -158,7 +178,10 @@ def run_sweep(
         if num_workers == 1 or todo.size <= 1:
             serial(chunks)
         else:
-            _pooled(scenarios, chunks, num_workers, report, finish, serial)
+            _pooled(
+                scenarios, chunks, num_workers, report, finish, serial,
+                config,
+            )
 
     return SweepResult(
         records=records,  # type: ignore[arg-type]  # all filled above
@@ -175,15 +198,24 @@ def _pooled(
     report: RunReport,
     finish,
     serial,
+    config: SupervisorConfig | None = None,
 ) -> None:
-    """Fan shards out over a process pool, mirroring ``parallel_sweep``."""
-    try:
-        faults.maybe_fail("sweep.pool")
-        from concurrent.futures import (
-            FIRST_EXCEPTION, ProcessPoolExecutor, wait,
+    """Fan shards out over a supervised pool, mirroring ``parallel_sweep``."""
+    cfg = config if config is not None else SupervisorConfig.from_env()
+    pool_width = min(workers, len(chunks))
+
+    def make_executor():
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=pool_width,
+            initializer=supervised_init,
+            initargs=(cfg.rlimit_mb,),
         )
 
-        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    try:
+        faults.maybe_fail("sweep.pool")
+        executor = make_executor()
     except (InjectedFault, OSError, ImportError, PermissionError) as exc:
         obs_metrics.counter("sweep.fallback_serial").inc()
         report.record_downgrade(
@@ -195,55 +227,37 @@ def _pooled(
         serial(chunks)
         return
 
-    obs_metrics.gauge("sweep.workers").set(min(workers, len(chunks)))
+    obs_metrics.gauge("sweep.workers").set(pool_width)
 
-    from concurrent.futures.process import BrokenProcessPool
+    def submit(pool, key: int, idx: np.ndarray):
+        return pool.submit(_run_chunk, key, [scenarios[i] for i in idx])
 
-    failure: BaseException | None = None
-    unfinished: list[np.ndarray] = []
-    try:
-        futures = {
-            executor.submit(
-                _run_chunk, cid, [scenarios[i] for i in idx]
-            ): idx
-            for cid, idx in enumerate(chunks)
-        }
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-            for fut in done:
-                idx = futures[fut]
-                try:
-                    _, recs, worker_spans, worker_metrics = fut.result()
-                except BaseException as exc:  # keep completed shards
-                    if failure is None:
-                        failure = exc
-                    unfinished.append(idx)
-                    continue
-                graft_spans(worker_spans)
-                obs_metrics.REGISTRY.merge(worker_metrics)
-                finish(idx, recs)
-            if failure is not None:
-                for fut in pending:
-                    fut.cancel()
-                    unfinished.append(futures[fut])
-                break
-    finally:
-        executor.shutdown(wait=True, cancel_futures=True)
-    if isinstance(failure, BrokenProcessPool):
-        # The pool died out from under us; scenario evaluation is pure,
-        # so finish the stranded shards serially.
-        obs_metrics.counter("sweep.fallback_serial").inc()
-        report.record_downgrade(
-            "sweep",
-            f"sharded sweep ({workers} workers)",
-            "serial sweep",
-            f"process pool broke mid-sweep: {failure}",
+    def on_result(idx: np.ndarray, payload) -> None:
+        _, recs, worker_spans, worker_metrics = payload
+        graft_spans(worker_spans)
+        obs_metrics.REGISTRY.merge(worker_metrics)
+        finish(idx, recs)
+
+    def quarantine(point: int, reason: str) -> None:
+        # A poison scenario becomes a degraded record -- stored and
+        # aggregated like any other, never a batch abort.
+        finish(
+            np.array([point], dtype=int),
+            [quarantined_record(scenarios[point], reason)],
         )
-        serial(unfinished)
-        return
-    if failure is not None:
-        raise failure
+
+    Supervisor(
+        executor=executor,
+        make_executor=make_executor,
+        submit=submit,
+        on_result=on_result,
+        solve_serial=lambda idx: serial([idx]),
+        quarantine=quarantine,
+        workers=pool_width,
+        config=cfg,
+        report=report,
+        stage="sweep",
+    ).run(chunks)
 
 
 __all__ = ["SweepResult", "run_sweep"]

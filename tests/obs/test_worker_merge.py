@@ -3,9 +3,10 @@
 The process-pool sweep runs chunks in worker processes whose traces and
 registries are invisible to the parent.  :mod:`repro.perf.parallel`
 serializes each chunk's span tree and metrics export into the result
-tuple; the parent attaches the trees under its ``sweep.solve`` span and
-folds the metrics into the process-wide registry.  These tests run a
-real pool (workers > 1) and check both halves of that contract.
+tuple; the parent attaches the trees under the supervisor's
+``supervisor.run`` span and folds the metrics into the process-wide
+registry.  These tests run a real pool (workers > 1) and check both
+halves of that contract.
 """
 
 import numpy as np
@@ -49,7 +50,9 @@ class TestWorkerSpanMerge:
 
         root = trace.find("circuit.ac.impedance")
         assert root is not None
-        chunks = [c for c in root.children if c.name == "sweep.chunk"]
+        sup = root.find("supervisor.run")
+        assert sup is not None
+        chunks = [c for c in sup.children if c.name == "sweep.chunk"]
         assert len(chunks) >= 2  # genuinely fanned out
 
         # Chunk spans cover every point exactly once and keep their

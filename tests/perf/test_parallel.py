@@ -1,15 +1,28 @@
 """Parallel frequency sweeps: bit-identical to serial, resilient to pool loss."""
 
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.circuit.ac import ac_analysis, ac_impedance
 from repro.circuit.netlist import GROUND, Circuit
 from repro.loop.extractor import LoopPort, extract_loop_impedance
-from repro.perf.parallel import chunk_indices, explicit_workers, worker_count
+from repro.perf.parallel import (
+    SweepSpec,
+    chunk_indices,
+    explicit_workers,
+    parallel_sweep,
+    worker_count,
+)
+from repro.resilience import faults
 from repro.resilience.checkpoint import CheckpointConfig, load_checkpoint
 from repro.resilience.faults import FaultSpec, InjectedFault, inject_faults
 from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import RunReport
+from repro.resilience.supervisor import SupervisorConfig
 
 #: First fault is fatal: what the kill/resume scenario needs.
 BRITTLE = ResiliencePolicy(
@@ -82,6 +95,26 @@ class TestWorkerCount:
             worker_count()
         with pytest.raises(ValueError):
             worker_count(0)
+
+    def test_errors_name_the_offending_value_and_source(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS.*'many'"):
+            worker_count()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match=r"REPRO_WORKERS='0'"):
+            worker_count()
+        monkeypatch.delenv("REPRO_WORKERS")
+        with pytest.raises(ValueError, match=r"workers=-2"):
+            worker_count(-2)
+        with pytest.raises(ValueError, match="'three'"):
+            worker_count("three")
+
+    def test_explicit_workers_validates_the_env_at_the_gate(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKERS", "a few")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            explicit_workers()
 
 
 class TestACParallelEqualsSerial:
@@ -161,6 +194,118 @@ class TestPoolDegradation:
         downgrades = degraded.report.by_kind("downgrade")
         assert downgrades
         assert "serial" in downgrades[0].detail
+
+
+def _claim(path):
+    """Atomically claim a sentinel file; True for exactly one claimant."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+class TestSupervisedSweep:
+    """Deterministic worker faults recovered by the supervisor.
+
+    ``faults.maybe_disrupt`` is monkeypatched with deterministic fakes;
+    forked pool workers inherit the patched module, so the faults fire
+    in the worker processes without any probabilistic injection.
+    """
+
+    freqs = np.linspace(1e6, 1e9, 8)
+
+    @staticmethod
+    def tiny():
+        # (G + jwC) x = b with G = I, C = 0: port voltage 1.0 everywhere.
+        return SweepSpec(
+            g_matrix=np.eye(2),
+            c_matrix=np.zeros((2, 2)),
+            b=np.array([1.0, 0.0], dtype=complex),
+            site="tiny",
+            port=(0, -1),
+        )
+
+    def serial_reference(self):
+        out = np.zeros(len(self.freqs), dtype=complex)
+        with inject_faults():
+            parallel_sweep(self.tiny(), self.freqs, out, workers=1)
+        return out
+
+    def test_crashed_worker_chunk_is_reissued(self, tmp_path, monkeypatch):
+        marker = tmp_path / "crashed"
+
+        def crash_once(site):
+            if site == "perf.worker" and _claim(marker):
+                time.sleep(0.3)
+                os._exit(13)
+
+        monkeypatch.setattr(faults, "maybe_disrupt", crash_once)
+        report = RunReport()
+        out = np.zeros(len(self.freqs), dtype=complex)
+        with inject_faults():
+            parallel_sweep(
+                self.tiny(), self.freqs, out, workers=2, chunk=2,
+                report=report,
+                config=SupervisorConfig(heartbeat=0.02, backoff_base=0.01),
+            )
+        assert np.array_equal(out, self.serial_reference())
+        assert report.by_kind("worker-lost")
+        assert report.by_kind("restart")
+        assert not report.quarantines
+
+    def test_hung_worker_is_killed_via_env_deadline(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DEADLINE", "0.5")
+        monkeypatch.delenv("REPRO_TIME_BUDGET", raising=False)
+        monkeypatch.delenv("REPRO_WORKER_RLIMIT_MB", raising=False)
+        marker = tmp_path / "hung"
+
+        def hang_once(site):
+            if site == "perf.worker" and _claim(marker):
+                time.sleep(60.0)
+
+        monkeypatch.setattr(faults, "maybe_disrupt", hang_once)
+        report = RunReport()
+        out = np.zeros(len(self.freqs), dtype=complex)
+        with inject_faults():
+            # config=None: the deadline must arrive via REPRO_DEADLINE.
+            parallel_sweep(
+                self.tiny(), self.freqs, out, workers=2, chunk=2,
+                report=report,
+            )
+        assert np.array_equal(out, self.serial_reference())
+        assert report.timeouts
+        assert not report.quarantines
+
+    def test_poison_points_become_nan_rows_in_the_checkpoint_stream(
+        self, monkeypatch
+    ):
+        def hang_always(site):
+            if site == "perf.worker":
+                time.sleep(60.0)
+
+        monkeypatch.setattr(faults, "maybe_disrupt", hang_always)
+        report = RunReport()
+        freqs = np.linspace(1e6, 1e9, 4)
+        out = np.zeros(len(freqs), dtype=complex)
+        checkpointed = []
+        with inject_faults():
+            parallel_sweep(
+                self.tiny(), freqs, out, workers=4, chunk=1,
+                report=report,
+                on_chunk=lambda idx: checkpointed.extend(int(i) for i in idx),
+                config=SupervisorConfig(
+                    deadline=0.4, heartbeat=0.02, max_chunk_retries=0,
+                    max_pool_restarts=50, backoff_base=0.01,
+                ),
+            )
+        assert np.all(np.isnan(out.real)) and np.all(np.isnan(out.imag))
+        assert len(report.quarantines) == 4
+        # Quarantined points still flow through the checkpoint hook.
+        assert sorted(checkpointed) == [0, 1, 2, 3]
 
 
 class TestParallelCheckpointing:

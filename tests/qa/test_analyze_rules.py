@@ -1,4 +1,4 @@
-"""Fixture tests for the semantic rules QA201-QA206.
+"""Fixture tests for the semantic rules QA201-QA207.
 
 Every rule gets (at least) one *failing* fixture -- a deliberately
 re-introduced instance of the bug class it encodes, including the
@@ -384,6 +384,64 @@ class TestQA206SilentDegradation:
                     result = 0.0
                 return result
         """, "QA206") == []
+
+
+class TestQA207UnboundedPoolWait:
+    def test_flags_untimed_future_result(self, tmp_path):
+        assert fired(tmp_path, """
+            def gather(futures):
+                return [fut.result() for fut in futures]
+        """, "QA207") == ["QA207"]
+
+    def test_flags_untimed_executor_map(self, tmp_path):
+        assert fired(tmp_path, """
+            def fan_out(executor, items):
+                return list(executor.map(str, items))
+        """, "QA207") == ["QA207"]
+
+    def test_timeout_keyword_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def gather(futures, executor, items):
+                rows = [fut.result(timeout=30.0) for fut in futures]
+                rows += list(executor.map(str, items, timeout=30.0))
+                return rows
+        """, "QA207") == []
+
+    def test_positional_timeout_is_clean(self, tmp_path):
+        assert fired(tmp_path, """
+            def first(future):
+                return future.result(5.0)
+        """, "QA207") == []
+
+    def test_non_pool_receivers_are_not_flagged(self, tmp_path):
+        # Name heuristic: a pandas-style .map() or an unrelated .result()
+        # must not fire.
+        assert fired(tmp_path, """
+            def transform(series, query):
+                values = series.map(abs)
+                return values, query.result()
+        """, "QA207") == []
+
+    def test_ignore_comment_silences(self, tmp_path):
+        assert fired(tmp_path, """
+            def gather(fut):
+                return fut.result()  # qa: ignore[QA207] -- bounded by caller alarm
+        """, "QA207") == []
+
+    def test_supervisor_module_is_exempt(self, tmp_path):
+        # The supervisor's own waits are bounded by its watchdog killing
+        # expired workers; the rule exempts exactly that module.
+        pkg = tmp_path / "repro" / "resilience"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "supervisor.py"
+        mod.write_text(textwrap.dedent("""
+            def drain(futures):
+                return [fut.result() for fut in futures]
+        """), encoding="utf-8")
+        result = analyze_paths([mod], rules=["QA207"])
+        assert [d.rule for d in result.report] == []
 
 
 class TestProjectPasses:

@@ -1,0 +1,98 @@
+"""TimeBudget: countdown, exhaustion, and the online per-point model."""
+
+import pytest
+
+from repro.resilience.budget import EWMA_ALPHA, TimeBudget
+
+
+class FakeClock:
+    """Deterministic monotonic clock for driving budgets in tests."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBudgetCountdown:
+    def test_rejects_non_positive_total(self):
+        with pytest.raises(ValueError):
+            TimeBudget(0.0)
+        with pytest.raises(ValueError):
+            TimeBudget(-5.0)
+
+    def test_unbounded_never_exhausts(self):
+        clock = FakeClock()
+        budget = TimeBudget(None, clock=clock)
+        budget.start()
+        clock.advance(1e6)
+        assert budget.remaining() is None
+        assert not budget.exhausted()
+        assert budget.elapsed() == pytest.approx(1e6)
+
+    def test_elapsed_is_zero_before_start(self):
+        budget = TimeBudget(10.0, clock=FakeClock())
+        assert budget.elapsed() == 0.0
+
+    def test_counts_down_to_exhaustion(self):
+        clock = FakeClock()
+        budget = TimeBudget(10.0, clock=clock)
+        budget.start()
+        clock.advance(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+        assert not budget.exhausted()
+        clock.advance(7.0)
+        assert budget.remaining() == 0.0
+        assert budget.exhausted()
+
+    def test_remaining_anchors_the_clock(self):
+        # First use auto-starts, so remaining() is well-defined without
+        # an explicit start().
+        clock = FakeClock()
+        budget = TimeBudget(10.0, clock=clock)
+        assert budget.remaining() == pytest.approx(10.0)
+        clock.advance(3.0)
+        assert budget.remaining() == pytest.approx(7.0)
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        budget = TimeBudget(10.0, clock=clock)
+        budget.start()
+        clock.advance(5.0)
+        budget.start()  # must not re-anchor
+        assert budget.elapsed() == pytest.approx(5.0)
+
+
+class TestPerPointModel:
+    def test_no_estimate_before_first_observation(self):
+        budget = TimeBudget()
+        assert budget.per_point is None
+        assert budget.estimate(4) is None
+
+    def test_first_observation_seeds_exactly(self):
+        budget = TimeBudget()
+        budget.observe(4, 2.0)
+        assert budget.per_point == pytest.approx(0.5)
+        assert budget.estimate(6) == pytest.approx(3.0)
+
+    def test_ewma_update(self):
+        budget = TimeBudget()
+        budget.observe(1, 1.0)
+        budget.observe(1, 2.0)
+        assert budget.per_point == pytest.approx(1.0 + EWMA_ALPHA * 1.0)
+
+    def test_degenerate_observations_ignored(self):
+        budget = TimeBudget()
+        budget.observe(0, 1.0)
+        budget.observe(2, -1.0)
+        assert budget.per_point is None
+
+    def test_repr_smoke(self):
+        assert "unbounded" in repr(TimeBudget())
+        budget = TimeBudget(30.0)
+        budget.observe(2, 1.0)
+        assert "30" in repr(budget)

@@ -1,5 +1,7 @@
 """Deterministic fault injection: seeding, gating, env grammar."""
 
+import time
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -14,6 +16,7 @@ from repro.resilience.faults import (
     corrupt_solution,
     inject_faults,
     injector_from_env,
+    maybe_disrupt,
     maybe_fail,
 )
 
@@ -28,6 +31,10 @@ class TestFaultSpec:
             FaultSpec("x", "raise", probability=0.0)
         with pytest.raises(ValueError):
             FaultSpec("x", "raise", probability=1.5)
+
+    def test_worker_process_kinds_are_valid(self):
+        for kind in ("hang", "crash", "bigalloc"):
+            assert FaultSpec("x", kind).kind == kind
 
 
 class TestDeterminism:
@@ -136,3 +143,59 @@ class TestEnvGrammar:
             with inject_faults(FaultSpec("b", "raise")) as inner:
                 assert active_injector() is inner
             assert active_injector() is outer
+
+    def test_chaos_includes_worker_process_faults(self):
+        kinds = {s.kind for s in chaos_specs() if s.site == "*.worker"}
+        assert kinds == {"hang", "crash", "bigalloc"}
+
+    def test_deterministic_rule_list(self):
+        inj = injector_from_env("*.worker=hang@0.5,loop.freq=raise")
+        assert [(s.site, s.kind, s.probability) for s in inj.specs] == [
+            ("*.worker", "hang", 0.5),
+            ("loop.freq", "raise", 1.0),
+        ]
+        # Rules fire until further notice, not just once.
+        assert all(s.max_hits is None for s in inj.specs)
+
+    def test_rule_list_rejects_garbage(self):
+        with pytest.raises(ValueError, match="site=kind"):
+            injector_from_env("=hang")
+        with pytest.raises(ValueError, match="probability"):
+            injector_from_env("a.worker=hang@lots")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            injector_from_env("a.worker=explode")
+
+
+class TestMaybeDisrupt:
+    def test_noop_without_an_injector(self):
+        with inject_faults():
+            maybe_disrupt("anywhere")  # must not raise or sleep
+
+    def test_hang_sleeps_for_the_configured_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HANG_SECONDS", "0.05")
+        with inject_faults(FaultSpec("s", "hang")):
+            t0 = time.perf_counter()
+            maybe_disrupt("s")
+            elapsed = time.perf_counter() - t0
+            assert elapsed >= 0.05
+            # max_hits=1: the second call is inert.
+            maybe_disrupt("s")
+
+    def test_bigalloc_raises_memory_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BIGALLOC_MB", "1")
+        with inject_faults(FaultSpec("s", "bigalloc")):
+            with pytest.raises(MemoryError, match="bigalloc"):
+                maybe_disrupt("s")
+
+    def test_kind_separation(self):
+        # A "raise" rule never disrupts; a "hang" rule never raises.
+        with inject_faults(FaultSpec("s", "raise", max_hits=None)):
+            maybe_disrupt("s")
+        with inject_faults(FaultSpec("s", "hang", max_hits=None)):
+            maybe_fail("s")
+
+    def test_bad_hang_bound_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HANG_SECONDS", "forever")
+        with inject_faults(FaultSpec("s", "hang")):
+            with pytest.raises(ValueError, match="REPRO_HANG_SECONDS"):
+                maybe_disrupt("s")

@@ -1,8 +1,12 @@
 """Sharded sweeps: bit-identical to serial, checkpointed, resumable."""
 
+import time
+
+from repro.resilience import faults
 from repro.resilience.faults import FaultSpec, inject_faults
+from repro.resilience.supervisor import SupervisorConfig
 from repro.scenarios.runner import evaluate_scenario
-from repro.scenarios.scheduler import run_sweep
+from repro.scenarios.scheduler import SweepResult, run_sweep
 from repro.scenarios.spec import Scenario, SweepSpec
 from repro.scenarios.store import ResultStore
 
@@ -123,7 +127,53 @@ class TestCheckpointAndResume:
         assert len(store) == 8
 
 
+class TestSupervisedQuarantine:
+    def test_hang_storm_quarantines_every_scenario(
+        self, tmp_path, monkeypatch
+    ):
+        # Every worker shard hangs; the watchdog kills each one at its
+        # deadline and, with no retries allowed, single-scenario shards
+        # are quarantined as degraded records -- the sweep completes.
+        def hang_always(site):
+            if site == "sweep.worker":
+                time.sleep(60.0)
+
+        monkeypatch.setattr(faults, "maybe_disrupt", hang_always)
+        spec = small_spec(name="storm")
+        store = ResultStore(tmp_path)
+        with inject_faults():
+            result = run_sweep(
+                spec, store=store, workers=4, chunk=1,
+                config=SupervisorConfig(
+                    deadline=0.4, heartbeat=0.02, max_chunk_retries=0,
+                    max_pool_restarts=50, backoff_base=0.01,
+                ),
+            )
+        assert result.quarantined == 8 and result.ok == 0
+        assert [r["id"] for r in result.records] == [
+            sc.scenario_id for sc in spec.expand()
+        ]
+        for record in result.records:
+            assert record["status"] == "quarantined"
+            assert record["error"]
+            assert any(
+                note["kind"] == "quarantine" for note in record["notes"]
+            )
+        assert len(result.report.quarantines) == 8
+        assert result.report.timeouts
+        # Degraded records are persisted like any other.
+        assert len(store) == 8
+
+
 class TestSweepResultCounters:
+    def test_quarantined_property_counts_records(self):
+        result = SweepResult(records=[
+            {"status": "ok"}, {"status": "quarantined"},
+            {"status": "failed"}, {"status": "quarantined"},
+        ])
+        assert result.quarantined == 2
+        assert result.ok == 1 and result.failed == 1
+
     def test_failed_scenarios_are_counted_not_raised(self, monkeypatch):
         import repro.scenarios.scheduler as sched
 

@@ -91,6 +91,24 @@ class TestSweepCLI:
         assert "scenario sweep -- smoke" in out
         assert "4 ok, 0 failed" in out
 
+    def test_supervision_flags_accepted(self, capsys):
+        from repro.resilience.faults import inject_faults
+
+        with inject_faults():
+            assert main(["sweep", "--smoke", "--deadline", "30",
+                         "--time-budget", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "0 quarantined" in out
+
+    def test_bad_supervision_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DEADLINE", "soon")
+        assert main(["sweep", "--smoke"]) == 2
+        assert "REPRO_DEADLINE" in capsys.readouterr().out
+
+    def test_bad_deadline_flag_exits_2(self, capsys):
+        assert main(["sweep", "--smoke", "--deadline", "-1"]) == 2
+        assert "deadline must be positive" in capsys.readouterr().out
+
     def test_needs_spec_or_smoke(self, capsys):
         assert main(["sweep"]) == 2
         assert "need a spec file or --smoke" in capsys.readouterr().out
