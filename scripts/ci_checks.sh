@@ -42,6 +42,21 @@ python -m repro.cli bench --smoke --out /tmp/bench_ci_smoke.json \
     --baseline benchmarks/baseline_smoke.json --max-regression 2.0
 
 echo
+echo "== hierarchical-vs-exact smoke gate (ACA error + passivity) =="
+# compare_benchmarks already gates these when the baseline has the
+# section; this asserts them directly so the gate cannot silently lapse
+# if the baseline section is ever dropped.
+python - <<'PY'
+import json
+hier = json.load(open("/tmp/bench_ci_smoke.json"))["sections"]["hierarchical"]
+assert hier["max_rel_error"] <= 1e-3, \
+    f"hierarchical error {hier['max_rel_error']:.3e} exceeds 1e-3"
+assert hier["spd_ok"] is True, "hierarchical materialization not SPD"
+print(f"hierarchical smoke: n={hier['n']} err={hier['max_rel_error']:.2e} "
+      f"spd_ok={hier['spd_ok']} speedup={hier.get('speedup')}")
+PY
+
+echo
 echo "== repro sweep --smoke (serial and sharded must be bit-identical) =="
 python -m repro.cli sweep --smoke --workers 1 --no-resume \
     --store /tmp/sweep_ci_serial --out /tmp/sweep_ci_serial.json

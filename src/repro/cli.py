@@ -29,9 +29,11 @@ lint (:mod:`repro.qa.analyze`): the QA101-QA107 syntax rules plus the
 QA201-QA207 semantic rules, with a ``--baseline`` ratchet so only *new*
 findings fail the gate.  ``resume`` picks a crashed transient or loop
 sweep back up from its checkpoint file (see :mod:`repro.resilience`).
-``bench`` times the hot paths (assembly, sparsification, loop sweep
-serial vs parallel, transient) and optionally gates against a checked-in
-baseline.  ``sweep`` runs a declarative scenario grid (design variant x
+``bench`` times the hot paths (assembly, hierarchical-vs-exact assembly
+at Table-1 scale, sparsification, loop sweep serial vs parallel,
+transient) and optionally gates against a checked-in baseline -- the
+hierarchical section also gates correctness (ACA error vs exact and the
+SPD/passivity check, see :mod:`repro.extraction.hierarchical`).  ``sweep`` runs a declarative scenario grid (design variant x
 geometry x sparsifier, see :mod:`repro.scenarios`) sharded over a
 process pool with per-scenario checkpointing and cross-run resume.  ``trace`` runs a small PEEC flow under the :mod:`repro.obs`
 span collector and prints the span tree plus the metrics registry,

@@ -9,6 +9,7 @@ ground and coupling capacitance models.
 
 from repro.extraction.inductance import (
     mutual_inductance_bars,
+    mutual_inductance_bars_batch,
     mutual_inductance_filaments,
     self_inductance_bar,
 )
@@ -23,11 +24,18 @@ from repro.extraction.partial_matrix import (
     PartialInductanceResult,
     extract_partial_inductance,
 )
+from repro.extraction.hierarchical import (
+    HierarchicalPartialInductanceResult,
+    HierarchicalPartialL,
+    build_hierarchical_operator,
+    extract_hierarchical,
+)
 
 __all__ = [
     "self_inductance_bar",
     "mutual_inductance_filaments",
     "mutual_inductance_bars",
+    "mutual_inductance_bars_batch",
     "FilamentGrid",
     "filaments_for_skin_depth",
     "segment_resistance",
@@ -37,4 +45,8 @@ __all__ = [
     "coupling_capacitance_per_length",
     "PartialInductanceResult",
     "extract_partial_inductance",
+    "HierarchicalPartialL",
+    "HierarchicalPartialInductanceResult",
+    "build_hierarchical_operator",
+    "extract_hierarchical",
 ]

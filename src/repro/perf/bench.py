@@ -34,6 +34,7 @@ BENCH_SCHEMA = 1
 TIMED_SECTIONS = (
     "assembly_cold",
     "assembly_cached",
+    "hierarchical",
     "sparsify",
     "loop_sweep_serial",
     "loop_sweep_parallel",
@@ -57,6 +58,16 @@ class BenchConfig:
     stripe_pitch: float = 60e-6
     num_freqs: int = 12
     max_segment_length: float = 120e-6
+    # Hierarchical-vs-exact comparison grid: ``hier_lines`` parallel
+    # stripes split into ``hier_pieces`` collinear segments each (a
+    # Table-1-style power-grid slice).  The full scale (500 x 16 =
+    # 8000 segments) is where the O(n^2) exact assembly clearly loses
+    # to the O(n log n) engine on both time and memory; leaf 64 (above
+    # the extraction default of 32) amortizes the per-sampled-row
+    # numpy overhead of ACA at that block count.
+    hier_lines: int = 500
+    hier_pieces: int = 16
+    hier_leaf_size: int = 64
 
     @classmethod
     def for_mode(cls, smoke: bool, workers: int | None = None) -> "BenchConfig":
@@ -70,6 +81,7 @@ class BenchConfig:
                 smoke=True, workers=resolved,
                 die=200e-6, num_branches=2, branch_length=60e-6,
                 stripe_pitch=50e-6, num_freqs=6,
+                hier_lines=15, hier_pieces=16, hier_leaf_size=16,
             )
         return cls(smoke=False, workers=resolved)
 
@@ -83,6 +95,8 @@ class BenchConfig:
             "stripe_pitch_um": self.stripe_pitch * 1e6,
             "num_freqs": self.num_freqs,
             "max_segment_length_um": self.max_segment_length * 1e6,
+            "hier_segments": self.hier_lines * self.hier_pieces,
+            "hier_leaf_size": self.hier_leaf_size,
         }
 
 
@@ -187,6 +201,58 @@ def _run_sections(
     echo(f"bench: assembly {cold:.3f}s cold / {warm:.3f}s cached "
          f"(n = {extraction.size})")
 
+    # -- hierarchical vs exact assembly ---------------------------------
+    # A Table-1-style power-grid slice at a scale the clock case never
+    # reaches: exact dense assembly is O(n^2) in both time and memory,
+    # the H-matrix/ACA engine compresses the far field.  Both paths run
+    # cold (cache cleared); the error/SPD fields let compare_benchmarks
+    # gate correctness, not just wall-clock.
+    from repro.extraction.hierarchical import build_hierarchical_operator
+    from repro.extraction.partial_matrix import extract_partial_inductance
+    from repro.sparsify.stability import is_positive_definite
+
+    hier_segments = _hier_benchmark_segments(config)
+    n_hier = len(hier_segments)
+    cache.clear_cache()
+    t0 = time.perf_counter()
+    exact_hier = extract_partial_inductance(hier_segments)
+    t_exact = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    operator = build_hierarchical_operator(
+        hier_segments, leaf_size=config.hier_leaf_size
+    )
+    t_hier = time.perf_counter() - t0
+    dense = operator.to_dense()
+    scale = float(np.max(np.abs(exact_hier.matrix)))
+    max_rel_error = float(
+        np.max(np.abs(dense - exact_hier.matrix)) / scale
+    )
+    spd_ok = bool(is_positive_definite(dense))
+    op_stats = operator.stats()
+    report.add(
+        "hierarchical", t_hier,
+        n=n_hier,
+        exact_seconds=round(t_exact, 6),
+        speedup=round(t_exact / t_hier, 3) if t_hier > 0 else None,
+        dense_bytes=int(exact_hier.matrix.nbytes),
+        operator_bytes=int(op_stats["memory_bytes"]),
+        memory_ratio=round(
+            exact_hier.matrix.nbytes / op_stats["memory_bytes"], 3
+        ),
+        max_rel_error=max_rel_error,
+        spd_ok=spd_ok,
+        far_blocks=op_stats["num_far_blocks"],
+        max_rank=op_stats["max_rank"],
+        aca_fallbacks=op_stats["aca_fallbacks"],
+        leaf_size=config.hier_leaf_size,
+    )
+    echo(f"bench: hierarchical {t_hier:.3f}s vs exact {t_exact:.3f}s "
+         f"at n = {n_hier} "
+         f"({t_exact / t_hier:.2f}x, mem "
+         f"{exact_hier.matrix.nbytes / op_stats['memory_bytes']:.2f}x, "
+         f"err {max_rel_error:.2e}, spd_ok={spd_ok})")
+    del dense, exact_hier, operator
+
     # -- sparsification -------------------------------------------------
     t0 = time.perf_counter()
     blocks = ShellSparsifier().apply(extraction)
@@ -261,6 +327,27 @@ def _run_sections(
     return report
 
 
+def _hier_benchmark_segments(config: BenchConfig):
+    """Parallel-stripe grid for the hierarchical-vs-exact comparison.
+
+    ``hier_lines`` stripes at 4 um pitch, each split into
+    ``hier_pieces`` collinear pieces -- the split keeps near-field bar
+    evaluation (abutting pieces, adjacent stripes) on the hot path while
+    giving the cluster tree a genuine 2-D far field to compress.
+    """
+    from repro.geometry.segment import Direction, Segment
+
+    segments = []
+    for i in range(config.hier_lines):
+        line = Segment(
+            net=f"bench{i}", layer="m1", direction=Direction.X,
+            origin=(0.0, i * 4e-6, 0.0), length=config.die,
+            width=1e-6, thickness=0.5e-6, name=f"bench{i}",
+        )
+        segments.extend(line.split(config.hier_pieces))
+    return segments
+
+
 def write_report(report: BenchReport, path: str | Path) -> Path:
     """Write the BENCH JSON (pretty-printed, trailing newline)."""
     path = Path(path)
@@ -304,6 +391,22 @@ def compare_benchmarks(
         problems.append(
             "loop_sweep_parallel: parallel impedance differs from serial"
         )
+    # The hierarchical section carries correctness, not just wall-clock:
+    # ACA must stay within tolerance of exact assembly and the
+    # materialization must stay passive.
+    hier = cur_sections.get("hierarchical")
+    if hier is not None:
+        err = hier.get("max_rel_error")
+        if err is not None and float(err) > 1e-3:
+            problems.append(
+                f"hierarchical: max relative error {float(err):.3e} vs "
+                "exact exceeds 1e-3"
+            )
+        if hier.get("spd_ok") is False:
+            problems.append(
+                "hierarchical: materialized matrix failed the SPD/"
+                "passivity check"
+            )
     return problems
 
 

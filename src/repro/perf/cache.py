@@ -263,9 +263,173 @@ def store_matrix(digest: str, matrix: np.ndarray) -> None:
         pass  # disk tier is best-effort; the result is already in memory
 
 
+# -- the hierarchical-operator cache -----------------------------------------
+#
+# The hierarchical extraction (PR 8) produces a compressed operator, not
+# a dense matrix, so it gets its own memo + ``partialL_hier_*.npz`` disk
+# namespace.  The fingerprint already covers (geometry, eta, tol,
+# leaf_size, close-pair params), so the two tiers can never alias: a
+# different knob is a different digest is a different file.
+
+_OP_MEMO = LRUCache(_default_size())
+_OP_DISK_HITS = 0
+_OP_DISK_MISSES = 0
+
+
+def _operator_disk_path(digest: str) -> Path | None:
+    base = cache_dir()
+    if base is None:
+        return None
+    return base / f"partialL_hier_{digest}.npz"
+
+
+def _operator_to_arrays(op) -> dict[str, np.ndarray]:
+    """Flatten a HierarchicalPartialL into npz-storable arrays."""
+    import json
+
+    arrays: dict[str, np.ndarray] = {
+        "diag": np.asarray(op.diag),
+        "meta": np.frombuffer(
+            json.dumps({
+                "params": op.params,
+                "aca_fallbacks": op.aca_fallbacks,
+                "num_sym": len(op.sym_blocks),
+                "num_near": len(op.near_blocks),
+                "num_far": len(op.far_blocks),
+            }).encode(), dtype=np.uint8
+        ),
+    }
+    for k, blk in enumerate(op.sym_blocks):
+        arrays[f"sym_{k}_idx"] = blk.indices
+        arrays[f"sym_{k}_m"] = blk.matrix
+    for k, blk in enumerate(op.near_blocks):
+        arrays[f"near_{k}_rows"] = blk.rows
+        arrays[f"near_{k}_cols"] = blk.cols
+        arrays[f"near_{k}_m"] = blk.matrix
+    for k, blk in enumerate(op.far_blocks):
+        arrays[f"far_{k}_rows"] = blk.rows
+        arrays[f"far_{k}_cols"] = blk.cols
+        arrays[f"far_{k}_u"] = blk.u
+        arrays[f"far_{k}_v"] = blk.v
+    return arrays
+
+
+def _operator_from_arrays(data) -> Any:
+    """Rebuild a HierarchicalPartialL from npz arrays (inverse of above)."""
+    import json
+
+    from repro.extraction.hierarchical import (
+        DenseBlock, HierarchicalPartialL, LowRankBlock, SymmetricBlock,
+    )
+
+    meta = json.loads(bytes(np.asarray(data["meta"])).decode())
+    sym = [
+        SymmetricBlock(
+            indices=np.asarray(data[f"sym_{k}_idx"]),
+            matrix=np.asarray(data[f"sym_{k}_m"]),
+        )
+        for k in range(meta["num_sym"])
+    ]
+    near = [
+        DenseBlock(
+            rows=np.asarray(data[f"near_{k}_rows"]),
+            cols=np.asarray(data[f"near_{k}_cols"]),
+            matrix=np.asarray(data[f"near_{k}_m"]),
+        )
+        for k in range(meta["num_near"])
+    ]
+    far = [
+        LowRankBlock(
+            rows=np.asarray(data[f"far_{k}_rows"]),
+            cols=np.asarray(data[f"far_{k}_cols"]),
+            u=np.asarray(data[f"far_{k}_u"]),
+            v=np.asarray(data[f"far_{k}_v"]),
+        )
+        for k in range(meta["num_far"])
+    ]
+    return HierarchicalPartialL(
+        diag=np.asarray(data["diag"]),
+        sym_blocks=sym,
+        near_blocks=near,
+        far_blocks=far,
+        params=meta["params"],
+        aca_fallbacks=meta["aca_fallbacks"],
+    )
+
+
+def load_operator(digest: str):
+    """Look up a hierarchical operator by fingerprint (memory, then disk).
+
+    Operators are immutable after construction (no caller mutates block
+    arrays in place), so -- unlike :func:`load_matrix` -- hits hand back
+    the shared instance rather than a deep copy.
+    """
+    global _OP_DISK_HITS, _OP_DISK_MISSES
+    if not cache_enabled():
+        return None
+    cached = _OP_MEMO.get(digest)
+    if cached is not None:
+        obs_metrics.counter("extraction.cache.memory_hits").inc()
+        return cached
+    path = _operator_disk_path(digest)
+    if path is None or not path.exists():
+        if path is not None:
+            _OP_DISK_MISSES += 1
+        obs_metrics.counter("extraction.cache.misses").inc()
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            operator = _operator_from_arrays(data)
+    except (OSError, ValueError, KeyError):
+        obs_metrics.counter("extraction.cache.misses").inc()
+        return None  # corrupt/foreign file: treat as miss, recompute
+    _OP_DISK_HITS += 1
+    obs_metrics.counter("extraction.cache.disk_hits").inc()
+    _OP_MEMO.put(digest, operator)
+    return operator
+
+
+def store_operator(digest: str, operator) -> None:
+    """Insert a freshly built hierarchical operator into both tiers."""
+    if not cache_enabled():
+        return
+    obs_metrics.counter("extraction.cache.stores").inc()
+    _OP_MEMO.put(digest, operator)
+    path = _operator_disk_path(digest)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez_compressed(f, **_operator_to_arrays(operator))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+    except OSError:
+        pass  # disk tier is best-effort; the operator is already in memory
+
+
+def operator_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of the operator tier."""
+    return {
+        **_OP_MEMO.stats(),
+        "disk_hits": _OP_DISK_HITS,
+        "disk_misses": _OP_DISK_MISSES,
+    }
+
+
 def clear_cache() -> None:
-    """Drop the in-process tier (the disk tier is left alone)."""
+    """Drop the in-process tiers (the disk tier is left alone)."""
     _MEMO.clear()
+    _OP_MEMO.clear()
 
 
 def cache_stats() -> dict[str, int]:
@@ -287,6 +451,9 @@ __all__ = [
     "cache_dir",
     "load_matrix",
     "store_matrix",
+    "load_operator",
+    "store_operator",
+    "operator_cache_stats",
     "clear_cache",
     "cache_stats",
 ]

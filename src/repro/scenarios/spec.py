@@ -25,6 +25,7 @@ from repro.scenarios.variants import VARIANTS
 from repro.sparsify import (
     BlockDiagonalSparsifier,
     HaloSparsifier,
+    HierarchicalSparsifier,
     KMatrixSparsifier,
     ShellSparsifier,
     Sparsifier,
@@ -40,6 +41,7 @@ SPARSIFIER_FACTORIES: dict[str, Callable[[], Sparsifier] | None] = {
     "blockdiag": BlockDiagonalSparsifier,
     "shell": ShellSparsifier,
     "halo": HaloSparsifier,
+    "hierarchical": HierarchicalSparsifier,
     "kmatrix": KMatrixSparsifier,
 }
 

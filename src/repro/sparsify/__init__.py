@@ -11,6 +11,8 @@ paper's catalog of remedies:
 * :mod:`~repro.sparsify.shell` -- Krauter's shift-truncate shell method.
 * :mod:`~repro.sparsify.halo` -- Shepard's return-limited halo rule.
 * :mod:`~repro.sparsify.kmatrix` -- Devgan's inverse-inductance K element.
+* :mod:`~repro.sparsify.hierarchical` -- H-matrix/ACA assembly adapter
+  with an SPD guard and exact-assembly fallback.
 * :mod:`~repro.sparsify.stability` -- positive-definiteness / passivity
   checks shared by all of them.
 
@@ -20,6 +22,7 @@ blocks directly.
 """
 
 from repro.sparsify.base import DenseInductance, InductanceBlocks, Sparsifier
+from repro.sparsify.hierarchical import HierarchicalSparsifier
 from repro.sparsify.truncation import TruncationSparsifier
 from repro.sparsify.block_diagonal import BlockDiagonalSparsifier
 from repro.sparsify.shell import ShellSparsifier
@@ -40,6 +43,7 @@ __all__ = [
     "BlockDiagonalSparsifier",
     "ShellSparsifier",
     "HaloSparsifier",
+    "HierarchicalSparsifier",
     "KMatrixSparsifier",
     "is_positive_definite",
     "min_eigenvalue",

@@ -1,0 +1,109 @@
+"""Hierarchical (H-matrix) assembly exposed as a sparsifier strategy.
+
+The paper's Section-4 catalog trades accuracy for tractability *after*
+an exact dense extraction; the hierarchical engine
+(:mod:`repro.extraction.hierarchical`) instead never forms the dense
+matrix -- distant cluster pairs are compressed to low-rank ACA blocks at
+assembly time.  Wrapping it in the :class:`~repro.sparsify.base.
+Sparsifier` interface lets the existing PEEC/MNA pipeline and the
+scenario sweep engine consume it exactly like truncation or shell,
+with one crucial difference in the safety story:
+
+ACA truncation is a *controlled* perturbation (relative Frobenius
+tolerance per block), but -- like any perturbation of an SPD matrix --
+a loose enough tolerance can push the materialized matrix off the SPD
+cone.  The adapter therefore runs the QA passivity check
+(:func:`repro.sparsify.stability.is_positive_definite`) on the
+materialization and, on failure, **falls back to the exact dense
+assembly**, recording the downgrade in the active
+:class:`~repro.resilience.report.RunReport` exactly like the existing
+sparsifier degradation chain (shell -> blockdiag -> dense).  A
+hierarchical run is therefore never less passive than an exact run.
+"""
+
+from __future__ import annotations
+
+from repro.extraction.partial_matrix import PartialInductanceResult
+from repro.sparsify.base import InductanceBlocks, Sparsifier
+from repro.sparsify.stability import is_positive_definite
+
+
+class HierarchicalSparsifier(Sparsifier):
+    """Consume (or build) a hierarchical operator; guard with SPD check.
+
+    Args:
+        eta: Admissibility parameter for far-field clustering (used only
+            when the extraction result is not already hierarchical).
+        tol: ACA relative-error tolerance per far block.
+        leaf_size: Cluster-tree leaf size.
+        spd_tol: Slack passed to the passivity check -- the materialized
+            matrix must be positive definite even after subtracting
+            ``spd_tol * I``.  The default 0.0 is the plain SPD check;
+            tests raise it to force (and verify) the exact fallback.
+    """
+
+    def __init__(
+        self,
+        eta: float | None = None,
+        tol: float | None = None,
+        leaf_size: int | None = None,
+        spd_tol: float = 0.0,
+    ) -> None:
+        self.eta = eta
+        self.tol = tol
+        self.leaf_size = leaf_size
+        self.spd_tol = spd_tol
+
+    def _operator_result(self, result: PartialInductanceResult):
+        """Reuse the result's operator, or build one from its segments."""
+        if hasattr(result, "operator"):
+            return result
+        from repro.extraction.hierarchical import extract_hierarchical
+
+        kwargs = {}
+        if self.eta is not None:
+            kwargs["eta"] = self.eta
+        if self.tol is not None:
+            kwargs["tol"] = self.tol
+        if self.leaf_size is not None:
+            kwargs["leaf_size"] = self.leaf_size
+        return extract_hierarchical(result.segments, **kwargs)
+
+    def apply(self, result: PartialInductanceResult) -> InductanceBlocks:
+        from repro.obs import metrics as obs_metrics
+        from repro.resilience.report import current_run_report
+
+        hier = self._operator_result(result)
+        dense = hier.matrix
+        n = dense.shape[0]
+        if is_positive_definite(dense, tol=self.spd_tol):
+            return InductanceBlocks(
+                kind="L", blocks=[(list(range(n)), dense.copy())]
+            )
+        # ACA truncation broke passivity: fall back to exact assembly,
+        # on the record -- same contract as shell -> blockdiag -> dense.
+        obs_metrics.counter("sparsify.hierarchical.spd_fallbacks").inc()
+        report = current_run_report()
+        if report is not None:
+            report.record_downgrade(
+                "sparsify", "hierarchical", "exact",
+                "hierarchical materialization failed the SPD/passivity "
+                f"check (spd_tol={self.spd_tol:g}); reassembling exactly",
+            )
+        exact = self._exact_matrix(result)
+        return InductanceBlocks(
+            kind="L", blocks=[(list(range(exact.shape[0])), exact)]
+        )
+
+    def _exact_matrix(self, result: PartialInductanceResult):
+        """The exact dense matrix for the fallback path."""
+        if hasattr(result, "operator"):
+            from repro.extraction.partial_matrix import (
+                extract_partial_inductance,
+            )
+
+            return extract_partial_inductance(result.segments).matrix.copy()
+        return result.matrix.copy()
+
+
+__all__ = ["HierarchicalSparsifier"]

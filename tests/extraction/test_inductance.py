@@ -11,6 +11,7 @@ from repro.constants import MU0
 from repro.extraction.inductance import (
     mutual_between_segments,
     mutual_inductance_bars,
+    mutual_inductance_bars_batch,
     mutual_inductance_filaments,
     mutual_inductance_filaments_grover,
     self_inductance_bar,
@@ -199,3 +200,61 @@ class TestSegmentMutual:
         assert mutual_between_segments(a, b) == pytest.approx(
             mutual_between_segments(b, a), rel=1e-12
         )
+
+
+class TestBarMutualBatch:
+    """Batched close-pair kernel must be bit-identical to the scalar one."""
+
+    @staticmethod
+    def random_pairs(seed, count):
+        rng = np.random.default_rng(seed)
+        start1 = rng.uniform(0, 100e-6, count)
+        end1 = start1 + rng.uniform(20e-6, 300e-6, count)
+        start2 = rng.uniform(0, 100e-6, count)
+        end2 = start2 + rng.uniform(20e-6, 300e-6, count)
+        d_width = rng.uniform(1e-6, 30e-6, count)
+        d_thick = rng.uniform(0.0, 5e-6, count)
+        width1 = rng.uniform(0.5e-6, 10e-6, count)
+        thick1 = rng.uniform(0.2e-6, 2e-6, count)
+        width2 = rng.uniform(0.5e-6, 10e-6, count)
+        thick2 = rng.uniform(0.2e-6, 2e-6, count)
+        return (start1, end1, start2, end2, d_width, d_thick,
+                width1, thick1, width2, thick2)
+
+    @pytest.mark.parametrize("subdivisions", [1, 2, 3, 5])
+    def test_bit_identical_to_scalar(self, subdivisions):
+        args = self.random_pairs(seed=subdivisions, count=32)
+        batched = mutual_inductance_bars_batch(
+            *args, subdivisions=subdivisions
+        )
+        for k in range(32):
+            scalar = mutual_inductance_bars(
+                *(a[k] for a in args), subdivisions=subdivisions
+            )
+            assert batched[k] == scalar  # exact, not approx
+
+    def test_single_pair(self):
+        m = mutual_inductance_bars_batch(
+            np.array([0.0]), np.array([1e-3]),
+            np.array([0.0]), np.array([1e-3]),
+            np.array([4e-6]), np.array([0.0]),
+            np.array([1e-6]), np.array([1e-6]),
+            np.array([1e-6]), np.array([1e-6]),
+            subdivisions=3,
+        )
+        scalar = mutual_inductance_bars(
+            0.0, 1e-3, 0.0, 1e-3, 4e-6, 0.0,
+            1e-6, 1e-6, 1e-6, 1e-6, subdivisions=3,
+        )
+        assert m.shape == (1,)
+        assert m[0] == scalar
+
+    def test_rejects_bad_subdivisions(self):
+        with pytest.raises(ValueError):
+            mutual_inductance_bars_batch(
+                np.zeros(1), np.ones(1), np.zeros(1), np.ones(1),
+                np.full(1, 4e-6), np.zeros(1),
+                np.full(1, 1e-6), np.full(1, 1e-6),
+                np.full(1, 1e-6), np.full(1, 1e-6),
+                subdivisions=0,
+            )

@@ -7,11 +7,15 @@ from hypothesis import strategies as st
 
 from repro.extraction.inductance import (
     mutual_between_segments,
+    mutual_inductance_bars,
+    mutual_inductance_filaments,
     self_inductance_bar,
 )
 from repro.extraction.partial_matrix import (
+    PartialInductanceResult,
     extract_for_layout,
     extract_partial_inductance,
+    structural_mutual_count,
 )
 from repro.geometry.layout import Layout, NetKind
 from repro.geometry.segment import Direction, Segment, default_layer_stack
@@ -105,6 +109,83 @@ class TestAssembly:
 
     def test_structure_extraction_pd(self, signal_grid_extraction):
         assert signal_grid_extraction.is_positive_definite()
+
+
+class TestClosePairClassification:
+    def test_wide_adjacent_bars_use_bar_integral(self):
+        # Two 10-um-wide bars whose centers sit 45 um apart: the old
+        # center-to-center rule saw 45 um > 4 x 10 um and classified the
+        # pair as far (center-filament formula), but the edge-to-edge
+        # gap is only 35 um < 40 um -- cross-section size still matters.
+        width, thick, pitch = 10e-6, 0.5e-6, 45e-6
+        segs = [
+            Segment(net="s", layer="M6", direction=Direction.X,
+                    origin=(0.0, k * pitch, 7e-6), length=200e-6,
+                    width=width, thickness=thick, name=f"w{k}")
+            for k in range(2)
+        ]
+        result = extract_partial_inductance(segs)
+        bar = mutual_inductance_bars(
+            0.0, 200e-6, 0.0, 200e-6, pitch, 0.0,
+            width, thick, width, thick, subdivisions=3,
+        )
+        filament = mutual_inductance_filaments(
+            0.0, 200e-6, 0.0, 200e-6, pitch
+        )
+        assert bar != filament  # the two formulas genuinely differ here
+        assert result.matrix[0, 1] == bar
+
+    def test_narrow_far_bars_still_use_filament(self):
+        segs = parallel_lines(2, pitch=50e-6)
+        result = extract_partial_inductance(segs)
+        filament = mutual_inductance_filaments(
+            segs[0].axis_start, segs[0].axis_end,
+            segs[1].axis_start, segs[1].axis_end, 50e-6,
+        )
+        assert result.matrix[0, 1] == filament
+
+
+class TestCouplingGuard:
+    def test_nonpositive_diagonal_raises_naming_row(self):
+        segs = parallel_lines(2)
+        result = extract_partial_inductance(segs)
+        broken = result.matrix.copy()
+        broken[1, 1] = 0.0
+        tampered = PartialInductanceResult(segments=segs, matrix=broken)
+        with pytest.raises(ValueError, match=r"L\[1,1\].*'l1'"):
+            tampered.coupling_coefficient(0, 1)
+
+    def test_negative_diagonal_raises_too(self):
+        segs = parallel_lines(2)
+        result = extract_partial_inductance(segs)
+        broken = result.matrix.copy()
+        broken[0, 0] = -broken[0, 0]
+        tampered = PartialInductanceResult(segments=segs, matrix=broken)
+        with pytest.raises(ValueError, match=r"L\[0,0\]"):
+            tampered.coupling_coefficient(0, 1)
+
+
+class TestStructuralMutualCount:
+    def test_mixed_directions(self):
+        segs = parallel_lines(3)
+        segs.append(
+            Segment(net="s", layer="M5", direction=Direction.Y,
+                    origin=(50e-6, 0.0, 5e-6), length=100e-6,
+                    width=1e-6, thickness=0.5e-6, name="ortho")
+        )
+        # 3 parallel X lines couple pairwise; the lone Y line couples
+        # with nothing.
+        assert structural_mutual_count(segs) == 3
+
+    def test_zero_valued_mutual_still_counted(self):
+        # num_mutuals is structural: zeroing a stored mutual (as the
+        # PEEC builder does for sub-threshold couplings, and as symmetric
+        # cancellation can do exactly) must not change the count.
+        segs = parallel_lines(3)
+        result = extract_partial_inductance(segs)
+        result.matrix[0, 1] = 0.0
+        result.matrix[1, 0] = 0.0
+        assert result.num_mutuals == 3
 
 
 class TestRandomizedPD:

@@ -74,6 +74,26 @@ class TestCompare:
             current, report_dict(), max_regression=1.2
         )
 
+    def test_flags_hierarchical_error_above_tolerance(self):
+        current = report_dict(
+            hierarchical=section(0.5, max_rel_error=5e-3, spd_ok=True)
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any("hierarchical" in p and "error" in p for p in problems)
+
+    def test_flags_hierarchical_spd_failure(self):
+        current = report_dict(
+            hierarchical=section(0.5, max_rel_error=1e-7, spd_ok=False)
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any("passivity" in p for p in problems)
+
+    def test_accepts_hierarchical_within_tolerance(self):
+        current = report_dict(
+            hierarchical=section(0.5, max_rel_error=1e-7, spd_ok=True)
+        )
+        assert compare_benchmarks(current, report_dict()) == []
+
 
 class TestReportShape:
     def test_default_output_name(self, tmp_path):
@@ -103,6 +123,7 @@ class TestLiveRun:
         config = BenchConfig(
             smoke=True, workers=2, die=200e-6, num_branches=2,
             branch_length=60e-6, stripe_pitch=50e-6, num_freqs=4,
+            hier_lines=8, hier_pieces=8, hier_leaf_size=8,
         )
         return run_benchmarks(config, echo=lambda *_: None)
 
@@ -110,6 +131,12 @@ class TestLiveRun:
         for name in TIMED_SECTIONS:
             assert name in live_report.sections
             assert live_report.sections[name]["seconds"] >= 0.0
+
+    def test_hierarchical_section_within_tolerance(self, live_report):
+        hier = live_report.sections["hierarchical"]
+        assert hier["max_rel_error"] <= 1e-3
+        assert hier["spd_ok"] is True
+        assert hier["n"] == 8 * 8
 
     def test_parallel_matches_serial(self, live_report):
         assert live_report.sections["loop_sweep_parallel"]["arrays_identical"]

@@ -170,6 +170,120 @@ class TestMatrixStore:
         assert load_matrix("feed") is None
 
 
+class TestOperatorStore:
+    @staticmethod
+    def stripe_segments():
+        from repro.geometry.segment import Direction, Segment
+
+        segments = []
+        for i in range(8):
+            line = Segment(net=f"n{i}", layer="M6", direction=Direction.X,
+                           origin=(0.0, i * 4e-6, 7e-6), length=160e-6,
+                           width=1e-6, thickness=0.5e-6, name=f"s{i}")
+            segments.extend(line.split(4))
+        return segments
+
+    def test_memory_roundtrip(self, fresh_cache):
+        from repro.extraction.hierarchical import build_hierarchical_operator
+        from repro.perf.cache import load_operator, store_operator
+
+        operator = build_hierarchical_operator(
+            self.stripe_segments(), leaf_size=4
+        )
+        store_operator("feedface", operator)
+        assert load_operator("feedface") is operator
+
+    def test_disk_tier_roundtrips_operator(self, fresh_cache, tmp_path,
+                                           monkeypatch):
+        from repro.extraction.hierarchical import build_hierarchical_operator
+        from repro.perf.cache import (
+            load_operator, operator_cache_stats, store_operator,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        operator = build_hierarchical_operator(
+            self.stripe_segments(), leaf_size=4
+        )
+        store_operator("beefcafe", operator)
+        assert (tmp_path / "partialL_hier_beefcafe.npz").exists()
+        clear_cache()
+        loaded = load_operator("beefcafe")
+        assert loaded is not operator  # rebuilt from disk
+        assert np.array_equal(loaded.to_dense(), operator.to_dense())
+        assert loaded.params == operator.params
+        assert loaded.aca_fallbacks == operator.aca_fallbacks
+        assert operator_cache_stats()["disk_hits"] >= 1
+
+    def test_corrupt_operator_file_is_a_miss(self, fresh_cache, tmp_path,
+                                             monkeypatch):
+        from repro.perf.cache import load_operator
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "partialL_hier_bad.npz").write_bytes(b"not an npz")
+        assert load_operator("bad") is None
+
+    def test_kill_switch_disables_operator_cache(self, fresh_cache,
+                                                 monkeypatch):
+        from repro.extraction.hierarchical import build_hierarchical_operator
+        from repro.perf.cache import load_operator, store_operator
+
+        operator = build_hierarchical_operator(
+            self.stripe_segments(), leaf_size=4
+        )
+        monkeypatch.setenv("REPRO_EXTRACTION_CACHE", "off")
+        store_operator("feed", operator)
+        assert load_operator("feed") is None
+
+    def test_digest_distinguishes_eta_and_tol(self):
+        segments = self.stripe_segments()
+
+        def digest(eta, tol):
+            return fingerprint_segments(segments, {
+                "assembly": "hierarchical", "eta": eta, "tol": tol,
+                "leaf_size": 32, "close_ratio": 4.0,
+                "close_subdivisions": 3,
+            })
+
+        digests = {
+            digest(2.0, 1e-6), digest(1.5, 1e-6),
+            digest(2.0, 1e-4), digest(1.5, 1e-4),
+        }
+        assert len(digests) == 4
+
+    def test_hierarchical_extraction_memoizes(self, fresh_cache):
+        from repro.extraction.partial_matrix import (
+            extract_partial_inductance,
+        )
+        from repro.perf.cache import operator_cache_stats
+
+        segments = self.stripe_segments()
+        first = extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4
+        )
+        before = operator_cache_stats()["hits"]
+        second = extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4
+        )
+        assert operator_cache_stats()["hits"] == before + 1
+        assert np.array_equal(first.matrix, second.matrix)
+
+    def test_tol_change_recomputes(self, fresh_cache):
+        from repro.extraction.partial_matrix import (
+            extract_partial_inductance,
+        )
+        from repro.perf.cache import operator_cache_stats
+
+        segments = self.stripe_segments()
+        extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4, tol=1e-6
+        )
+        before = operator_cache_stats()["misses"]
+        extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4, tol=1e-5
+        )
+        assert operator_cache_stats()["misses"] > before
+
+
 class TestExtractionMemoization:
     def test_repeat_extraction_hits_and_matches(self, fresh_cache,
                                                 signal_grid_structure):

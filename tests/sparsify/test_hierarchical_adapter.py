@@ -1,0 +1,100 @@
+"""Hierarchical assembly as a sparsifier: SPD guard + exact fallback."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.partial_matrix import extract_partial_inductance
+from repro.geometry.segment import Direction, Segment
+from repro.resilience.report import RunReport, activate
+from repro.sparsify import HierarchicalSparsifier
+from repro.sparsify.base import traced_apply
+
+
+def stripe_grid(num_lines=8, pieces=4, pitch=4e-6, length=160e-6):
+    segments = []
+    for i in range(num_lines):
+        line = Segment(net=f"n{i}", layer="M6", direction=Direction.X,
+                       origin=(0.0, i * pitch, 7e-6), length=length,
+                       width=1e-6, thickness=0.5e-6, name=f"s{i}")
+        segments.extend(line.split(pieces))
+    return segments
+
+
+class TestApply:
+    def test_single_dense_block_close_to_exact(self):
+        result = extract_partial_inductance(stripe_grid())
+        blocks = HierarchicalSparsifier(leaf_size=4).apply(result)
+        assert blocks.kind == "L"
+        assert len(blocks.blocks) == 1
+        indices, matrix = blocks.blocks[0]
+        assert indices == list(range(result.size))
+        scale = np.max(np.abs(result.matrix))
+        assert np.max(np.abs(matrix - result.matrix)) <= 1e-4 * scale
+
+    def test_consumes_existing_operator(self):
+        segments = stripe_grid()
+        hier = extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4
+        )
+        blocks = HierarchicalSparsifier().apply(hier)
+        assert np.array_equal(blocks.blocks[0][1], hier.matrix)
+
+    def test_name(self):
+        assert HierarchicalSparsifier().name == "hierarchical"
+
+    def test_traced_apply_works(self):
+        result = extract_partial_inductance(stripe_grid(4, 2))
+        blocks = traced_apply(HierarchicalSparsifier(leaf_size=4), result)
+        assert blocks.num_segments == result.size
+
+
+class TestSPDGuard:
+    def test_fallback_on_failed_check(self):
+        # A huge spd_tol makes the passivity check unsatisfiable, which
+        # deterministically exercises the guard: the adapter must hand
+        # back the *exact* dense matrix instead of the materialization.
+        result = extract_partial_inductance(stripe_grid())
+        sparsifier = HierarchicalSparsifier(leaf_size=4, spd_tol=1.0)
+        blocks = sparsifier.apply(result)
+        assert np.array_equal(blocks.blocks[0][1], result.matrix)
+
+    def test_fallback_recorded_in_run_report(self):
+        result = extract_partial_inductance(stripe_grid())
+        report = RunReport()
+        with activate(report):
+            HierarchicalSparsifier(leaf_size=4, spd_tol=1.0).apply(result)
+        assert len(report.downgrades) == 1
+        event = report.downgrades[0]
+        assert event.stage == "sparsify"
+        assert "hierarchical -> exact" in event.detail
+        assert "SPD" in event.detail
+
+    def test_no_downgrade_on_clean_pass(self):
+        result = extract_partial_inductance(stripe_grid())
+        report = RunReport()
+        with activate(report):
+            HierarchicalSparsifier(leaf_size=4).apply(result)
+        assert report.downgrades == []
+
+    def test_fallback_from_hierarchical_result_reextracts_exact(self):
+        segments = stripe_grid()
+        hier = extract_partial_inductance(
+            segments, assembly="hierarchical", leaf_size=4
+        )
+        exact = extract_partial_inductance(segments)
+        blocks = HierarchicalSparsifier(spd_tol=1.0).apply(hier)
+        assert np.array_equal(blocks.blocks[0][1], exact.matrix)
+
+
+class TestScenarioFactory:
+    def test_registered_in_factories(self):
+        from repro.scenarios.spec import SPARSIFIER_FACTORIES
+
+        factory = SPARSIFIER_FACTORIES["hierarchical"]
+        assert isinstance(factory(), HierarchicalSparsifier)
+
+    def test_scenario_accepts_hierarchical(self):
+        from repro.scenarios.spec import Scenario
+
+        sc = Scenario(sparsifier="hierarchical")
+        assert sc.sparsifier == "hierarchical"
