@@ -57,6 +57,25 @@ print(f"hierarchical smoke: n={hier['n']} err={hier['max_rel_error']:.2e} "
 PY
 
 echo
+echo "== iterative-vs-dense smoke gate (matrix-free solve path) =="
+# The Krylov tier must solve the hierarchical extraction without ever
+# materializing L (to_dense_calls == 0) and without falling back to the
+# dense direct rung, while matching the dense sweep to 1e-6.
+python - <<'PY'
+import json
+it = json.load(open("/tmp/bench_ci_smoke.json"))["sections"]["solve_iterative"]
+assert it["max_rel_error"] <= 1e-6, \
+    f"iterative solve error {it['max_rel_error']:.3e} exceeds 1e-6"
+assert it["to_dense_calls"] == 0, \
+    f"hierarchical operator densified {it['to_dense_calls']} time(s)"
+assert it["krylov_fallbacks"] == 0, \
+    f"{it['krylov_fallbacks']} Krylov solve(s) fell back to dense direct"
+print(f"solve_iterative smoke: err={it['max_rel_error']:.2e} "
+      f"gmres_iters={it['krylov_iterations']} "
+      f"operator_bytes={it['operator_bytes']}")
+PY
+
+echo
 echo "== repro sweep --smoke (serial and sharded must be bit-identical) =="
 python -m repro.cli sweep --smoke --workers 1 --no-resume \
     --store /tmp/sweep_ci_serial --out /tmp/sweep_ci_serial.json

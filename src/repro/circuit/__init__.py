@@ -15,6 +15,7 @@ from repro.circuit.elements import (
     InductorSet,
     KInductorSet,
     MutualInductor,
+    OperatorInductorSet,
     Resistor,
     SelfInductor,
     VoltageSource,
@@ -38,6 +39,7 @@ __all__ = [
     "MutualInductor",
     "InductorSet",
     "KInductorSet",
+    "OperatorInductorSet",
     "VoltageSource",
     "CurrentSource",
     "DC",

@@ -15,9 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.circuit.linalg import ResilientFactorization, add_gmin
+from repro.circuit.linalg import (
+    ResilientFactorization,
+    SweepAssembler,
+    add_gmin,
+)
 from repro.obs.trace import span
 from repro.resilience.policy import ResiliencePolicy, default_policy
 from repro.resilience.report import current_run_report
@@ -146,15 +149,13 @@ def ac_analysis(
             )
             return ACResult(frequencies=freqs, x=out, system=system)
 
-        sparse = sp.issparse(g_matrix)
+        # Union pattern (or operator system) assembled once; each point
+        # only writes a fresh data vector / builds a thin OperatorSystem.
+        assembler = SweepAssembler(g_matrix, c_matrix)
         for i, f in enumerate(freqs):
             omega = 2.0 * np.pi * f
-            if sparse:
-                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
-            else:
-                a_matrix = g_matrix + 1j * omega * c_matrix
             out[i] = ResilientFactorization(
-                a_matrix, site="ac", policy=policy
+                assembler.at_omega(omega), site="ac", policy=policy
             ).solve(b)
         return ACResult(frequencies=freqs, x=out, system=system)
 
@@ -213,15 +214,11 @@ def ac_impedance(
                 report=current_run_report(),
             )
 
-        sparse = sp.issparse(g_matrix)
+        assembler = SweepAssembler(g_matrix, c_matrix)
         for i, f in enumerate(freqs):
             omega = 2.0 * np.pi * f
-            if sparse:
-                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
-            else:
-                a_matrix = g_matrix + 1j * omega * c_matrix
             x = ResilientFactorization(
-                a_matrix, site="ac", policy=policy
+                assembler.at_omega(omega), site="ac", policy=policy
             ).solve(b)
             vp = x[i_plus] if i_plus >= 0 else 0.0
             vm = x[i_minus] if i_minus >= 0 else 0.0

@@ -21,10 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.circuit.dc import dc_operating_point
-from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
+from repro.circuit.linalg import (
+    ResilientFactorization,
+    SingularCircuitError,
+    SweepAssembler,
+)
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 from repro.obs import metrics as obs_metrics
@@ -148,7 +151,7 @@ def _adaptive_solve(
     dt_max = dt_max if dt_max is not None else t_stop / 20.0
 
     g_matrix, c_matrix = system.build_matrices()
-    sparse = sp.issparse(g_matrix)
+    assembler = SweepAssembler(g_matrix, c_matrix)
 
     policy = policy or default_policy()
     report = current_run_report() or RunReport()
@@ -184,11 +187,8 @@ def _adaptive_solve(
         key = quantize_alpha(alpha)
         factor = factor_cache.get(key)
         if factor is None:
-            a_matrix = alpha * c_matrix + g_matrix
-            if sparse:
-                a_matrix = a_matrix.tocsc()
             factor = ResilientFactorization(
-                a_matrix, site="adaptive", policy=policy
+                assembler.at_alpha(alpha), site="adaptive", policy=policy
             )
             factor_cache.put(key, factor)
             num_factor += 1

@@ -15,11 +15,29 @@ a :class:`~repro.resilience.report.SolveReport`.  The rescue rungs only
 accept a solution whose residual against the *original* matrix passes
 the policy tolerance, so a genuinely singular, inconsistent system still
 raises :class:`SingularCircuitError` no matter how far the chain runs.
+
+Two further pieces serve the sweep engines:
+
+* the **matrix-free Krylov tier**: an :class:`OperatorSystem` wraps
+  ``A = G + sigma C`` as a matvec plus a sparse near-field surrogate of
+  ``A``; handing one to :class:`ResilientFactorization` prepends a
+  ``"krylov"`` rung (preconditioned GMRES) to the chain, and stagnation
+  falls back to the dense direct rungs -- recorded as a RunReport
+  downgrade -- by materializing the operator exactly once;
+* the **union sweep pattern**: :class:`SweepPattern` preassembles the
+  union CSC sparsity of (G, C) once and rebuilds ``G + j omega C`` /
+  ``alpha C + G`` per point by writing a fresh data vector -- entry-wise
+  the same arithmetic scipy's sparse add performs, so results stay
+  bit-identical to the naive per-point construction.
+  :class:`SweepAssembler` dispatches dense / sparse / operator inputs to
+  the right per-point construction behind one ``at_omega`` /
+  ``at_alpha`` interface.
 """
 
 from __future__ import annotations
 
 import warnings
+from typing import Callable
 
 import numpy as np
 import scipy.linalg as sla
@@ -30,7 +48,16 @@ from repro.obs import metrics as obs_metrics
 from repro.resilience import faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.policy import ResiliencePolicy, default_policy
-from repro.resilience.report import SolveAttempt, SolveReport, attach_solve_report
+from repro.resilience.report import (
+    SolveAttempt,
+    SolveReport,
+    attach_solve_report,
+    current_run_report,
+)
+
+#: Above this many unknowns the lstsq rescue rung refuses to densify a
+#: sparse matrix: the O(n^2) Gram product would OOM at grid scale.
+LSTSQ_DENSE_LIMIT = 4096
 
 
 class SingularCircuitError(RuntimeError):
@@ -140,6 +167,61 @@ def _identity_like(matrix, scale: float):
     return np.eye(n, dtype=np.asarray(matrix).dtype) * scale
 
 
+class OperatorSystem:
+    """``A = G + sigma C`` as a matrix-free system for the Krylov rung.
+
+    Carries everything the iterative solve needs without ever forming the
+    dense matrix:
+
+    Attributes:
+        matvec: Apply ``A`` to a vector (complex-safe).
+        precond: Sparse surrogate of ``A`` -- the sparse stamps plus the
+            operators' exact near field (block diagonal and the exact
+            off-diagonal blocks) -- cheap to factor with ``splu``.
+        lowrank: Optional ``(U, V)`` global low-rank factors of the
+            compressed far field, already scaled by the sweep point's
+            ``sigma``, such that ``A == precond + U @ V`` exactly (up to
+            the ACA tolerance baked into the factors).  The Krylov rung
+            folds them into the preconditioner with the Woodbury
+            identity, making it an exact direct solve of ``A`` and GMRES
+            a residual-polishing loop of a handful of iterations.
+        materialize: Build the dense ``A`` -- called at most once, only
+            when the Krylov rung fails and the chain falls back to the
+            direct rungs.
+        shape: System shape ``(n, n)``.
+        dtype: ``complex`` for AC points, ``float`` for companion
+            matrices.
+    """
+
+    def __init__(
+        self,
+        matvec: Callable[[np.ndarray], np.ndarray],
+        precond: sp.spmatrix,
+        materialize: Callable[[], np.ndarray],
+        shape: tuple[int, int],
+        dtype,
+        lowrank: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        self._matvec = matvec
+        self.precond = precond
+        self.lowrank = lowrank
+        self.materialize = materialize
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._matvec(x)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self._matvec(x)
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorSystem(shape={self.shape}, dtype={self.dtype}, "
+            f"precond_nnz={self.precond.nnz})"
+        )
+
+
 class ResilientFactorization:
     """The escalation chain: LU -> equilibrated LU -> gmin -> lstsq.
 
@@ -150,11 +232,18 @@ class ResilientFactorization:
     every subsequent :meth:`solve` call, so a cached factorization that
     went bad once does not get re-tried every time step.
 
+    An :class:`OperatorSystem` input prepends the matrix-free ``krylov``
+    rung (preconditioned GMRES) to the chain; if it stagnates, the
+    operator is materialized exactly once -- recorded as a RunReport
+    downgrade -- and the direct rungs take over on the dense matrix.
+
     Args:
-        matrix: The system matrix (dense ndarray or scipy sparse).
+        matrix: The system matrix (dense ndarray, scipy sparse, or an
+            :class:`OperatorSystem`).
         site: Dotted solve-site name for fault injection and reporting;
-            rung sub-sites are ``"<site>.lu"``, ``"<site>.equilibrated"``,
-            ``"<site>.gmin"``, ``"<site>.lstsq"``.
+            rung sub-sites are ``"<site>.krylov"``, ``"<site>.lu"``,
+            ``"<site>.equilibrated"``, ``"<site>.gmin"``,
+            ``"<site>.lstsq"``.
         policy: Escalation policy; default from ``REPRO_RESILIENCE``.
         report: Optional existing :class:`SolveReport` to append to.
     """
@@ -171,6 +260,9 @@ class ResilientFactorization:
         self.policy = policy or default_policy()
         self.report = report if report is not None else SolveReport(site=site)
         self._rungs = self.policy.rungs
+        if isinstance(matrix, OperatorSystem):
+            self._rungs = ("krylov",) + self._rungs
+        self._dense_fallback = None
         self._rung_index = 0
         self._solver = None
         self._cond: float | None = None
@@ -183,7 +275,12 @@ class ResilientFactorization:
         """Factor the matrix for ``rung``; returns a solve closure."""
         site_r = f"{self.site}.{rung}"
         faults.maybe_fail(site_r)
-        matrix = faults.corrupt_matrix(site_r, self._matrix)
+        if rung == "krylov":
+            return self._prepare_krylov(site_r, self._matrix)
+        matrix = self._matrix
+        if isinstance(matrix, OperatorSystem):
+            matrix = self._materialize_operator(rung)
+        matrix = faults.corrupt_matrix(site_r, matrix)
         if rung == "lu":
             return self._prepare_lu(site_r, matrix)
         if rung == "equilibrated":
@@ -202,6 +299,145 @@ class ResilientFactorization:
             )
         return x
 
+    def _materialize_operator(self, rung: str) -> np.ndarray:
+        """Dense fallback of an operator system, built at most once.
+
+        Reaching this means the Krylov rung failed; the downgrade is
+        recorded so a run that silently lost the matrix-free fast path is
+        visible in its report.
+        """
+        if self._dense_fallback is None:
+            obs_metrics.counter("solver.krylov_fallbacks").inc()
+            report = current_run_report()
+            if report is not None:
+                report.record_downgrade(
+                    "solver",
+                    "krylov matrix-free",
+                    f"dense {rung}",
+                    f"krylov rung failed at solve site {self.site!r}",
+                )
+            self._dense_fallback = self._matrix.materialize()
+        return self._dense_fallback
+
+    def _prepare_krylov(self, site_r: str, system):
+        """Preconditioned GMRES over the matrix-free operator.
+
+        The preconditioner factors the sparse near field with ``splu``
+        and, when the system carries global low-rank far-field factors,
+        folds them in with the Woodbury identity -- making the
+        preconditioner an exact solve of ``A`` up to rounding, so GMRES
+        is a residual-polishing loop of a handful of iterations.
+
+        Acceptance is on the normwise *backward error*
+        ``max|Ax - b| / (max|A| max|x| + max|b|)`` computed with a true
+        operator matvec: the honest "as good as a backward-stable direct
+        solve" criterion.  A plain b-relative residual would be bounded
+        below by ``cond(A) * eps`` -- unreachable for the ill-conditioned
+        MNA systems the dense LU rung accepts without any check -- while
+        the backward error reaches machine level whenever the solve is
+        LU-quality."""
+        if not isinstance(system, OperatorSystem):
+            raise SingularCircuitError(
+                f"krylov rung at {site_r} requires an OperatorSystem input"
+            )
+        policy = self.policy
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", sla.LinAlgWarning)
+                m_factor = spla.splu(system.precond.tocsc())
+        except (RuntimeError, ValueError, np.linalg.LinAlgError,
+                sla.LinAlgWarning) as exc:
+            raise SingularCircuitError(
+                f"krylov preconditioner factorization failed: {exc}"
+            ) from exc
+        u_diag = np.abs(m_factor.U.diagonal())
+        smallest = float(u_diag.min()) if u_diag.size else 1.0
+        self._cond = (
+            float(u_diag.max()) / smallest if smallest > 0.0 else np.inf
+        )
+        n = system.shape[0]
+        precond_scale = (
+            float(np.abs(system.precond.data).max())
+            if system.precond.nnz else 1.0
+        )
+        if system.lowrank is not None and system.lowrank[0].shape[1] > 0:
+            # Woodbury: (A0 + U V)^-1 = A0^-1 - Z (I + V Z)^-1 V A0^-1
+            # with Z = A0^-1 U.  K = rank(far field) is small, so the
+            # K-column solve and the dense K x K factor are cheap.
+            u_fac, v_fac = system.lowrank
+            try:
+                z_cols = m_factor.solve(
+                    np.asarray(u_fac, dtype=system.dtype, order="F")
+                )
+                cap = np.eye(u_fac.shape[1], dtype=system.dtype) + \
+                    v_fac @ z_cols
+                cap_factor = sla.lu_factor(cap)
+            except (RuntimeError, ValueError, np.linalg.LinAlgError) as exc:
+                raise SingularCircuitError(
+                    f"krylov Woodbury capacitance factorization failed: {exc}"
+                ) from exc
+
+            def m_solve(r: np.ndarray) -> np.ndarray:
+                x0 = m_factor.solve(np.asarray(r, dtype=system.dtype))
+                return x0 - z_cols @ sla.lu_solve(cap_factor, v_fac @ x0)
+        else:
+            m_solve = m_factor.solve
+        a_op = spla.LinearOperator(
+            system.shape, matvec=system.matvec, dtype=system.dtype
+        )
+        m_op = spla.LinearOperator(
+            system.shape, matvec=m_solve, dtype=system.dtype
+        )
+        restart = min(policy.krylov_restart, n)
+        # Iteration budget is staged: with the Woodbury-exact
+        # preconditioner almost every solve converges within the first
+        # couple of restart cycles, and the full budget is only spent
+        # when the cheap attempt's backward error does not pass.
+        first = min(2, policy.krylov_maxiter)
+        budgets = [c for c in (first, policy.krylov_maxiter - first) if c > 0]
+
+        def backward_error(x: np.ndarray, b_arr: np.ndarray) -> float:
+            r = np.abs(system.matvec(x) - b_arr).max(initial=0.0)
+            scale = (
+                precond_scale * float(np.abs(x).max(initial=0.0))
+                + float(np.abs(b_arr).max(initial=0.0))
+            )
+            return float(r) / max(scale, 1e-300)
+
+        def run(b: np.ndarray):
+            b_arr = np.asarray(b, dtype=system.dtype)
+            iters = [0]
+
+            def _count(_):
+                iters[0] += 1
+
+            obs_metrics.counter("solver.krylov_solves").inc()
+            x = None
+            error = np.inf
+            info = 0
+            for cycles in budgets:
+                x, info = spla.gmres(
+                    a_op, b_arr, x0=x, rtol=policy.krylov_tol, atol=0.0,
+                    restart=restart, maxiter=cycles, M=m_op,
+                    callback=_count, callback_type="pr_norm",
+                )
+                x = self._finish(site_r, x)
+                error = backward_error(x, b_arr)
+                if error <= policy.krylov_residual_tol:
+                    obs_metrics.counter(
+                        "solver.krylov_iterations"
+                    ).inc(iters[0])
+                    return x, error
+            obs_metrics.counter("solver.krylov_iterations").inc(iters[0])
+            obs_metrics.counter("solver.krylov_stagnations").inc()
+            raise SingularCircuitError(
+                f"krylov (gmres) solve at {site_r} did not converge: "
+                f"info={info}, {iters[0]} iterations, backward error "
+                f"{error:.3e} exceeds {policy.krylov_residual_tol:.1e}"
+            )
+
+        return run
+
     def _prepare_lu(self, site_r: str, matrix):
         factor = Factorization(matrix)
         self._cond = factor.condition_estimate
@@ -216,11 +452,12 @@ class ResilientFactorization:
         systems that defeat plain partial pivoting."""
         if sp.issparse(matrix):
             a = matrix.tocsr()
-            row = np.abs(a).max(axis=1).toarray().ravel()
+            # O(n) vectors of row/column maxima, not an O(n^2) densify.
+            row = np.abs(a).max(axis=1).toarray().ravel()  # qa: ignore[QA208]
             row[row == 0.0] = 1.0
             r_inv = sp.diags(1.0 / row)
             scaled = r_inv @ a
-            col = np.abs(scaled).max(axis=0).toarray().ravel()
+            col = np.abs(scaled).max(axis=0).toarray().ravel()  # qa: ignore[QA208]
             col[col == 0.0] = 1.0
             c_inv = sp.diags(1.0 / col)
             scaled = (scaled @ c_inv).tocsc()
@@ -286,7 +523,24 @@ class ResilientFactorization:
         Produces the minimum-norm least-squares solution; only accepted
         when the system is (numerically) consistent, because for an
         inconsistent system "a" solution is worse than an error."""
-        a = np.asarray(matrix.todense()) if sp.issparse(matrix) else np.asarray(matrix)
+        if sp.issparse(matrix):
+            n = matrix.shape[0]
+            if n > LSTSQ_DENSE_LIMIT:
+                raise SingularCircuitError(
+                    f"lstsq rescue rung refuses to densify a {n}x{n} sparse "
+                    f"system (limit {LSTSQ_DENSE_LIMIT}): the dense Gram "
+                    "product would need "
+                    f"{2 * 8 * n * n / 1e9:.1f} GB and O(n^3) work at grid "
+                    "scale. The system is singular past every cheaper rung; "
+                    "fix the topology (floating node, inductor-only loop, "
+                    "voltage-source loop) or add a gmin leak instead of "
+                    "relying on the least-squares last resort"
+                )
+            # Guarded: small-n only, and only after every sparse-capable
+            # rung has already failed.
+            a = np.asarray(matrix.todense())  # qa: ignore[QA208]
+        else:
+            a = np.asarray(matrix)
         gram = a.conj().T @ a
         lam = 1e-12 * max(float(np.abs(np.diagonal(gram)).max(initial=0.0)), 1e-300)
         factor = Factorization(gram + lam * np.eye(a.shape[0], dtype=gram.dtype))
@@ -367,3 +621,173 @@ def resilient_solve(
     return ResilientFactorization(
         matrix, site=site, policy=policy, report=report
     ).solve(b)
+
+
+# -- sweep assembly ----------------------------------------------------------
+
+
+class SweepPattern:
+    """Union CSC pattern of (G, C), assembled once per sweep.
+
+    The serial sweep loops used to rebuild ``(G + 1j*omega*C).tocsc()``
+    from scratch at every frequency -- a structural merge plus a CSR->CSC
+    conversion whose cost rivals the solve for well-conditioned systems.
+    This class does the merge once: the union sparsity (stored-zero
+    entries dropped, exactly as scipy's binary ops drop exact-zero
+    results) with G's and C's values scattered onto it, so each point
+    only computes a fresh data vector.
+
+    Bit-identity with the naive construction holds because the per-entry
+    arithmetic is the same IEEE operations in the same order: scipy
+    computes ``g + (1j*omega)*c`` entry-wise over the union, and float
+    addition is commutative.  The one structural exception is
+    ``omega == 0``, where scipy prunes the C-only entries (``1j*0*c``
+    collapses to exact zero); :meth:`at_omega` special-cases it to the
+    legacy construction.
+    """
+
+    def __init__(self, g_matrix: sp.spmatrix, c_matrix: sp.spmatrix) -> None:
+        if g_matrix.shape != c_matrix.shape:
+            raise ValueError(
+                f"G/C shape mismatch: {g_matrix.shape} vs {c_matrix.shape}"
+            )
+        self._g = g_matrix.tocsr()
+        self._c = c_matrix.tocsr()
+        self.shape = g_matrix.shape
+        nr, nc = self.shape
+        g_coo = self._g.tocoo()
+        c_coo = self._c.tocoo()
+        g_keep = g_coo.data != 0.0
+        c_keep = c_coo.data != 0.0
+        g_keys = (
+            g_coo.col[g_keep].astype(np.int64) * nr
+            + g_coo.row[g_keep].astype(np.int64)
+        )
+        c_keys = (
+            c_coo.col[c_keep].astype(np.int64) * nr
+            + c_coo.row[c_keep].astype(np.int64)
+        )
+        # Sorted unique keys in (col, row) order == canonical CSC layout.
+        union, inverse = np.unique(
+            np.concatenate([g_keys, c_keys]), return_inverse=True
+        )
+        self._indices = (union % nr).astype(np.int32)
+        counts = np.bincount((union // nr).astype(np.intp), minlength=nc)
+        self._indptr = np.zeros(nc + 1, dtype=np.int32)
+        np.cumsum(counts, out=self._indptr[1:])
+        self._g_data = np.zeros(union.size)
+        self._g_data[inverse[: g_keys.size]] = g_coo.data[g_keep]
+        self._c_data = np.zeros(union.size)
+        self._c_data[inverse[g_keys.size:]] = c_coo.data[c_keep]
+
+    def _assemble(self, data: np.ndarray) -> sp.csc_matrix:
+        mat = sp.csc_matrix(
+            (data, self._indices, self._indptr), shape=self.shape, copy=False
+        )
+        mat.has_sorted_indices = True
+        return mat
+
+    def at_omega(self, omega: float) -> sp.csc_matrix:
+        """``(G + 1j*omega*C)`` in CSC, bit-identical to the naive build."""
+        if omega == 0.0:
+            # scipy prunes the C-only entries at omega = 0; keep the
+            # legacy structure so downstream factors match bitwise.
+            return (self._g + 1j * omega * self._c).tocsc()
+        return self._assemble(self._g_data + (1j * omega) * self._c_data)
+
+    def at_alpha(self, alpha: float) -> sp.csc_matrix:
+        """``(alpha*C + G)`` in CSC for companion-matrix sweeps."""
+        if alpha == 0.0:
+            return (alpha * self._c + self._g).tocsc()
+        return self._assemble(self._g_data + alpha * self._c_data)
+
+
+class SweepAssembler:
+    """Per-point system assembly for dense / sparse / operator sweeps.
+
+    One object per sweep, built from whatever
+    :meth:`~repro.circuit.mna.MNASystem.build_matrices` returned:
+
+    * dense arrays -> plain dense arithmetic (legacy behavior);
+    * sparse matrices -> :class:`SweepPattern` data updates
+      (bit-identical, no per-point structural merge);
+    * an :class:`~repro.circuit.operator.OperatorStampedMatrix` C ->
+      :class:`OperatorSystem` instances that solve through the Krylov
+      rung with a near-field ``splu`` preconditioner, and only densify
+      if the chain falls back.
+    """
+
+    def __init__(self, g_matrix, c_matrix) -> None:
+        from repro.circuit.operator import OperatorStampedMatrix
+
+        self._g = g_matrix
+        self._c = c_matrix
+        if isinstance(c_matrix, OperatorStampedMatrix):
+            self.mode = "operator"
+            g_sparse = g_matrix.tocsr() if sp.issparse(g_matrix) else (
+                sp.csr_matrix(np.asarray(g_matrix))
+            )
+            self._g = g_sparse
+            self._near = SweepPattern(g_sparse, c_matrix.near_sparse())
+            self._far = c_matrix.far_lowrank()
+        elif sp.issparse(g_matrix):
+            self.mode = "sparse"
+            self._pattern = SweepPattern(g_matrix, c_matrix)
+        else:
+            self.mode = "dense"
+
+    @property
+    def size(self) -> int:
+        return int(self._g.shape[0])
+
+    def at_omega(self, omega: float):
+        """The AC system ``G + j omega C`` for one frequency point."""
+        if self.mode == "dense":
+            return self._g + 1j * omega * self._c
+        if self.mode == "sparse":
+            return self._pattern.at_omega(omega)
+        g, c = self._g, self._c
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            return g @ x + (1j * omega) * c.matvec(x)
+
+        def materialize() -> np.ndarray:
+            # Recorded dense fallback, built once per stagnated solve.
+            return g.toarray() + 1j * omega * c.to_dense()  # qa: ignore[QA208]
+
+        u_far, v_far = self._far
+        return OperatorSystem(
+            matvec=matvec,
+            precond=self._near.at_omega(omega),
+            materialize=materialize,
+            shape=g.shape,
+            dtype=complex,
+            lowrank=(
+                ((1j * omega) * u_far, v_far) if u_far.shape[1] else None
+            ),
+        )
+
+    def at_alpha(self, alpha: float):
+        """The companion system ``alpha C + G`` for one step size."""
+        if self.mode == "dense":
+            return alpha * self._c + self._g
+        if self.mode == "sparse":
+            return self._pattern.at_alpha(alpha)
+        g, c = self._g, self._c
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            return alpha * c.matvec(x) + g @ x
+
+        def materialize() -> np.ndarray:
+            # Recorded dense fallback, built once per stagnated solve.
+            return alpha * c.to_dense() + g.toarray()  # qa: ignore[QA208]
+
+        u_far, v_far = self._far
+        return OperatorSystem(
+            matvec=matvec,
+            precond=self._near.at_alpha(alpha),
+            materialize=materialize,
+            shape=g.shape,
+            dtype=float,
+            lowrank=((alpha * u_far, v_far) if u_far.shape[1] else None),
+        )

@@ -13,8 +13,11 @@ structure PRIMA's congruence transforms need to preserve passivity.
 
 Dense partial-inductance blocks are kept as dense sub-blocks; everything
 else is sparse.  :meth:`MNASystem.build_matrices` materializes either
-dense numpy arrays (small/full-PEEC systems) or scipy CSR (large
-sparsified systems).
+dense numpy arrays (small/full-PEEC systems), scipy CSR (large
+sparsified systems), or — when the circuit carries operator-backed
+inductor blocks — an :class:`~repro.circuit.operator.
+OperatorStampedMatrix` C that applies the compressed blocks through
+``matvec`` and never densifies them (``fmt="operator"``).
 """
 
 from __future__ import annotations
@@ -87,6 +90,10 @@ class MNASystem:
             for j in range(lset.size):
                 self._branch_index[f"{lset.name}[{j}]"] = k
                 k += 1
+        for oset in self.circuit.operator_sets:
+            for j in range(oset.size):
+                self._branch_index[f"{oset.name}[{j}]"] = k
+                k += 1
         for kset in self.circuit.k_sets:
             for j in range(kset.size):
                 self._branch_index[f"{kset.name}[{j}]"] = k
@@ -125,11 +132,13 @@ class MNASystem:
     # -- matrix assembly -------------------------------------------------------
 
     def _stamp_entries(self):
-        """COO triplets for G and C, plus the dense L blocks.
+        """COO triplets for G and C, plus the dense / operator L blocks.
 
         Returns:
-            (g_rows, g_cols, g_vals, c_rows, c_cols, c_vals, dense_blocks)
-            where dense_blocks is [(offset, matrix)] to add into C.
+            (g_rows, g_cols, g_vals, c_rows, c_cols, c_vals, dense_blocks,
+            operator_blocks) where dense_blocks is [(offset, matrix)] to
+            add into C and operator_blocks is [(offset, operator)] kept
+            matrix-free.
         """
         circuit = self.circuit
         gr: list[int] = []
@@ -195,6 +204,12 @@ class MNASystem:
                 stamp_branch(k + j, ni(a), ni(b))
             dense_blocks.append((k, lset.matrix))
             k += lset.size
+        operator_blocks: list[tuple[int, object]] = []
+        for oset in circuit.operator_sets:
+            for j, (a, b) in enumerate(oset.branches):
+                stamp_branch(k + j, ni(a), ni(b))
+            operator_blocks.append((k, oset.operator))
+            k += oset.size
         for kset in circuit.k_sets:
             # Branch rows: d i/dt - K (v1 - v2) = 0.
             for j in range(kset.size):
@@ -246,31 +261,49 @@ class MNASystem:
         for src in circuit.vsources:
             stamp_branch(k, ni(src.n_plus), ni(src.n_minus))
             k += 1
-        return gr, gc, gv, cr, cc, cv, dense_blocks
+        return gr, gc, gv, cr, cc, cv, dense_blocks, operator_blocks
 
     def build_matrices(self, fmt: str = "auto") -> tuple:
         """Assemble (G, C) in the requested format.
 
         Args:
-            fmt: ``"dense"`` (numpy arrays), ``"sparse"`` (scipy CSR), or
-                ``"auto"`` -- dense when the system is small or dominated by
-                dense inductance blocks, sparse otherwise.
+            fmt: ``"dense"`` (numpy arrays), ``"sparse"`` (scipy CSR),
+                ``"operator"`` (sparse G + :class:`~repro.circuit.operator.
+                OperatorStampedMatrix` C, only valid with operator-backed
+                inductor sets), or ``"auto"`` -- operator when the circuit
+                carries operator sets, otherwise dense when the system is
+                small or dominated by dense inductance blocks, sparse
+                otherwise.
 
         Returns:
-            (G, C) matrices of shape (size, size).
+            (G, C) matrices of shape (size, size).  Requesting
+            ``"dense"``/``"sparse"`` with operator sets materializes the
+            operators via ``to_dense()`` -- a validation path, not the
+            production solve path.
         """
-        if fmt not in ("auto", "dense", "sparse"):
+        if fmt not in ("auto", "dense", "sparse", "operator"):
             raise ValueError(f"unknown format {fmt!r}")
-        if fmt == "auto":
-            dense_elems = sum(b.size for _, b in self._matrix_blocks())
-            fmt = (
-                "dense"
-                if self.size <= 2500 or dense_elems > 0.05 * self.size**2
-                else "sparse"
+        has_operators = bool(self.circuit.operator_sets)
+        if fmt == "operator" and not has_operators:
+            raise ValueError(
+                "fmt='operator' requires at least one operator-backed "
+                "inductor set (Circuit.add_inductor_operator_set)"
             )
+        if fmt == "auto":
+            if has_operators:
+                fmt = "operator"
+            else:
+                dense_elems = sum(b.size for _, b in self._matrix_blocks())
+                fmt = (
+                    "dense"
+                    if self.size <= 2500 or dense_elems > 0.05 * self.size**2
+                    else "sparse"
+                )
         if fmt in self._cache:
             return self._cache[fmt]
-        gr, gc, gv, cr, cc, cv, dense_blocks = self._stamp_entries()
+        gr, gc, gv, cr, cc, cv, dense_blocks, operator_blocks = (
+            self._stamp_entries()
+        )
         shape = (self.size, self.size)
         g_coo = sp.coo_matrix((gv, (gr, gc)), shape=shape)
         c_coo = sp.coo_matrix((cv, (cr, cc)), shape=shape)
@@ -279,25 +312,56 @@ class MNASystem:
             c = c_coo.toarray()
             for off, block in dense_blocks:
                 c[off : off + block.shape[0], off : off + block.shape[1]] += block
+            for off, op in operator_blocks:
+                m = op.shape[0]
+                c[off : off + m, off : off + m] += op.to_dense()
+        elif fmt == "operator":
+            from repro.circuit.operator import OperatorStampedMatrix
+
+            g = g_coo.tocsr()
+            c_sparse = c_coo.tocsr()
+            if dense_blocks:
+                c_sparse = (c_sparse + self._dense_blocks_coo(
+                    dense_blocks, shape)).tocsr()
+            c = OperatorStampedMatrix(c_sparse, operator_blocks)
         else:
             g = g_coo.tocsr()
             c = c_coo.tocsr()
-            if dense_blocks:
+            if operator_blocks:
                 rows, cols, vals = [], [], []
-                for off, block in dense_blocks:
+                for off, op in operator_blocks:
+                    block = op.to_dense()
                     nz = np.nonzero(block)
                     rows.append(nz[0] + off)
                     cols.append(nz[1] + off)
                     vals.append(block[nz])
-                extra = sp.coo_matrix(
+                extra_op = sp.coo_matrix(
                     (np.concatenate(vals),
                      (np.concatenate(rows), np.concatenate(cols))),
                     shape=shape,
                 )
-                c = (c + extra).tocsr()
+                c = (c + extra_op).tocsr()
+            if dense_blocks:
+                c = (c + self._dense_blocks_coo(dense_blocks, shape)).tocsr()
         self._cache[fmt] = (g, c)
         self._record_matrix_metrics(fmt, g, c)
         return g, c
+
+    @staticmethod
+    def _dense_blocks_coo(
+        dense_blocks: list[tuple[int, np.ndarray]],
+        shape: tuple[int, int],
+    ) -> sp.coo_matrix:
+        rows, cols, vals = [], [], []
+        for off, block in dense_blocks:
+            nz = np.nonzero(block)
+            rows.append(nz[0] + off)
+            cols.append(nz[1] + off)
+            vals.append(block[nz])
+        return sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=shape,
+        )
 
     def _record_matrix_metrics(self, fmt: str, g, c) -> None:
         """Publish MNA size / nnz / density gauges (paper Table 1)."""
@@ -314,6 +378,13 @@ class MNASystem:
             nnz / (2.0 * size * size) if size else 0.0
         )
         obs_metrics.gauge("mna.sparse").set(1.0 if sp.issparse(g) else 0.0)
+        from repro.circuit.operator import OperatorStampedMatrix
+
+        if isinstance(c, OperatorStampedMatrix):
+            obs_metrics.gauge("mna.operator").set(1.0)
+            obs_metrics.gauge("mna.operator_bytes").set(float(c.memory_bytes))
+        else:
+            obs_metrics.gauge("mna.operator").set(0.0)
 
     def _matrix_blocks(self) -> list[tuple[int, np.ndarray]]:
         blocks = []
@@ -353,8 +424,26 @@ class MNASystem:
         """
         if not self._devices:
             return np.zeros(self.size), None
-        f = np.zeros(self.size)
+        f, triplets = self.eval_devices_triplets(x)
+        rows, cols, vals = triplets
         jac = np.zeros((self.size, self.size))
+        np.add.at(jac, (rows, cols), vals)
+        return f, jac
+
+    def eval_devices_triplets(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Device currents f(x) and the Jacobian as COO triplets.
+
+        The sparse companion of :meth:`eval_devices`: the Jacobian is
+        returned as ``(rows, cols, vals)`` int/float arrays (duplicates
+        allowed, summed on assembly) so sparse Newton steps never allocate
+        an n x n array for a handful of device stamps.
+        """
+        f = np.zeros(self.size)
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
         for binding in self._devices:
             local_v = np.array(
                 [x[i] if i >= 0 else 0.0 for i in binding.indices]
@@ -366,5 +455,11 @@ class MNASystem:
                 f[ga] += i_dev[a]
                 for b, gb in enumerate(binding.indices):
                     if gb >= 0:
-                        jac[ga, gb] += j_dev[a, b]
-        return f, jac
+                        rows.append(ga)
+                        cols.append(gb)
+                        vals.append(j_dev[a, b])
+        return f, (
+            np.asarray(rows, dtype=np.intp),
+            np.asarray(cols, dtype=np.intp),
+            np.asarray(vals, dtype=float),
+        )

@@ -30,7 +30,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.circuit.dc import ConvergenceError, dc_operating_point
-from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
+from repro.circuit.linalg import (
+    OperatorSystem,
+    ResilientFactorization,
+    SingularCircuitError,
+    SweepAssembler,
+)
 from repro.circuit.mna import MNASystem
 from repro.circuit.netlist import Circuit
 from repro.obs import metrics as obs_metrics
@@ -267,16 +272,17 @@ def transient_analysis(
     # size and near-equal alphas that differ only in the last ulps; a raw
     # float-keyed dict grows without bound and misses those near-equals.
     factor_cache: LRUCache = LRUCache(FACTOR_CACHE_SIZE)
+    assembler = SweepAssembler(g_matrix, c_matrix)
 
     def companion(alpha: float) -> ResilientFactorization:
         key = quantize_alpha(alpha)
         factor = factor_cache.get(key)
         if factor is None:
-            a_matrix = alpha * c_matrix + g_matrix
-            if sparse:
-                a_matrix = a_matrix.tocsc()
+            # The union pattern / operator wrapper is shared across all
+            # alphas; the factorization (splu or the Krylov rung's
+            # preconditioner factor) is cached per quantized alpha.
             factor = ResilientFactorization(
-                a_matrix, site="transient", policy=policy
+                assembler.at_alpha(alpha), site="transient", policy=policy
             )
             factor_cache.put(key, factor)
         return factor
@@ -295,8 +301,8 @@ def transient_analysis(
         if not system.has_devices:
             return linear_step(x_old, b_old, b_new, alpha, use_be)
         return _newton_step(
-            system, g_matrix, c_matrix, x_old, f_old, b_old, b_new,
-            alpha, use_be, newton_tol, max_newton, sparse, policy,
+            system, g_matrix, c_matrix, assembler, x_old, f_old, b_old,
+            b_new, alpha, use_be, newton_tol, max_newton, policy,
         )
 
     def halved_step(x_old, t_now, halvings):
@@ -392,10 +398,52 @@ def transient_analysis(
     )
 
 
+def _device_jacobian_system(
+    assembler: SweepAssembler,
+    alpha: float,
+    triplets: tuple[np.ndarray, np.ndarray, np.ndarray],
+):
+    """``alpha C + G`` plus the device-Jacobian stamps, format-preserving.
+
+    The sparse path adds the handful of device triplets as a sparse
+    update -- never materializing an n x n dense Jacobian for a sparse
+    system -- and the operator path composes them into the matvec and the
+    near-field preconditioner of a new :class:`OperatorSystem`.
+    """
+    base = assembler.at_alpha(alpha)
+    rows, cols, vals = triplets
+    if assembler.mode == "sparse":
+        if rows.size == 0:
+            return base
+        update = sp.coo_matrix((vals, (rows, cols)), shape=base.shape)
+        return (base + update).tocsc()
+    # Operator mode: keep the block operators matrix-free.
+    update = sp.coo_matrix(
+        (vals, (rows, cols)), shape=base.shape
+    ).tocsr()
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        return base.matvec(x) + update @ x
+
+    def materialize() -> np.ndarray:
+        # Recorded dense fallback, built once per stagnated solve.
+        return base.materialize() + update.toarray()  # qa: ignore[QA208]
+
+    return OperatorSystem(
+        matvec=matvec,
+        precond=(base.precond + update).tocsc(),
+        materialize=materialize,
+        shape=base.shape,
+        dtype=float,
+        lowrank=base.lowrank,
+    )
+
+
 def _newton_step(
     system: MNASystem,
     g_matrix,
     c_matrix,
+    assembler: SweepAssembler,
     x_old: np.ndarray,
     f_old: np.ndarray,
     b_old: np.ndarray,
@@ -404,7 +452,6 @@ def _newton_step(
     use_be: bool,
     tol: float,
     max_iter: int,
-    sparse: bool,
     policy: ResiliencePolicy | None = None,
 ) -> np.ndarray:
     """One implicit time step with damped Newton iteration."""
@@ -412,10 +459,14 @@ def _newton_step(
     cx_old = c_matrix @ x_old
     residual_history: list[float] = []
     last_step: float | None = None
+    dense_mode = assembler.mode == "dense"
     iterations = obs_metrics.counter("newton.iterations.transient")
     for _ in range(max_iter):
         iterations.inc()
-        f, jac_dev = system.eval_devices(x)
+        if dense_mode:
+            f, jac_dev = system.eval_devices(x)
+        else:
+            f, dev_triplets = system.eval_devices_triplets(x)
         if use_be:
             residual = alpha * (c_matrix @ x - cx_old) + g_matrix @ x + f - b_new
         else:
@@ -429,11 +480,12 @@ def _newton_step(
         residual_history.append(norm)
         if norm < tol:
             return x
-        jacobian = alpha * c_matrix + g_matrix
-        if sparse:
-            jacobian = np.asarray(jacobian.todense())
-        if jac_dev is not None:
-            jacobian = jacobian + jac_dev
+        if dense_mode:
+            jacobian = assembler.at_alpha(alpha)
+            if jac_dev is not None:
+                jacobian = jacobian + jac_dev
+        else:
+            jacobian = _device_jacobian_system(assembler, alpha, dev_triplets)
         delta = ResilientFactorization(
             jacobian, site="transient.newton", policy=policy
         ).solve(-np.asarray(residual).ravel())

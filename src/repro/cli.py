@@ -94,7 +94,8 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     )
     freqs = np.logspace(7, 11, 9)
     res = extract_loop_impedance(layout, port, freqs,
-                                 max_segment_length=250e-6)
+                                 max_segment_length=250e-6,
+                                 assembly=args.assembly)
     rows = [
         [f"{f:.2e}", f"{r:.4f}", f"{l * 1e9:.4f}"]
         for f, r, l in zip(freqs, res.resistance, res.inductance)
@@ -492,6 +493,11 @@ def main(argv: list[str] | None = None) -> int:
     p_loop = sub.add_parser("loop", help="Figure-3 loop extraction sweep")
     p_loop.add_argument("--length", type=float, default=1000.0,
                         help="signal length [um]")
+    p_loop.add_argument("--assembly", choices=("exact", "hierarchical"),
+                        default="exact",
+                        help="partial-L assembly: exact (dense) or "
+                             "hierarchical (compressed, matrix-free "
+                             "Krylov solves)")
     add_trace_json(p_loop)
     p_loop.set_defaults(func=_cmd_loop)
 

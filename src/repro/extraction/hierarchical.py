@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.extraction.inductance import self_inductance_bar
 from repro.extraction.partial_matrix import (
@@ -342,6 +343,7 @@ class HierarchicalPartialL:
 
     def to_dense(self) -> np.ndarray:
         """Materialize the full symmetric matrix (small-n validation)."""
+        obs_metrics.counter("hierarchical.to_dense_calls").inc()
         out = np.zeros((self.n, self.n))
         np.fill_diagonal(out, self.diag)
         for blk in self.sym_blocks:
@@ -354,6 +356,68 @@ class HierarchicalPartialL:
             out[np.ix_(blk.rows, blk.cols)] = approx
             out[np.ix_(blk.cols, blk.rows)] = approx.T
         return out
+
+    def near_block_diagonal(self) -> sp.csr_matrix:
+        """Exact near field as a sparse matrix.
+
+        The diagonal, the same-cluster leaf blocks, and the exact
+        off-diagonal near blocks (both orientations): everything the
+        operator stores exactly, leaving only the ACA-compressed far
+        field out.  It is the preconditioner seed for the Krylov solve
+        tier — cheap to factor with ``splu`` and never densifies the far
+        field, which :meth:`far_lowrank` supplies as global low-rank
+        factors instead.
+        """
+        n = self.n
+        rows = [np.arange(n)]
+        cols = [np.arange(n)]
+        vals = [self.diag]
+        for blk in self.sym_blocks:
+            rr, cc = np.meshgrid(blk.indices, blk.indices, indexing="ij")
+            rows.append(rr.ravel())
+            cols.append(cc.ravel())
+            vals.append(blk.matrix.ravel())
+        for blk in self.near_blocks:
+            rr, cc = np.meshgrid(blk.rows, blk.cols, indexing="ij")
+            rows.append(rr.ravel())
+            cols.append(cc.ravel())
+            vals.append(blk.matrix.ravel())
+            # The mirrored orientation: value M[i, j] lands at
+            # (cols[j], rows[i]), so the same raveled data pairs with the
+            # swapped coordinate arrays.
+            rows.append(cc.ravel())
+            cols.append(rr.ravel())
+            vals.append(blk.matrix.ravel())
+        mat = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        )
+        return mat.tocsr()
+
+    def far_lowrank(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global low-rank factors ``(U, V)`` of the compressed far field.
+
+        ``U @ V`` (shape ``(n, K) @ (K, n)`` with ``K`` the summed block
+        ranks, both orientations) reproduces exactly the part of the
+        operator that :meth:`near_block_diagonal` leaves out, so
+        ``near_block_diagonal() + U @ V`` equals :meth:`to_dense` to
+        rounding.  ``K`` is small (ACA ranks), which makes a Woodbury
+        correction of the near-field preconditioner affordable.
+        """
+        n = self.n
+        total = 2 * sum(blk.rank for blk in self.far_blocks)
+        u_global = np.zeros((n, total))
+        v_global = np.zeros((total, n))
+        at = 0
+        for blk in self.far_blocks:
+            k = blk.rank
+            u_global[blk.rows, at:at + k] = blk.u
+            v_global[at:at + k, blk.cols] = blk.v
+            at += k
+            u_global[blk.cols, at:at + k] = blk.v.T
+            v_global[at:at + k, blk.rows] = blk.u.T
+            at += k
+        return u_global, v_global
 
     @property
     def memory_bytes(self) -> int:

@@ -123,11 +123,18 @@ def _build_rl_circuit(
     segments: list[Segment],
     layout: Layout,
     grid_for_segment,
+    assembly: str = "exact",
+    eta: float | None = None,
+    tol: float | None = None,
+    leaf_size: int | None = None,
 ) -> tuple[Circuit, dict[tuple[int, int, int], str]]:
     """RL filament circuit over the given segments.
 
     Each parent segment's filaments share its end nodes (they are bonded at
-    the segment boundaries, the standard FastHenry discretization).
+    the segment boundaries, the standard FastHenry discretization).  With
+    ``assembly="hierarchical"`` the filament coupling is stamped as an
+    :class:`~repro.circuit.elements.OperatorInductorSet`, so the sweep
+    stays matrix-free end to end (no dense L is ever materialized).
     """
     filaments: list[Segment] = []
     fil_parent: list[Segment] = []
@@ -137,7 +144,9 @@ def _build_rl_circuit(
             filaments.append(fil)
             fil_parent.append(seg)
 
-    extraction = extract_partial_inductance(filaments)
+    extraction = extract_partial_inductance(
+        filaments, assembly=assembly, eta=eta, tol=tol, leaf_size=leaf_size
+    )
 
     circuit = Circuit("loop_extraction")
     node_by_point: dict[tuple[int, int, int], str] = {}
@@ -161,7 +170,11 @@ def _build_rl_circuit(
             f"R{k}", na, mid, segment_resistance(fil, layer_of[fil.layer])
         )
         branches.append((mid, node_for(b)))
-    circuit.add_inductor_set("Lf", tuple(branches), extraction.matrix)
+    operator = getattr(extraction, "operator", None)
+    if operator is not None:
+        circuit.add_inductor_operator_set("Lf", tuple(branches), operator)
+    else:
+        circuit.add_inductor_set("Lf", tuple(branches), extraction.matrix)
 
     for via in layout.vias:
         bottom, top = layout.via_endpoints(via)
@@ -229,15 +242,14 @@ def _sweep_impedance(
     checkpoints are written from completed-chunk results at the same
     ``checkpoint.interval`` granularity.
     """
-    from repro.circuit.linalg import ResilientFactorization, add_gmin
+    from repro.circuit.linalg import (
+        ResilientFactorization, SweepAssembler, add_gmin,
+    )
     from repro.circuit.mna import MNASystem
-
-    import scipy.sparse as sp
 
     system = MNASystem(circuit)
     g_matrix, c_matrix = system.build_matrices()
     g_matrix = add_gmin(g_matrix, system.n, gmin)
-    sparse = sp.issparse(g_matrix)
     b = np.zeros(system.size, dtype=complex)
     i_plus = system.node_index(port_nodes[0])
     i_minus = system.node_index(port_nodes[1])
@@ -343,15 +355,16 @@ def _sweep_impedance(
         return z
 
     since_checkpoint = 0
+    # Union pattern (or operator system) assembled once up front; each
+    # frequency point only writes a fresh data vector / builds a thin
+    # OperatorSystem around the shared preconditioner pattern.
+    assembler = SweepAssembler(g_matrix, c_matrix)
     with activate(report):
         for i, f in enumerate(freqs):
             if done[i]:
                 continue
             omega = 2.0 * np.pi * f
-            if sparse:
-                a_matrix = (g_matrix + 1j * omega * c_matrix).tocsc()
-            else:
-                a_matrix = g_matrix + 1j * omega * c_matrix
+            a_matrix = assembler.at_omega(omega)
             retries = 0
             while True:
                 try:
@@ -413,6 +426,10 @@ def extract_loop_impedance(
     max_segment_length: float | None = None,
     filaments: FilamentGrid | str = "auto",
     short_resistance: float = 1e-6,
+    assembly: str = "exact",
+    eta: float | None = None,
+    tol: float | None = None,
+    leaf_size: int | None = None,
     policy: ResiliencePolicy | None = None,
     checkpoint: CheckpointConfig | None = None,
     workers: int | None = None,
@@ -429,6 +446,14 @@ def extract_loop_impedance(
         filaments: ``"auto"`` sizes the cross-section subdivision for the
             highest sweep frequency per layer; or pass an explicit grid.
         short_resistance: Resistance of the receiver-end short [ohm].
+        assembly: ``"exact"`` stamps the dense partial-L matrix;
+            ``"hierarchical"`` stamps the compressed operator and the
+            sweep solves matrix-free through the Krylov rung -- the dense
+            L is never materialized.
+        eta: Hierarchical admissibility parameter (hierarchical only).
+        tol: Hierarchical ACA tolerance (hierarchical only).
+        leaf_size: Hierarchical cluster-tree leaf size (hierarchical
+            only).
         policy: Resilience policy (escalation and per-frequency retry
             budget); default from ``REPRO_RESILIENCE``.
         checkpoint: Periodic snapshotting of completed sweep points; a
@@ -466,7 +491,10 @@ def extract_loop_impedance(
         )
 
     with span("loop.build", segments=len(segments)) as build_sp:
-        circuit, node_by_point = _build_rl_circuit(segments, layout, grid_for)
+        circuit, node_by_point = _build_rl_circuit(
+            segments, layout, grid_for,
+            assembly=assembly, eta=eta, tol=tol, leaf_size=leaf_size,
+        )
 
         sig_node = _node_at_tap(layout, node_by_point, port.signal, segments)
         ref_node = _node_at_tap(layout, node_by_point, port.reference, segments)

@@ -38,6 +38,7 @@ TIMED_SECTIONS = (
     "sparsify",
     "loop_sweep_serial",
     "loop_sweep_parallel",
+    "solve_iterative",
     "transient",
 )
 
@@ -313,6 +314,60 @@ def _run_sections(
          f"with {config.workers} workers ({speedup:.2f}x, "
          f"identical={identical})")
 
+    # -- matrix-free iterative solve vs dense direct --------------------
+    # The same loop sweep through ``assembly="hierarchical"``: the
+    # partial-L block is stamped as a compressed operator and every
+    # frequency point solves through the Krylov rung.  Gated on accuracy
+    # against the dense-direct sweep above AND on staying matrix-free
+    # (zero ``to_dense`` materializations, zero dense fallbacks).
+    from repro.obs import metrics as obs_metrics
+
+    to_dense_before = obs_metrics.counter("hierarchical.to_dense_calls").value
+    solves_before = obs_metrics.counter("solver.krylov_solves").value
+    iters_before = obs_metrics.counter("solver.krylov_iterations").value
+    fallbacks_before = obs_metrics.counter("solver.krylov_fallbacks").value
+    t0 = time.perf_counter()
+    iterative = extract_loop_impedance(
+        layout, port, freqs,
+        max_segment_length=config.max_segment_length, workers=1,
+        assembly="hierarchical",
+    )
+    t_iterative = time.perf_counter() - t0
+    to_dense_calls = int(
+        obs_metrics.counter("hierarchical.to_dense_calls").value
+        - to_dense_before
+    )
+    krylov_solves = int(
+        obs_metrics.counter("solver.krylov_solves").value - solves_before
+    )
+    krylov_iters = int(
+        obs_metrics.counter("solver.krylov_iterations").value - iters_before
+    )
+    krylov_fallbacks = int(
+        obs_metrics.counter("solver.krylov_fallbacks").value
+        - fallbacks_before
+    )
+    denom = np.maximum(np.abs(serial.impedance), 1e-300)
+    rel_errors = np.abs(iterative.impedance - serial.impedance) / denom
+    iter_rel_error = float(np.max(rel_errors))
+    operator_bytes = int(obs_metrics.gauge("mna.operator_bytes").value)
+    report.add(
+        "solve_iterative", t_iterative,
+        num_freqs=config.num_freqs,
+        num_filaments=iterative.num_filaments,
+        dense_seconds=round(t_serial, 6),
+        max_rel_error=iter_rel_error,
+        to_dense_calls=to_dense_calls,
+        krylov_solves=krylov_solves,
+        krylov_iterations=krylov_iters,
+        krylov_fallbacks=krylov_fallbacks,
+        operator_bytes=operator_bytes,
+    )
+    echo(f"bench: iterative sweep {t_iterative:.3f}s vs dense "
+         f"{t_serial:.3f}s (err {iter_rel_error:.2e}, "
+         f"{krylov_iters} gmres iters, to_dense={to_dense_calls}, "
+         f"operator {operator_bytes / 1024:.0f} KiB)")
+
     # -- transient on the loop model ------------------------------------
     t0 = time.perf_counter()
     flow = run_loop_flow(case)
@@ -406,6 +461,28 @@ def compare_benchmarks(
             problems.append(
                 "hierarchical: materialized matrix failed the SPD/"
                 "passivity check"
+            )
+    # The iterative section is a correctness gate too: the matrix-free
+    # sweep must agree with dense direct and must not have silently
+    # densified the operator.
+    solve_iter = cur_sections.get("solve_iterative")
+    if solve_iter is not None:
+        err = solve_iter.get("max_rel_error")
+        if err is not None and float(err) > 1e-6:
+            problems.append(
+                f"solve_iterative: max relative impedance error "
+                f"{float(err):.3e} vs dense direct exceeds 1e-6"
+            )
+        if int(solve_iter.get("to_dense_calls", 0)) != 0:
+            problems.append(
+                f"solve_iterative: {solve_iter['to_dense_calls']} "
+                "to_dense materializations during the matrix-free sweep "
+                "(expected 0)"
+            )
+        if int(solve_iter.get("krylov_fallbacks", 0)) != 0:
+            problems.append(
+                f"solve_iterative: {solve_iter['krylov_fallbacks']} "
+                "krylov solves fell back to dense direct (expected 0)"
             )
     return problems
 

@@ -42,9 +42,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.circuit.linalg import ResilientFactorization, SingularCircuitError
+from repro.circuit.linalg import (
+    ResilientFactorization, SingularCircuitError, SweepAssembler,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import (
     detached_stack, export_spans, graft_spans, span, tracing,
@@ -158,11 +159,28 @@ class SweepSpec:
     retry_site: str | None = None
     policy: ResiliencePolicy = field(default_factory=default_policy)
     port: tuple[int, int] | None = None
+    _assembler: SweepAssembler | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def row_size(self) -> int:
         """Output columns per point: 1 (port voltage) or the system size."""
         return 1 if self.port is not None else len(self.b)
+
+    def assembler(self) -> SweepAssembler:
+        """The sweep assembler (union pattern / operator wrapper), built
+        once per spec copy and reused across that copy's points."""
+        if self._assembler is None:
+            self._assembler = SweepAssembler(self.g_matrix, self.c_matrix)
+        return self._assembler
+
+    def __getstate__(self) -> dict:
+        # Ship only the inputs; each worker rebuilds its own assembler
+        # (deterministic, so worker results stay bit-identical to serial).
+        state = self.__dict__.copy()
+        state["_assembler"] = None
+        return state
 
 
 def solve_points(
@@ -174,27 +192,23 @@ def solve_points(
     (port-reduced or full solution) and ``retry_notes`` describes every
     per-point retry that was absorbed, for the parent's run report.
     """
-    sparse = sp.issparse(spec.g_matrix)
     out = np.zeros((len(freqs), spec.row_size), dtype=complex)
     notes: list[str] = []
     with span("sweep.solve", points=len(freqs), site=spec.site):
-        _solve_points_into(spec, freqs, sparse, out, notes)
+        _solve_points_into(spec, freqs, out, notes)
     return out, notes
 
 
 def _solve_points_into(
     spec: SweepSpec,
     freqs: np.ndarray,
-    sparse: bool,
     out: np.ndarray,
     notes: list[str],
 ) -> None:
+    assembler = spec.assembler()
     for k, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
-        if sparse:
-            a_matrix = (spec.g_matrix + 1j * omega * spec.c_matrix).tocsc()
-        else:
-            a_matrix = spec.g_matrix + 1j * omega * spec.c_matrix
+        a_matrix = assembler.at_omega(omega)
         retries = 0
         while True:
             try:

@@ -22,6 +22,8 @@ QA206  public function catches a broad exception and degrades without
        recording it (RunReport event, obs metric, warning, log).
 QA207  pool future ``result()`` / executor ``map()`` waited on without a
        timeout outside the supervisor -- one hung worker stalls forever.
+QA208  ``.todense()``/``.toarray()`` in a solver hot-path module -- the
+       matrix-free solve tier exists so these paths never densify.
 ====== =====================================================================
 """
 
@@ -591,11 +593,81 @@ silenced with '# qa: ignore[QA207]' stating what bounds it.""",
 ))
 
 
+# -- QA208: densification in solver hot paths --------------------------------
+
+#: Modules on the solve path that must stay matrix-free: assembling or
+#: solving here happens once per frequency point / Newton iteration, so a
+#: densify call silently reintroduces the O(n^2) memory the operator tier
+#: removed.
+_HOT_PATH_MODULES = frozenset({
+    "repro.circuit.linalg",
+    "repro.circuit.transient",
+    "repro.circuit.adaptive",
+    "repro.circuit.ac",
+    "repro.circuit.dc",
+    "repro.loop.extractor",
+    "repro.perf.parallel",
+})
+
+_DENSIFY_ATTRS = ("todense", "toarray", "to_dense")
+
+
+def _check_qa208(ctx: ModuleContext) -> Iterable[Diagnostic]:
+    if ctx.module.name not in _HOT_PATH_MODULES:
+        return
+    tree = ctx.module.tree
+    if tree is None:
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DENSIFY_ATTRS):
+            continue
+        diag = ctx.report(
+            QA208, node,
+            f"'{_describe(node.func)}()' densifies inside solver hot path "
+            f"'{ctx.module.name}' -- route through the operator/Krylov "
+            "tier instead",
+        )
+        if diag:
+            yield diag
+
+
+QA208 = register(Rule(
+    id="QA208",
+    title="densification call in a solver hot-path module",
+    severity=Severity.ERROR,
+    hint="keep the operator form: stamp sparse updates, solve via the "
+         "krylov rung, or move the conversion off the per-step path; "
+         "silence a deliberately bounded materialization with "
+         "'# qa: ignore[QA208]' and say what bounds it",
+    docs="""\
+The matrix-free solve tier (PR 9) removed every per-step
+``.todense()``/``.toarray()`` from the AC/transient/extraction paths:
+sweeps update a preassembled sparse pattern in place, transient Newton
+stamps the device Jacobian as a sparse update, and operator-backed
+systems are solved by the preconditioned ``krylov`` rung.  A densify
+call reappearing in one of those modules almost always means a
+convenience conversion snuck back onto a loop that runs once per
+frequency point or Newton iteration, costing O(n^2) memory exactly at
+the problem sizes the hierarchical operator exists for.
+
+The rule fires on any ``.todense()`` / ``.toarray()`` / ``.to_dense()``
+call inside the hot-path module set (``circuit.linalg`` / ``transient``
+/ ``adaptive`` / ``ac`` / ``dc``, ``loop.extractor``,
+``perf.parallel``).  Legitimate bounded materializations exist -- the
+size-guarded lstsq rescue rung, equilibration's O(n) row/column maxima,
+the recorded dense fallback when Krylov stagnates -- and each is
+silenced in place with '# qa: ignore[QA208]' naming its bound.""",
+    check=_check_qa208,
+))
+
+
 SEMANTIC_RULE_IDS = (
-    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207",
+    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207", "QA208",
 )
 
 __all__ = [
     "SEMANTIC_RULE_IDS",
-    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207",
+    "QA201", "QA202", "QA203", "QA204", "QA205", "QA206", "QA207", "QA208",
 ]

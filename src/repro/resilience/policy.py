@@ -53,6 +53,21 @@ class ResiliencePolicy:
             solution.
         lstsq_tol: Max relative residual for accepting a least-squares
             last-resort solution.
+        krylov_tol: GMRES inner relative-residual target for the
+            matrix-free ``krylov`` rung (operator-backed systems only).
+            A stopping heuristic, not the acceptance criterion: quality
+            is judged by ``krylov_residual_tol`` afterwards.
+        krylov_restart: GMRES restart length (Krylov subspace dimension
+            per cycle).
+        krylov_maxiter: GMRES restart cycles before the rung declares
+            stagnation and falls back to the dense direct path.
+        krylov_residual_tol: Max normwise *backward error*
+            ``max|Ax-b| / (max|A| max|x| + max|b|)``, checked with a true
+            operator matvec independent of GMRES's preconditioned
+            estimate, for accepting a Krylov solution.  Backward-stable
+            direct solves land at machine level on this measure, so the
+            default leaves orders of magnitude of margin while still
+            rejecting genuine stagnation.
     """
 
     escalation: str = "safe"
@@ -63,6 +78,10 @@ class ResiliencePolicy:
     refine_iters: int = 3
     residual_tol: float = 1e-8
     lstsq_tol: float = 1e-6
+    krylov_tol: float = 1e-9
+    krylov_restart: int = 150
+    krylov_maxiter: int = 12
+    krylov_residual_tol: float = 1e-8
 
     def __post_init__(self) -> None:
         if self.escalation not in _RUNGS:

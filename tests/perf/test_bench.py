@@ -88,6 +88,47 @@ class TestCompare:
         problems = compare_benchmarks(current, report_dict())
         assert any("passivity" in p for p in problems)
 
+    def test_flags_iterative_error_above_tolerance(self):
+        current = report_dict(
+            solve_iterative=section(
+                0.5, max_rel_error=5e-6, to_dense_calls=0,
+                krylov_fallbacks=0,
+            )
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any(
+            "solve_iterative" in p and "error" in p for p in problems
+        )
+
+    def test_flags_iterative_densification(self):
+        current = report_dict(
+            solve_iterative=section(
+                0.5, max_rel_error=1e-9, to_dense_calls=3,
+                krylov_fallbacks=0,
+            )
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any("to_dense" in p for p in problems)
+
+    def test_flags_iterative_krylov_fallbacks(self):
+        current = report_dict(
+            solve_iterative=section(
+                0.5, max_rel_error=1e-9, to_dense_calls=0,
+                krylov_fallbacks=2,
+            )
+        )
+        problems = compare_benchmarks(current, report_dict())
+        assert any("fell back" in p for p in problems)
+
+    def test_accepts_clean_iterative_section(self):
+        current = report_dict(
+            solve_iterative=section(
+                0.5, max_rel_error=1e-9, to_dense_calls=0,
+                krylov_fallbacks=0,
+            )
+        )
+        assert compare_benchmarks(current, report_dict()) == []
+
     def test_accepts_hierarchical_within_tolerance(self):
         current = report_dict(
             hierarchical=section(0.5, max_rel_error=1e-7, spd_ok=True)
@@ -140,6 +181,14 @@ class TestLiveRun:
 
     def test_parallel_matches_serial(self, live_report):
         assert live_report.sections["loop_sweep_parallel"]["arrays_identical"]
+
+    def test_iterative_section_is_matrix_free(self, live_report):
+        it = live_report.sections["solve_iterative"]
+        assert it["max_rel_error"] <= 1e-6
+        assert it["to_dense_calls"] == 0
+        assert it["krylov_fallbacks"] == 0
+        assert it["krylov_solves"] > 0
+        assert it["operator_bytes"] > 0
 
     def test_cached_assembly_identical_and_hit(self, live_report):
         cached = live_report.sections["assembly_cached"]

@@ -1,4 +1,4 @@
-"""Fixture tests for the semantic rules QA201-QA207.
+"""Fixture tests for the semantic rules QA201-QA208.
 
 Every rule gets (at least) one *failing* fixture -- a deliberately
 re-introduced instance of the bug class it encodes, including the
@@ -442,6 +442,49 @@ class TestQA207UnboundedPoolWait:
         """), encoding="utf-8")
         result = analyze_paths([mod], rules=["QA207"])
         assert [d.rule for d in result.report] == []
+
+
+class TestQA208HotPathDensify:
+    def _hot_module(self, tmp_path, source, rel="repro/circuit/linalg.py"):
+        mod = tmp_path / rel
+        mod.parent.mkdir(parents=True, exist_ok=True)
+        for parent in (tmp_path / "repro", mod.parent):
+            (parent / "__init__.py").write_text("", encoding="utf-8")
+        mod.write_text(textwrap.dedent(source), encoding="utf-8")
+        return mod
+
+    def test_flags_densify_in_hot_path_module(self, tmp_path):
+        mod = self._hot_module(tmp_path, """
+            def assemble(g, c, omega):
+                return g.toarray() + 1j * omega * c.todense()
+        """)
+        result = analyze_paths([mod], rules=["QA208"])
+        assert [d.rule for d in result.report] == ["QA208", "QA208"]
+
+    def test_flags_operator_to_dense(self, tmp_path):
+        mod = self._hot_module(tmp_path, """
+            def solve(op, b):
+                import numpy as np
+                return np.linalg.solve(op.to_dense(), b)
+        """, rel="repro/loop/extractor.py")
+        result = analyze_paths([mod], rules=["QA208"])
+        assert [d.rule for d in result.report] == ["QA208"]
+
+    def test_ignore_comment_silences(self, tmp_path):
+        mod = self._hot_module(tmp_path, """
+            def rescue(matrix):
+                return matrix.todense()  # qa: ignore[QA208] -- size-guarded
+        """)
+        result = analyze_paths([mod], rules=["QA208"])
+        assert [d.rule for d in result.report] == []
+
+    def test_non_hot_module_is_not_flagged(self, tmp_path):
+        # Densifying outside the solve path (e.g. extraction assembly,
+        # io) is not this rule's business.
+        assert fired(tmp_path, """
+            def export(matrix):
+                return matrix.toarray()
+        """, "QA208") == []
 
 
 class TestProjectPasses:
